@@ -1,0 +1,27 @@
+//! Criterion bench: BKRUS construction time as the net grows.
+//!
+//! BKRUS is `O(V^3)` (dominated by the `Merge` routine); this bench tracks
+//! the constant and confirms the cubic trend on uniform nets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmst_core::bkrus;
+use bmst_instances::uniform_cloud;
+
+fn bench_bkrus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bkrus_scaling");
+    for &n in &[25usize, 50, 100] {
+        let net = uniform_cloud(n, 100.0, 0xC0FFEE + n as u64);
+        group.bench_with_input(BenchmarkId::new("eps_0.2", n), &net, |b, net| {
+            b.iter(|| bkrus(black_box(net), 0.2).expect("spans"))
+        });
+        group.bench_with_input(BenchmarkId::new("eps_inf", n), &net, |b, net| {
+            b.iter(|| bkrus(black_box(net), f64::INFINITY).expect("spans"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bkrus);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: Elmore delay evaluation and the Elmore-bounded BKRUS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmst_core::{bkrus_elmore, mst_tree};
+use bmst_instances::uniform_cloud;
+use bmst_tree::{elmore, ElmoreDelays, ElmoreParams};
+
+fn bench_elmore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elmore");
+    group.sample_size(30);
+    for &n in &[50usize, 200] {
+        let net = uniform_cloud(n, 100.0, 0xE1 + n as u64);
+        let tree = mst_tree(&net);
+        let params =
+            ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
+        group.bench_with_input(BenchmarkId::new("delays_from_source", n), &n, |b, _| {
+            b.iter(|| ElmoreDelays::from_source(black_box(&tree), &params))
+        });
+        group.bench_with_input(BenchmarkId::new("all_radii", n), &n, |b, _| {
+            b.iter(|| elmore::elmore_radii(black_box(&tree), &params))
+        });
+    }
+    let net = uniform_cloud(12, 100.0, 0xE2);
+    let params =
+        ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
+    group.bench_function("bkrus_elmore_12", |b| {
+        b.iter(|| bkrus_elmore(black_box(&net), 0.5, &params).expect("routes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elmore);
+criterion_main!(benches);

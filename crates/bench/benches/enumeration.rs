@@ -1,0 +1,41 @@
+//! Criterion bench: cost-ordered spanning tree enumeration (Gabow's
+//! primitive) and the exact BMST search built on it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmst_core::{gabow_bmst_with, GabowConfig, PathConstraint};
+use bmst_graph::{complete_edges, SpanningTreeEnumerator};
+use bmst_instances::uniform_cloud;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(20);
+    for &n in &[5usize, 6, 7] {
+        let net = uniform_cloud(n - 1, 100.0, 0xE4E + n as u64);
+        let edges = complete_edges(&net.distance_matrix());
+        group.bench_with_input(BenchmarkId::new("all_trees", n), &n, |b, &n| {
+            b.iter(|| {
+                SpanningTreeEnumerator::new(n, black_box(edges.clone())).count()
+            })
+        });
+    }
+    for &sinks in &[8usize, 12] {
+        let net = uniform_cloud(sinks, 100.0, 0xE4F + sinks as u64);
+        let c10 = PathConstraint::from_eps(&net, 0.1).expect("valid eps");
+        group.bench_with_input(
+            BenchmarkId::new("bmst_g_eps_0.1", sinks + 1),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    gabow_bmst_with(black_box(net), c10, GabowConfig::default())
+                        .expect("optimum exists")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

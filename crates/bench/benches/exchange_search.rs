@@ -1,0 +1,37 @@
+//! Criterion bench: the negative-sum-exchange post-processors (BKH2 and
+//! depth-limited BKEX) on mid-size nets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmst_core::{bkex_from, bkh2_from, bkrus, BkexConfig, PathConstraint};
+use bmst_instances::uniform_cloud;
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_search");
+    group.sample_size(20);
+    for &n in &[10usize, 16, 24] {
+        let net = uniform_cloud(n, 100.0, 0xE8 + n as u64);
+        let eps = 0.2;
+        let constraint = PathConstraint::from_eps(&net, eps).expect("valid eps");
+        let start = bkrus(&net, eps).expect("spans");
+
+        group.bench_with_input(BenchmarkId::new("bkh2", n), &n, |b, _| {
+            b.iter(|| bkh2_from(black_box(&net), constraint, start.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("bkex_depth3", n), &n, |b, _| {
+            b.iter(|| {
+                bkex_from(
+                    black_box(&net),
+                    constraint,
+                    start.clone(),
+                    BkexConfig::with_depth(3),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

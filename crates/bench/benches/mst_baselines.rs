@@ -1,0 +1,29 @@
+//! Criterion bench: the MST baselines (dense Prim vs edge-list Kruskal) and
+//! the SPT star, which every table normalises against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmst_core::{mst_tree, spt_tree};
+use bmst_graph::{complete_edges, kruskal_mst, prim_mst};
+use bmst_instances::uniform_cloud;
+
+fn bench_baselines(c: &mut Criterion) {
+    let net = uniform_cloud(200, 100.0, 0xBA5E);
+    let d = net.distance_matrix();
+
+    c.bench_function("prim_dense_200", |b| {
+        b.iter(|| prim_mst(black_box(&d), 0))
+    });
+    c.bench_function("kruskal_complete_200", |b| {
+        b.iter(|| {
+            let edges = complete_edges(black_box(&d));
+            kruskal_mst(d.len(), &edges).expect("complete graph connected")
+        })
+    });
+    c.bench_function("mst_tree_200", |b| b.iter(|| mst_tree(black_box(&net))));
+    c.bench_function("spt_tree_200", |b| b.iter(|| spt_tree(black_box(&net))));
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: Hanan grid construction and the BKST Steiner builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bmst_instances::uniform_cloud;
+use bmst_steiner::{bkst, HananGrid};
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_hanan");
+    group.sample_size(20);
+    for &n in &[10usize, 20, 40] {
+        let net = uniform_cloud(n, 100.0, 0x57E1 + n as u64);
+        group.bench_with_input(BenchmarkId::new("hanan_grid", n), &net, |b, net| {
+            b.iter(|| HananGrid::new(black_box(net.points())))
+        });
+        group.bench_with_input(BenchmarkId::new("bkst_eps_0.2", n), &net, |b, net| {
+            b.iter(|| bkst(black_box(net), 0.2).expect("spans"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steiner);
+criterion_main!(benches);

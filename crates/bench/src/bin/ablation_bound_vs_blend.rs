@@ -1,0 +1,53 @@
+//! Ablation: hard bounds (BKRUS) versus soft blending (AHHK, the paper's
+//! reference \[9\]). For matched *average* radii, how do the costs compare,
+//! and how often does the soft blend bust a radius budget it was tuned for?
+//!
+//! Run: `cargo run --release -p bmst-bench --bin ablation_bound_vs_blend`
+
+use bmst_bench::suite_seed;
+use bmst_core::{bkrus, mst_tree, prim_dijkstra};
+use bmst_instances::random_suite;
+
+fn main() {
+    let suite = random_suite(12, 20, suite_seed(12));
+    println!("Ablation: BKRUS hard bound vs AHHK Prim-Dijkstra soft blend");
+    println!("({} random nets of 12 sinks)", suite.len());
+    println!();
+    println!(
+        "{:>18} {:>10} {:>10} {:>14}",
+        "construction", "cost/MST", "radius/R", "busts 1.2R"
+    );
+
+    for (name, f) in [
+        ("BKRUS eps=0.2", Box::new(|n: &bmst_geom::Net| bkrus(n, 0.2).unwrap())
+            as Box<dyn Fn(&bmst_geom::Net) -> bmst_tree::RoutingTree>),
+        ("AHHK c=0.15", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.15).unwrap())),
+        ("AHHK c=0.30", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.30).unwrap())),
+        ("AHHK c=0.50", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.50).unwrap())),
+    ] {
+        let mut cost = 0.0;
+        let mut radius = 0.0;
+        let mut busts = 0;
+        for net in &suite {
+            let t = f(net);
+            cost += t.cost() / mst_tree(net).cost();
+            let rel = t.source_radius() / net.source_radius();
+            radius += rel;
+            if rel > 1.2 + 1e-9 {
+                busts += 1;
+            }
+        }
+        let n = suite.len() as f64;
+        println!(
+            "{name:>18} {:>10.3} {:>10.3} {:>11}/{}",
+            cost / n,
+            radius / n,
+            busts,
+            suite.len()
+        );
+    }
+    println!();
+    println!("AHHK can match BKRUS's average radius at similar cost, but offers no");
+    println!("guarantee: the 'busts' column counts nets whose radius exceeded the");
+    println!("1.2R budget BKRUS is contractually held to (always 0 for BKRUS).");
+}

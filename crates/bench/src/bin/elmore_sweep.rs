@@ -1,0 +1,66 @@
+//! Exercises the paper's §3.2 **Elmore-delay extension** of BKRUS: for a
+//! sweep of eps values the harness reports the worst source-sink Elmore
+//! delay (which must respect `(1 + eps) * R_elmore`) and the wirelength,
+//! demonstrating the same delay/cost trade-off under the RC model.
+//!
+//! Run: `cargo run --release -p bmst-bench --bin elmore_sweep`
+
+use bmst_bench::{fmt_eps, suite_seed};
+use bmst_core::{bkrus_elmore, elmore_spt_radius, mst_tree};
+use bmst_instances::random_suite;
+use bmst_tree::{ElmoreDelays, ElmoreParams};
+
+fn main() {
+    let size = 10;
+    let suite = random_suite(size, 5, suite_seed(size));
+    // A wire-dominated operating point (strong driver, resistive wires), so
+    // topology actually moves the delay: 0.5 ohm/um, 0.2 fF/um wires, a
+    // 2 ohm / 1 fF driver, 5 fF sink loads.
+    let mk_params = |n: usize, source: usize| {
+        ElmoreParams::uniform_loads(n, source, 0.5, 0.2, 2.0, 1.0, 5.0)
+    };
+
+    println!("Elmore-delay BKRUS sweep ({} random nets of {size} sinks)", suite.len());
+    println!(
+        "{:>5} {:>16} {:>10} {:>12} {:>8}",
+        "eps", "worst delay/R", "bound/R", "cost/MST", "ok"
+    );
+    for eps in [0.1, 0.2, 0.5, 1.0, 2.0, f64::INFINITY] {
+        let mut worst_rel = 0.0_f64;
+        let mut cost_ratio = 0.0;
+        let mut all_ok = true;
+        let mut solved = 0usize;
+        for net in &suite {
+            let params = mk_params(net.len(), net.source());
+            let r = elmore_spt_radius(net, &params);
+            let bound = if eps.is_infinite() { f64::INFINITY } else { (1.0 + eps) * r };
+            // Under the Elmore model the Kruskal scan can genuinely dead-end
+            // for very tight bounds (Lemma 3.1's monotonicity does not carry
+            // over); such instances are reported, not hidden.
+            let Ok(t) = bkrus_elmore(net, eps, &params) else {
+                continue;
+            };
+            solved += 1;
+            let worst = ElmoreDelays::from_source(&t, &params).max_delay_over(net.sinks());
+            all_ok &= worst <= bound + 1e-6;
+            worst_rel = worst_rel.max(worst / r);
+            cost_ratio += t.cost() / mst_tree(net).cost();
+        }
+        if solved == 0 {
+            println!("{:>5} {:>16} {:>10} {:>12} {:>8}", fmt_eps(eps), "-", "-", "-", "-");
+            continue;
+        }
+        println!(
+            "{:>5} {:>16.3} {:>10} {:>12.3} {:>8}  ({solved}/{} solved)",
+            fmt_eps(eps),
+            worst_rel,
+            if eps.is_infinite() { "inf".to_owned() } else { format!("{:.3}", 1.0 + eps) },
+            cost_ratio / solved as f64,
+            all_ok,
+            suite.len()
+        );
+    }
+    println!();
+    println!("As under the geometric model, loosening the delay bound drives the cost");
+    println!("ratio towards 1.0 while the worst Elmore delay approaches the MST's.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates the paper's **Figure 11**: the routing-cost ordering chart.
+//! Averaged over random nets at a fixed eps, the constructions order as
+//!
+//! `BKST <= MST <= BMST_G = BKEX <= BKH2 <= BKRUS <= SPT <= MaxST`
+//!
+//! (the MST ignores the bound, which is why the bounded optimum sits above
+//! it; the Steiner construction undercuts even the MST).
+//!
+//! Run: `cargo run --release -p bmst-bench --bin fig11_cost_chart`
+
+use bmst_bench::{has_flag, suite_seed};
+use bmst_core::{
+    bkex, bkh2, bkrus, gabow_bmst, maximal_spanning_tree, mst_tree, spt_tree, BkexConfig,
+};
+use bmst_instances::random_suite;
+use bmst_steiner::bkst;
+
+fn main() {
+    let cases = if has_flag("--full") { 50 } else { 10 };
+    let size = 10;
+    let eps = 0.2;
+    let suite = random_suite(size, cases, suite_seed(size));
+
+    let mut totals: Vec<(&str, f64)> = vec![
+        ("BKST", 0.0),
+        ("MST", 0.0),
+        ("BMST_G", 0.0),
+        ("BKEX", 0.0),
+        ("BKH2", 0.0),
+        ("BKRUS", 0.0),
+        ("SPT", 0.0),
+        ("MaxST", 0.0),
+    ];
+    for net in &suite {
+        let mst = mst_tree(net).cost();
+        let add = |totals: &mut Vec<(&str, f64)>, name: &str, v: f64| {
+            totals.iter_mut().find(|(n, _)| *n == name).expect("known name").1 += v / mst;
+        };
+        add(&mut totals, "BKST", bkst(net, eps).expect("spans").wirelength());
+        add(&mut totals, "MST", mst);
+        add(&mut totals, "BMST_G", gabow_bmst(net, eps).expect("spans").cost());
+        add(&mut totals, "BKEX", bkex(net, eps, BkexConfig::default()).expect("spans").cost());
+        add(&mut totals, "BKH2", bkh2(net, eps).expect("spans").cost());
+        add(&mut totals, "BKRUS", bkrus(net, eps).expect("spans").cost());
+        add(&mut totals, "SPT", spt_tree(net).cost());
+        add(&mut totals, "MaxST", maximal_spanning_tree(net).cost());
+    }
+
+    println!("Figure 11: routing cost chart ({cases} random nets, {size} sinks, eps = {eps})");
+    println!("average cost relative to MST, cheapest first:");
+    println!();
+    let n = suite.len() as f64;
+    let mut rows: Vec<(&str, f64)> = totals.into_iter().map(|(k, v)| (k, v / n)).collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let max = rows.last().expect("non-empty").1;
+    for (name, v) in rows {
+        let bar = "#".repeat(((v / max) * 50.0).round() as usize);
+        println!("{name:>7} {v:>7.3} {bar}");
+    }
+    println!();
+    println!("lower cost <--- BKST, MST, BMST_G/BKEX, BKH2, BKRUS, SPT, MaxST ---> higher");
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 1**: BPRIM's pathology on the p3
+//! configuration versus BKRUS at `eps = 0.25` (the paper shows BPRIM at
+//! cost 131.30 vs BKT at 38.57, with the unbounded cases on either end).
+//!
+//! Run: `cargo run --release -p bmst-bench --bin fig1_pathology`
+
+use bmst_core::{bkrus, bprim, mst_tree, spt_tree};
+use bmst_instances::Benchmark;
+
+fn main() {
+    let net = Benchmark::P3.build();
+    let eps = 0.25;
+
+    println!("Figure 1: BPRIM vs BKRUS on the p3 configuration (eps = {eps})");
+    println!("R = {:.2}, bound = {:.2}", net.source_radius(), 1.25 * net.source_radius());
+    println!();
+
+    let spt = spt_tree(&net);
+    println!("SPT        (eps = 0.0 reference): cost = {:8.2}", spt.cost());
+
+    let pb = bprim(&net, eps).expect("bprim spans");
+    println!("BPRIM      (eps = {eps}): cost = {:8.2}", pb.cost());
+    let direct_spokes =
+        net.sinks().filter(|&v| pb.parent(v) == Some(net.source())).count();
+    println!("           direct source spokes: {direct_spokes}");
+
+    let bk = bkrus(&net, eps).expect("bkrus spans");
+    println!("BKRUS      (eps = {eps}): cost = {:8.2}", bk.cost());
+    let bk_spokes =
+        net.sinks().filter(|&v| bk.parent(v) == Some(net.source())).count();
+    println!("           direct source spokes: {bk_spokes}");
+
+    let mst = mst_tree(&net);
+    println!("MST        (eps = inf):  cost = {:8.2}", mst.cost());
+    println!();
+    println!(
+        "BPRIM pays {:.1}% more wirelength than BKRUS under the same bound.",
+        (pb.cost() / bk.cost() - 1.0) * 100.0
+    );
+    println!();
+    println!("BKRUS tree edges:");
+    for e in bk.edges() {
+        println!("  {} - {}  (len {:.2})", e.u, e.v, e.weight);
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's **Figure 9**: the smooth trade-off BKRUS offers
+//! between the longest path length and the total wirelength as `eps`
+//! sweeps from 0 to infinity.
+//!
+//! Prints one series per benchmark: for each eps, the path ratio
+//! (longest path / R) and the perf ratio (cost / cost(MST)).
+//!
+//! Run: `cargo run --release -p bmst-bench --bin fig9_tradeoff`
+
+use bmst_bench::fmt_eps;
+use bmst_core::{bkrus, mst_tree, spt_tree, TreeReport};
+use bmst_instances::Benchmark;
+
+const SWEEP: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0, 1.5, f64::INFINITY];
+
+fn main() {
+    println!("Figure 9: BKRUS trade-off curve (per benchmark: eps, path ratio, perf ratio)");
+    for b in Benchmark::SPECIAL {
+        let net = b.build();
+        let mst_cost = mst_tree(&net).cost();
+        let spt_radius = spt_tree(&net).source_radius();
+        println!();
+        println!("{}:", b.name());
+        println!("{:>5} {:>10} {:>10}", "eps", "path", "perf");
+        for eps in SWEEP {
+            let t = bkrus(&net, eps).expect("bkrus spans");
+            let rep = TreeReport::with_baselines(&net, &t, mst_cost, spt_radius);
+            println!("{:>5} {:>10.3} {:>10.3}", fmt_eps(eps), rep.path_ratio, rep.perf_ratio);
+        }
+    }
+    println!();
+    println!("Reading the curve: as eps grows the path ratio rises towards the MST's");
+    println!("radius while the perf ratio falls towards 1.0 — a smooth, monotone trade.");
+}

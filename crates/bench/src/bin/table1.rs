@@ -1,0 +1,26 @@
+//! Regenerates the paper's **Table 1**: characteristics of the benchmarks
+//! (# points, # complete-graph edges, R, r).
+//!
+//! Run: `cargo run --release -p bmst-bench --bin table1`
+
+use bmst_instances::Benchmark;
+
+fn main() {
+    println!("Table 1: Characteristics of Benchmarks");
+    println!(
+        "{:<6} {:>8} {:>10} {:>12} {:>10}",
+        "bench", "# pts", "# edges", "R", "r"
+    );
+    for b in Benchmark::ALL {
+        println!("{}", b.stats());
+    }
+    println!();
+    println!("R: length of the shortest path from source to the farthest sink");
+    println!("r: length of the shortest path from source to the nearest sink");
+    println!();
+    println!(
+        "note: pr*/r* are seeded synthetic substitutes for the MCNC/Tsay sink\n\
+         placements (same terminal counts, die scaled to the published R);\n\
+         see DESIGN.md section 3."
+    );
+}

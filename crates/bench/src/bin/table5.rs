@@ -1,0 +1,54 @@
+//! Regenerates the paper's **Table 5**: lower and upper bounded BKRUS.
+//! For every `(eps1, eps2)` pair it reports
+//! `s` = longest path / shortest path (the skew ratio; `s = 1.0` is an
+//! exact zero-skew tree) and `r` = cost / cost(MST); `-` marks infeasible
+//! configurations.
+//!
+//! Run: `cargo run --release -p bmst-bench --bin table5`
+//! `--full` adds the large pr*/r* benchmarks.
+
+use bmst_bench::has_flag;
+use bmst_core::{lub_bkrus, mst_tree};
+use bmst_instances::Benchmark;
+
+const EPS1: [f64; 6] = [0.0, 0.1, 0.3, 0.5, 0.7, 1.0];
+const EPS2: [f64; 7] = [0.0, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0];
+
+fn main() {
+    let benches: Vec<Benchmark> = if has_flag("--full") {
+        Benchmark::ALL.to_vec()
+    } else {
+        Benchmark::SPECIAL.to_vec()
+    };
+
+    println!("Table 5: lower/upper bounded BKRUS (s = longest/shortest path, r = cost/MST)");
+    print!("{:>4} {:>4} |", "e1", "e2");
+    for b in &benches {
+        print!(" {:>6}.s {:>6}.r |", b.name(), b.name());
+    }
+    println!();
+
+    for e1 in EPS1 {
+        for e2 in EPS2 {
+            print!("{e1:>4.1} {e2:>4.1} |");
+            for b in &benches {
+                let net = b.build();
+                match lub_bkrus(&net, e1, e2) {
+                    Ok(t) => {
+                        let longest = t.max_dist_from_root(net.sinks());
+                        let shortest = t.min_dist_from_root(net.sinks());
+                        let s = if shortest > 0.0 { longest / shortest } else { f64::NAN };
+                        let r = t.cost() / mst_tree(&net).cost();
+                        print!(" {s:>8.1} {r:>8.1} |");
+                    }
+                    Err(_) => {
+                        print!(" {:>8} {:>8} |", "-", "-");
+                    }
+                }
+            }
+            println!();
+        }
+    }
+    println!();
+    println!("zero clock skew: s = 1.0; '-': infeasible configuration");
+}

@@ -1,0 +1,340 @@
+//! Argument parsing for the `bmst` tool.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CLI (bad usage, I/O, infeasible instances).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl CliError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+/// The routing algorithm selected with `--algorithm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// BKRUS (default) — or LUB-BKRUS when `--eps1` is given.
+    Bkrus,
+    /// BKRUS + depth-2 exchange post-processing.
+    Bkh2,
+    /// Negative-sum-exchange search at the default depth.
+    Bkex,
+    /// Exact enumeration (BMST_G).
+    Gabow,
+    /// The bounded-Prim baseline.
+    Bprim,
+    /// The bounded-radius-bounded-cost baseline.
+    Brbc,
+    /// The Prim-Dijkstra blend (uses `--pd-c`, ignores `--eps`).
+    PrimDijkstra,
+    /// Bounded Steiner tree on the Hanan grid.
+    Steiner,
+    /// Plain minimum spanning tree (ignores `--eps`).
+    Mst,
+    /// Shortest path tree (ignores `--eps`).
+    Spt,
+    /// Zero-skew clock tree (DME-style; ignores `--eps`).
+    ZeroSkew,
+}
+
+impl Algorithm {
+    fn from_name(s: &str) -> Result<Self, CliError> {
+        Ok(match s {
+            "bkrus" => Algorithm::Bkrus,
+            "bkh2" => Algorithm::Bkh2,
+            "bkex" => Algorithm::Bkex,
+            "gabow" | "bmst_g" => Algorithm::Gabow,
+            "bprim" => Algorithm::Bprim,
+            "brbc" => Algorithm::Brbc,
+            "pd" | "prim-dijkstra" => Algorithm::PrimDijkstra,
+            "steiner" | "bkst" => Algorithm::Steiner,
+            "mst" => Algorithm::Mst,
+            "spt" => Algorithm::Spt,
+            "zskew" | "zero-skew" | "dme" => Algorithm::ZeroSkew,
+            other => return Err(CliError::new(format!("unknown algorithm {other:?}"))),
+        })
+    }
+}
+
+/// Parsed `route` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteArgs {
+    /// Input net file.
+    pub net: String,
+    /// Selected algorithm.
+    pub algorithm: Algorithm,
+    /// Upper-bound slack `eps`.
+    pub eps: f64,
+    /// Optional lower-bound slack `eps1`.
+    pub eps1: Option<f64>,
+    /// Prim-Dijkstra blend parameter.
+    pub pd_c: f64,
+    /// Optional SVG output path.
+    pub svg: Option<String>,
+    /// List tree edges in the report.
+    pub edges: bool,
+}
+
+/// What `gen` should generate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenSource {
+    /// A uniform random net.
+    Random {
+        /// Number of sinks.
+        sinks: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Die side length.
+        side: f64,
+    },
+    /// A named paper benchmark.
+    Bench(String),
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bmst route ...`
+    Route(RouteArgs),
+    /// `bmst gen ...`
+    Gen {
+        /// What to generate.
+        source: GenSource,
+        /// Output path (`None` = stdout).
+        out: Option<String>,
+    },
+    /// `bmst stats <net>`
+    Stats {
+        /// Input net file.
+        net: String,
+    },
+    /// `bmst netlist <file>` — route a whole netlist.
+    Netlist {
+        /// Input netlist file (block format).
+        file: String,
+        /// Algorithm name (`bkrus`, `bkh2`, `steiner`).
+        algorithm: String,
+    },
+    /// `bmst --help`
+    Help,
+}
+
+/// A parsed `--flag value` pair (`None` for boolean flags).
+type Flag = (String, Option<String>);
+
+/// Splits `argv` into positionals and `--flag value` pairs.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; everything else consumes one.
+            let value = match name {
+                "edges" | "help" => None,
+                _ => Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new(format!("--{name} needs a value")))?
+                        .clone(),
+                ),
+            };
+            flags.push((name.to_owned(), value));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn parse_f64(name: &str, v: &str) -> Result<f64, CliError> {
+    v.parse().map_err(|_| CliError::new(format!("--{name}: {v:?} is not a number")))
+}
+
+/// Parses a full invocation (program name already stripped).
+pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        return Ok(Command::Help);
+    }
+    let cmd = argv[0].as_str();
+    let rest = &argv[1..];
+    let (positional, flags) = split_flags(rest)?;
+
+    match cmd {
+        "route" => {
+            let net = positional
+                .first()
+                .ok_or_else(|| CliError::new("route needs a net file"))?
+                .clone();
+            let mut args = RouteArgs {
+                net,
+                algorithm: Algorithm::Bkrus,
+                eps: 0.2,
+                eps1: None,
+                pd_c: 0.5,
+                svg: None,
+                edges: false,
+            };
+            for (name, value) in flags {
+                let v = value.as_deref();
+                match (name.as_str(), v) {
+                    ("algorithm", Some(v)) => args.algorithm = Algorithm::from_name(v)?,
+                    ("eps", Some(v)) => args.eps = parse_f64("eps", v)?,
+                    ("eps1", Some(v)) => args.eps1 = Some(parse_f64("eps1", v)?),
+                    ("pd-c", Some(v)) => args.pd_c = parse_f64("pd-c", v)?,
+                    ("svg", Some(v)) => args.svg = Some(v.to_owned()),
+                    ("edges", _) => args.edges = true,
+                    (other, _) => {
+                        return Err(CliError::new(format!("route: unknown flag --{other}")))
+                    }
+                }
+            }
+            Ok(Command::Route(args))
+        }
+        "gen" => {
+            let mut sinks = None;
+            let mut seed = 1u64;
+            let mut side = 100.0;
+            let mut bench = None;
+            let mut out = None;
+            for (name, value) in flags {
+                let v = value.as_deref();
+                match (name.as_str(), v) {
+                    ("sinks", Some(v)) => {
+                        sinks = Some(v.parse().map_err(|_| {
+                            CliError::new(format!("--sinks: {v:?} is not a count"))
+                        })?)
+                    }
+                    ("seed", Some(v)) => {
+                        seed = v.parse().map_err(|_| {
+                            CliError::new(format!("--seed: {v:?} is not a seed"))
+                        })?
+                    }
+                    ("side", Some(v)) => side = parse_f64("side", v)?,
+                    ("bench", Some(v)) => bench = Some(v.to_owned()),
+                    ("out", Some(v)) => out = Some(v.to_owned()),
+                    (other, _) => {
+                        return Err(CliError::new(format!("gen: unknown flag --{other}")))
+                    }
+                }
+            }
+            let source = match (sinks, bench) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::new("gen: --sinks and --bench are exclusive"))
+                }
+                (Some(sinks), None) => GenSource::Random { sinks, seed, side },
+                (None, Some(b)) => GenSource::Bench(b),
+                (None, None) => {
+                    return Err(CliError::new("gen: need --sinks N or --bench NAME"))
+                }
+            };
+            Ok(Command::Gen { source, out })
+        }
+        "stats" => {
+            let net = positional
+                .first()
+                .ok_or_else(|| CliError::new("stats needs a net file"))?
+                .clone();
+            Ok(Command::Stats { net })
+        }
+        "netlist" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| CliError::new("netlist needs a netlist file"))?
+                .clone();
+            let mut algorithm = "bkrus".to_owned();
+            for (name, value) in flags {
+                match (name.as_str(), value.as_deref()) {
+                    ("algorithm", Some(v)) => algorithm = v.to_owned(),
+                    (other, _) => {
+                        return Err(CliError::new(format!(
+                            "netlist: unknown flag --{other}"
+                        )))
+                    }
+                }
+            }
+            Ok(Command::Netlist { file, algorithm })
+        }
+        other => Err(CliError::new(format!(
+            "unknown command {other:?} (try `bmst --help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_route_defaults() {
+        let Command::Route(a) = parse(&argv("route net.txt")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.algorithm, Algorithm::Bkrus);
+        assert_eq!(a.eps, 0.2);
+        assert!(!a.edges);
+    }
+
+    #[test]
+    fn parse_route_full() {
+        let Command::Route(a) = parse(&argv(
+            "route net.txt --algorithm steiner --eps 0.5 --eps1 0.1 --svg t.svg --edges",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.algorithm, Algorithm::Steiner);
+        assert_eq!(a.eps, 0.5);
+        assert_eq!(a.eps1, Some(0.1));
+        assert_eq!(a.svg.as_deref(), Some("t.svg"));
+        assert!(a.edges);
+    }
+
+    #[test]
+    fn parse_gen_variants() {
+        assert_eq!(
+            parse(&argv("gen --sinks 5 --seed 2 --side 50")).unwrap(),
+            Command::Gen {
+                source: GenSource::Random { sinks: 5, seed: 2, side: 50.0 },
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("gen --bench p3 --out x.txt")).unwrap(),
+            Command::Gen { source: GenSource::Bench("p3".into()), out: Some("x.txt".into()) }
+        );
+        assert!(parse(&argv("gen")).is_err());
+        assert!(parse(&argv("gen --sinks 5 --bench p1")).is_err());
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(parse(&argv("route net.txt --eps")).is_err());
+    }
+
+    #[test]
+    fn algorithm_aliases() {
+        assert_eq!(Algorithm::from_name("bmst_g").unwrap(), Algorithm::Gabow);
+        assert_eq!(Algorithm::from_name("bkst").unwrap(), Algorithm::Steiner);
+        assert!(Algorithm::from_name("magic").is_err());
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,226 @@
+//! Command implementations.
+
+use std::fmt::Write as _;
+
+use bmst_core::{
+    bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree, prim_dijkstra,
+    spt_tree, BkexConfig,
+};
+use bmst_geom::{Net, Point};
+use bmst_instances::Benchmark;
+use bmst_io::{netfile, svg};
+use bmst_steiner::bkst;
+use bmst_tree::RoutingTree;
+
+use bmst_clock::zero_skew_tree;
+use bmst_router::{Netlist, RouteAlgorithm, RouterConfig};
+
+use crate::args::{Algorithm, CliError, Command, GenSource, RouteArgs};
+use crate::USAGE;
+
+/// Runs a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// [`CliError`] for I/O problems and infeasible instances.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Stats { net } => stats(&net),
+        Command::Gen { source, out } => gen(source, out),
+        Command::Route(args) => route(args),
+        Command::Netlist { file, algorithm } => route_netlist(&file, &algorithm),
+    }
+}
+
+fn route_netlist(path: &str, algorithm: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let netlist = Netlist::from_str_block(&text)
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let algorithm = match algorithm {
+        "bkrus" => RouteAlgorithm::Bkrus,
+        "bkh2" => RouteAlgorithm::Bkh2,
+        "steiner" | "bkst" => RouteAlgorithm::Steiner,
+        other => {
+            return Err(CliError::new(format!("unknown netlist algorithm {other:?}")))
+        }
+    };
+    let config = RouterConfig { algorithm, ..RouterConfig::default() };
+    let report = netlist
+        .route(&config)
+        .map_err(|e| CliError::new(format!("routing failed: {e}")))?;
+    Ok(format!("{report}
+"))
+}
+
+fn load(path: &str) -> Result<Net, CliError> {
+    netfile::read(path).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+fn stats(path: &str) -> Result<String, CliError> {
+    let net = load(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}:");
+    let _ = writeln!(out, "  points = {} (1 source + {} sinks)", net.len(), net.num_sinks());
+    let _ = writeln!(out, "  complete-graph edges = {}", net.complete_edge_count());
+    let _ = writeln!(out, "  R = {} (farthest sink)", net.source_radius());
+    let _ = writeln!(out, "  r = {} (nearest sink)", net.source_nearest());
+    let bb = net.bounding_box();
+    let _ = writeln!(out, "  bounding box = {} .. {}, HPWL = {}", bb.lo, bb.hi, bb.half_perimeter());
+    let _ = writeln!(out, "  cost(MST) = {:.3}", mst_tree(&net).cost());
+    let _ = writeln!(out, "  cost(SPT) = {:.3}", spt_tree(&net).cost());
+    Ok(out)
+}
+
+fn gen(source: GenSource, out: Option<String>) -> Result<String, CliError> {
+    let (net, label) = match source {
+        GenSource::Random { sinks, seed, side } => {
+            // Reuse the instances generator for exact reproducibility.
+            let n = bmst_instances::uniform_cloud(sinks, side, seed);
+            (n, format!("uniform net: {sinks} sinks, seed {seed}, side {side}"))
+        }
+        GenSource::Bench(name) => {
+            let b = Benchmark::ALL
+                .iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| CliError::new(format!("unknown benchmark {name:?}")))?;
+            (b.build(), format!("paper benchmark {name}"))
+        }
+    };
+    let text = netfile::to_string(&net);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            Ok(format!("{label} -> {path} ({} sinks)\n", net.num_sinks()))
+        }
+        None => Ok(text),
+    }
+}
+
+/// The outcome of routing: a tree over node coordinates (Steiner routing
+/// materialises extra nodes).
+struct Routed {
+    tree: RoutingTree,
+    points: Vec<Point>,
+    terminals: usize,
+    bound_note: String,
+}
+
+fn route(args: RouteArgs) -> Result<String, CliError> {
+    let net = load(&args.net)?;
+    let infeasible = |e: bmst_core::BmstError| CliError::new(format!("routing failed: {e}"));
+
+    let routed = match args.algorithm {
+        Algorithm::Bkrus => {
+            let (tree, note) = match args.eps1 {
+                Some(e1) => (
+                    lub_bkrus(&net, e1, args.eps).map_err(infeasible)?,
+                    format!("paths within [{} , {}]", e1 * net.source_radius(), net.path_bound(args.eps)),
+                ),
+                None => (
+                    bkrus(&net, args.eps).map_err(infeasible)?,
+                    format!("longest path <= {}", net.path_bound(args.eps)),
+                ),
+            };
+            spanning(tree, &net, note)
+        }
+        Algorithm::Bkh2 => spanning(
+            bkh2(&net, args.eps).map_err(infeasible)?,
+            &net,
+            format!("longest path <= {}", net.path_bound(args.eps)),
+        ),
+        Algorithm::Bkex => spanning(
+            bkex(&net, args.eps, BkexConfig::default()).map_err(infeasible)?,
+            &net,
+            format!("longest path <= {}", net.path_bound(args.eps)),
+        ),
+        Algorithm::Gabow => spanning(
+            gabow_bmst(&net, args.eps).map_err(infeasible)?,
+            &net,
+            format!("optimal, longest path <= {}", net.path_bound(args.eps)),
+        ),
+        Algorithm::Bprim => spanning(
+            bprim(&net, args.eps).map_err(infeasible)?,
+            &net,
+            format!("per-node paths <= (1+{})*dist", args.eps),
+        ),
+        Algorithm::Brbc => spanning(
+            brbc(&net, args.eps).map_err(infeasible)?,
+            &net,
+            format!("longest path <= {}", net.path_bound(args.eps)),
+        ),
+        Algorithm::PrimDijkstra => spanning(
+            prim_dijkstra(&net, args.pd_c).map_err(infeasible)?,
+            &net,
+            format!("soft blend c = {} (no hard bound)", args.pd_c),
+        ),
+        Algorithm::Mst => spanning(mst_tree(&net), &net, "unbounded (MST)".into()),
+        Algorithm::Spt => spanning(spt_tree(&net), &net, "minimal radius (SPT)".into()),
+        Algorithm::Steiner => {
+            let st = bkst(&net, args.eps).map_err(infeasible)?;
+            Routed {
+                tree: st.tree,
+                points: st.points,
+                terminals: st.num_terminals,
+                bound_note: format!("Steiner, longest path <= {}", net.path_bound(args.eps)),
+            }
+        }
+        Algorithm::ZeroSkew => {
+            let zst = zero_skew_tree(&net);
+            Routed {
+                tree: zst.tree,
+                points: zst.points,
+                terminals: zst.num_terminals,
+                bound_note: "zero skew (all sink paths equal)".into(),
+            }
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{:?}]", args.net, args.algorithm);
+    let _ = writeln!(out, "  {}", routed.bound_note);
+    let _ = writeln!(out, "  cost = {:.4}", routed.tree.cost());
+    let sinks = (0..routed.terminals).filter(|&v| v != routed.tree.root());
+    let _ = writeln!(
+        out,
+        "  longest source-sink path (radius) = {:.4}",
+        routed.tree.max_dist_from_root(sinks.clone())
+    );
+    let _ = writeln!(
+        out,
+        "  shortest path = {:.4}",
+        routed.tree.min_dist_from_root(sinks)
+    );
+    let mst_cost = mst_tree(&net).cost();
+    if mst_cost > 0.0 {
+        let _ = writeln!(out, "  cost / cost(MST) = {:.4}", routed.tree.cost() / mst_cost);
+    }
+    let steiner_count = routed.tree.covered_count().saturating_sub(routed.terminals);
+    if steiner_count > 0 {
+        let _ = writeln!(out, "  steiner points = {steiner_count}");
+    }
+    if args.edges {
+        let _ = writeln!(out, "  edges:");
+        for e in routed.tree.edges() {
+            let _ = writeln!(out, "    {} - {}  len {:.4}", e.u, e.v, e.weight);
+        }
+    }
+    if let Some(path) = &args.svg {
+        let opts = svg::SvgOptions { terminals: routed.terminals, ..Default::default() };
+        svg::write_tree(path, &routed.points, &routed.tree, &opts)
+            .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "  svg -> {path}");
+    }
+    Ok(out)
+}
+
+fn spanning(tree: RoutingTree, net: &Net, bound_note: String) -> Routed {
+    Routed {
+        tree,
+        points: net.points().to_vec(),
+        terminals: net.len(),
+        bound_note,
+    }
+}

@@ -1,0 +1,191 @@
+//! Implementation of the `bmst` command line tool.
+//!
+//! Kept as a library so every command is unit-testable; `main.rs` is a thin
+//! wrapper. Argument parsing is hand-rolled (the workspace's dependency
+//! policy allows no CLI crates), in the conventional
+//! `command [positional] --flag value` shape.
+//!
+//! ```text
+//! bmst route <net.txt> [--algorithm bkrus] [--eps 0.2] [--eps1 0.0] [--svg out.svg]
+//! bmst gen  (--sinks N [--seed S] | --bench p1) [--out net.txt]
+//! bmst stats <net.txt>
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Algorithm, CliError, Command, GenSource, RouteArgs};
+pub use commands::run;
+
+/// Entry point used by `main.rs`: parses `argv` (without the program name)
+/// and runs the command, returning the text to print.
+///
+/// # Errors
+///
+/// [`CliError`] for bad usage, unreadable files, or infeasible instances.
+pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
+    let cmd = args::parse(argv)?;
+    commands::run(cmd)
+}
+
+/// The usage string printed on `--help` or bad invocations.
+pub const USAGE: &str = "\
+bmst — bounded path length routing trees (Oh/Pyo/Pedram, ED&TC 1996)
+
+USAGE:
+  bmst route <net.txt> [OPTIONS]   construct a routing tree for a net file
+  bmst gen [OPTIONS]               generate a net file
+  bmst stats <net.txt>             print net characteristics (Table 1 style)
+  bmst netlist <nets.txt> [--algorithm bkrus|bkh2|steiner]
+                                   route a whole netlist, print the report
+
+ROUTE OPTIONS:
+  --algorithm <A>   bkrus | bkh2 | bkex | gabow | bprim | brbc | pd | steiner
+                    | mst | spt | zskew    (default: bkrus)
+  --eps <E>         radius slack: longest path <= (1+E)*R   (default: 0.2)
+  --eps1 <E1>       also enforce the lower bound E1*R (spanning only)
+  --pd-c <C>        blend parameter for `pd` (Prim-Dijkstra)  (default: 0.5)
+  --svg <FILE>      render the tree to an SVG file
+  --edges           list the tree edges
+
+GEN OPTIONS:
+  --sinks <N>       uniform random net with N sinks
+  --seed <S>        RNG seed (default: 1)
+  --side <L>        die side length (default: 100)
+  --bench <NAME>    a named paper benchmark instead: p1 p2 p3 p4 pr1 pr2 r1..r5
+  --out <FILE>      write to FILE instead of stdout
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn help_is_usage() {
+        let out = run_cli(&argv("--help")).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let err = run_cli(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_and_route_round_trip() {
+        let dir = std::env::temp_dir().join("bmst_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        let svg_path = dir.join("tree.svg");
+
+        let out = run_cli(&argv(&format!(
+            "gen --sinks 8 --seed 7 --out {}",
+            net_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("8 sinks"));
+
+        let out = run_cli(&argv(&format!(
+            "route {} --algorithm bkrus --eps 0.3 --edges --svg {}",
+            net_path.display(),
+            svg_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cost"), "{out}");
+        assert!(out.contains("radius"));
+        assert!(svg_path.exists());
+    }
+
+    #[test]
+    fn stats_prints_radius() {
+        let dir = std::env::temp_dir().join("bmst_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        run_cli(&argv(&format!("gen --bench p1 --out {}", net_path.display()))).unwrap();
+        let out = run_cli(&argv(&format!("stats {}", net_path.display()))).unwrap();
+        assert!(out.contains("R ="));
+        assert!(out.contains("points = 6"));
+    }
+
+    #[test]
+    fn every_algorithm_routes() {
+        let dir = std::env::temp_dir().join("bmst_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        run_cli(&argv(&format!("gen --sinks 6 --seed 3 --out {}", net_path.display())))
+            .unwrap();
+        for alg in [
+            "bkrus", "bkh2", "bkex", "gabow", "bprim", "brbc", "pd", "steiner", "mst",
+            "spt", "zskew",
+        ]
+        {
+            let out = run_cli(&argv(&format!(
+                "route {} --algorithm {alg} --eps 0.4",
+                net_path.display()
+            )))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.contains("cost"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn lub_route_respects_window() {
+        let dir = std::env::temp_dir().join("bmst_cli_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        run_cli(&argv(&format!("gen --sinks 5 --seed 9 --out {}", net_path.display())))
+            .unwrap();
+        let out = run_cli(&argv(&format!(
+            "route {} --eps 1.0 --eps1 0.2",
+            net_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("shortest path"));
+    }
+
+    #[test]
+    fn netlist_command_routes() {
+        let dir = std::env::temp_dir().join("bmst_cli_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nets.txt");
+        std::fs::write(
+            &path,
+            "net clk critical
+0 0
+10 3
+end
+net d0 relaxed
+1 1
+7 8
+end
+",
+        )
+        .unwrap();
+        let out = run_cli(&argv(&format!("netlist {}", path.display()))).unwrap();
+        assert!(out.contains("clk"), "{out}");
+        assert!(out.contains("total wirelength"));
+        let out =
+            run_cli(&argv(&format!("netlist {} --algorithm steiner", path.display())))
+                .unwrap();
+        assert!(out.contains("worst slack"));
+        assert!(run_cli(&argv(&format!(
+            "netlist {} --algorithm magic",
+            path.display()
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn bad_flag_reports() {
+        let err = run_cli(&argv("gen --wat 3")).unwrap_err();
+        assert!(err.to_string().contains("--wat"));
+    }
+}

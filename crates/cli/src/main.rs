@@ -1,0 +1,17 @@
+//! The `bmst` command line tool. See `bmst --help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match bmst_cli::run_cli(&argv) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bmst: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Balanced clock topologies by recursive geometric bipartition.
+
+use bmst_geom::Point;
+
+/// A binary topology over sink indices: the connection *order* of a clock
+/// tree, decided before any wiring is embedded.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_clock::{balanced_topology, Topology};
+/// use bmst_geom::Point;
+///
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(11.0, 0.0),
+/// ];
+/// let topo = balanced_topology(&pts, &[0, 1, 2, 3]);
+/// assert_eq!(topo.len(), 4);
+/// assert_eq!(topo.depth(), 2);
+/// let mut sinks = topo.sinks();
+/// sinks.sort_unstable();
+/// assert_eq!(sinks, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A single sink.
+    Leaf(usize),
+    /// Two subtrees to be merged.
+    Internal(Box<Topology>, Box<Topology>),
+}
+
+impl Topology {
+    /// Number of sinks in the subtree.
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Leaf(_) => 1,
+            Topology::Internal(l, r) => l.len() + r.len(),
+        }
+    }
+
+    /// Returns `true` for an impossible state — topologies always hold at
+    /// least one sink; provided for API symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Depth of the topology (a leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Topology::Leaf(_) => 0,
+            Topology::Internal(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// The sink indices, left to right.
+    pub fn sinks(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            Topology::Leaf(s) => out.push(*s),
+            Topology::Internal(l, r) => {
+                l.collect(out);
+                r.collect(out);
+            }
+        }
+    }
+}
+
+/// Builds a balanced topology over `sinks` by recursive geometric
+/// bipartition: split at the median of the wider spread (x or y),
+/// alternating naturally with the geometry, so sinks that are close end up
+/// merged early — the ingredient that keeps DME-style embeddings cheap.
+///
+/// # Panics
+///
+/// Panics if `sinks` is empty or an index is out of bounds of `points`.
+pub fn balanced_topology(points: &[Point], sinks: &[usize]) -> Topology {
+    assert!(!sinks.is_empty(), "topology over no sinks");
+    for &s in sinks {
+        assert!(s < points.len(), "sink {s} out of bounds");
+    }
+    let mut ids: Vec<usize> = sinks.to_vec();
+    split(points, &mut ids)
+}
+
+fn split(points: &[Point], ids: &mut [usize]) -> Topology {
+    if ids.len() == 1 {
+        return Topology::Leaf(ids[0]);
+    }
+    // Split along the dimension with the wider spread.
+    let (min_x, max_x) = minmax(ids.iter().map(|&i| points[i].x));
+    let (min_y, max_y) = minmax(ids.iter().map(|&i| points[i].y));
+    if max_x - min_x >= max_y - min_y {
+        ids.sort_by(|&a, &b| {
+            points[a]
+                .x
+                .partial_cmp(&points[b].x)
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+    } else {
+        ids.sort_by(|&a, &b| {
+            points[a]
+                .y
+                .partial_cmp(&points[b].y)
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+    }
+    let mid = ids.len() / 2;
+    let (left, right) = ids.split_at_mut(mid);
+    Topology::Internal(
+        Box::new(split(points, left)),
+        Box::new(split(points, right)),
+    )
+}
+
+fn minmax(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new((i % 4) as f64, (i / 4) as f64)).collect()
+    }
+
+    #[test]
+    fn covers_every_sink_once() {
+        let pts = grid_points(9);
+        let sinks: Vec<usize> = (0..9).collect();
+        let topo = balanced_topology(&pts, &sinks);
+        let mut got = topo.sinks();
+        got.sort_unstable();
+        assert_eq!(got, sinks);
+        assert_eq!(topo.len(), 9);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let pts = grid_points(16);
+        let sinks: Vec<usize> = (0..16).collect();
+        let topo = balanced_topology(&pts, &sinks);
+        assert_eq!(topo.depth(), 4); // perfectly balanced on 16 leaves
+    }
+
+    #[test]
+    fn single_sink_is_a_leaf() {
+        let pts = grid_points(3);
+        assert_eq!(balanced_topology(&pts, &[2]), Topology::Leaf(2));
+    }
+
+    #[test]
+    fn splits_along_wider_dimension_first() {
+        // Points spread along x: the first split separates left from right.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.1),
+            Point::new(10.0, 0.0),
+            Point::new(11.0, 0.1),
+        ];
+        let topo = balanced_topology(&pts, &[0, 1, 2, 3]);
+        let Topology::Internal(l, r) = topo else { panic!("expected split") };
+        let mut left = l.sinks();
+        left.sort_unstable();
+        let mut right = r.sinks();
+        right.sort_unstable();
+        assert_eq!(left, vec![0, 1]);
+        assert_eq!(right, vec![2, 3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = grid_points(10);
+        let sinks: Vec<usize> = (0..10).collect();
+        assert_eq!(balanced_topology(&pts, &sinks), balanced_topology(&pts, &sinks));
+    }
+
+    #[test]
+    #[should_panic(expected = "no sinks")]
+    fn empty_sinks_panics() {
+        balanced_topology(&grid_points(2), &[]);
+    }
+
+    #[test]
+    fn coincident_points_handled() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let topo = balanced_topology(&pts, &[0, 1, 2, 3, 4]);
+        assert_eq!(topo.len(), 5);
+    }
+}

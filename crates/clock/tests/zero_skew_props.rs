@@ -1,0 +1,68 @@
+//! Property tests: zero skew must hold for *every* sink geometry, not just
+//! the sampled ones.
+
+use bmst_clock::{balanced_topology, zero_skew_tree};
+use bmst_geom::{Net, Point};
+use proptest::prelude::*;
+
+fn arb_net() -> impl Strategy<Value = Net> {
+    proptest::collection::vec((0i32..400, 0i32..400), 1..=14).prop_map(|coords| {
+        let pts: Vec<Point> = coords
+            .iter()
+            .map(|&(x, y)| Point::new(x as f64 * 0.25, y as f64 * 0.25))
+            .collect();
+        Net::with_source_first(pts).expect("finite")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly zero skew, every terminal covered, and the common path
+    /// length at least R (no construction beats the direct distance).
+    #[test]
+    fn zero_skew_everywhere(net in arb_net()) {
+        let zst = zero_skew_tree(&net);
+        prop_assert!(zst.skew() < 1e-6, "skew {}", zst.skew());
+        for t in 0..net.len() {
+            prop_assert!(zst.tree.is_covered(t));
+        }
+        if net.num_sinks() > 0 {
+            let common = zst.sink_path_length(net.sinks().next().expect("sink"));
+            prop_assert!(common + 1e-6 >= net.source_radius());
+        }
+    }
+
+    /// Wirelength accounting: cost = geometric length + snaking, with
+    /// snaking non-negative.
+    #[test]
+    fn wirelength_decomposes(net in arb_net()) {
+        let zst = zero_skew_tree(&net);
+        prop_assert!(zst.snaked_length() >= -1e-9);
+        let geometric: f64 = zst
+            .tree
+            .edges()
+            .iter()
+            .map(|e| zst.points[e.u].manhattan(zst.points[e.v]))
+            .sum();
+        prop_assert!((zst.wirelength() - geometric - zst.snaked_length()).abs() < 1e-6);
+    }
+
+    /// Topologies partition the sinks regardless of geometry.
+    #[test]
+    fn topology_partitions(net in arb_net()) {
+        if net.num_sinks() == 0 {
+            return Ok(());
+        }
+        let sinks: Vec<usize> = net.sinks().collect();
+        let topo = balanced_topology(net.points(), &sinks);
+        let mut got = topo.sinks();
+        got.sort_unstable();
+        let mut want = sinks.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Balanced split: depth at most ceil(log2(n)) + 1.
+        let bound = (net.num_sinks() as f64).log2().ceil() as usize + 1;
+        prop_assert!(topo.depth() <= bound.max(1));
+    }
+}

@@ -1,0 +1,209 @@
+//! BPRIM: the bounded-Prim baseline of Cong et al. (paper §2).
+
+use bmst_geom::{le_tol, Net};
+use bmst_graph::Edge;
+use bmst_tree::RoutingTree;
+
+use crate::{BmstError, PathConstraint};
+
+/// Constructs a bounded path length spanning tree with the BPRIM heuristic
+/// of Cong et al. ("Provably Good Performance-Driven Global Routing",
+/// IEEE TCAD 1992), the baseline the paper compares against.
+///
+/// BPRIM grows a single tree from the source, Prim-style: at each step it
+/// adds the cheapest edge `(u, v)` with `u` in the tree and `v` outside such
+/// that the new node meets its *per-node* radius bound,
+/// `path(S, u) + dist(u, v) <= (1 + eps) * dist(S, v)` (Cong et al.'s
+/// formulation; it implies the global bound `(1 + eps) * R`). A direct
+/// source edge is always admissible, so the construction always completes —
+/// but, as the paper's Figure 1 shows, the per-node budget is quickly
+/// exhausted along grown paths, far-away clusters end up star-connected to
+/// the source, and the worst-case performance ratio is unbounded.
+///
+/// `O(V^2)`.
+///
+/// # Errors
+///
+/// [`BmstError::InvalidEpsilon`] for negative/NaN `eps`.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::{bkrus, bprim};
+/// use bmst_geom::{Net, Point};
+///
+/// let net = Net::with_source_first(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(6.0, 0.0),
+///     Point::new(6.0, 1.0),
+/// ])?;
+/// let t = bprim(&net, 0.2)?;
+/// assert!(t.source_radius() <= 1.2 * net.source_radius() + 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
+    // Validates eps; the per-node bounds below are tighter than
+    // constraint.upper.
+    let _constraint = PathConstraint::from_eps(net, eps)?;
+    let n = net.len();
+    let s = net.source();
+    if n == 1 {
+        return Ok(RoutingTree::from_edges(1, s, [])?);
+    }
+    let d = net.distance_matrix();
+
+    let mut in_tree = vec![false; n];
+    let mut path_s = vec![0.0; n]; // path(S, x) for tree nodes
+    in_tree[s] = true;
+    let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+
+    for _ in 1..n {
+        // Cheapest feasible attachment. Deterministic tie-break: lowest
+        // (weight, u, v).
+        let mut best: Option<(f64, usize, usize)> = None;
+        for u in 0..n {
+            if !in_tree[u] {
+                continue;
+            }
+            for v in 0..n {
+                if in_tree[v] || v == u {
+                    continue;
+                }
+                let w = d[(u, v)];
+                let node_bound =
+                    if eps.is_infinite() { f64::INFINITY } else { (1.0 + eps) * d[(s, v)] };
+                if !le_tol(path_s[u] + w, node_bound) {
+                    continue;
+                }
+                let cand = (w, u, v);
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        (cand.0, cand.1, cand.2) < (b.0, b.1, b.2)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((w, u, v)) => {
+                in_tree[v] = true;
+                path_s[v] = path_s[u] + w;
+                edges.push(Edge::new(u, v, w));
+            }
+            None => {
+                // Unreachable for eps >= 0 (direct source edges are always
+                // feasible); report rather than assert.
+                let connected = in_tree.iter().filter(|&&b| b).count();
+                return Err(BmstError::Infeasible { connected, total: n });
+            }
+        }
+    }
+
+    Ok(RoutingTree::from_edges(n, s, edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bkrus, mst_tree};
+    use bmst_geom::Point;
+
+    fn cluster_net() -> Net {
+        // Source far to the left; a tight cluster of sinks on the right.
+        let mut pts = vec![Point::new(0.0, 0.0)];
+        for i in 0..6 {
+            pts.push(Point::new(20.0 + 0.2 * (i % 3) as f64, 0.2 * (i / 3) as f64));
+        }
+        Net::with_source_first(pts).unwrap()
+    }
+
+    #[test]
+    fn respects_bound() {
+        let net = cluster_net();
+        for eps in [0.0, 0.1, 0.3, 1.0] {
+            let t = bprim(&net, eps).unwrap();
+            assert!(t.is_spanning());
+            assert!(t.source_radius() <= (1.0 + eps) * net.source_radius() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn infinite_eps_matches_mst() {
+        let net = cluster_net();
+        let t = bprim(&net, f64::INFINITY).unwrap();
+        assert!((t.cost() - mst_tree(&net).cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bkrus_dominates_bprim_on_average() {
+        // The paper's Table 4: BKRUS's average perf ratio beats BPRIM's at
+        // every net size and eps. Aggregate over seeded random nets; single
+        // instances can go either way (BPRIM occasionally wins a layout).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for eps in [0.0, 0.2] {
+            let mut pb_total = 0.0;
+            let mut bk_total = 0.0;
+            for seed in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let pts = (0..10)
+                    .map(|_| {
+                        Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))
+                    })
+                    .collect();
+                let net = Net::with_source_first(pts).unwrap();
+                pb_total += bprim(&net, eps).unwrap().cost();
+                bk_total += bkrus(&net, eps).unwrap().cost();
+            }
+            assert!(
+                bk_total < pb_total,
+                "eps {eps}: BKRUS total {bk_total} vs BPRIM total {pb_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn bprim_per_node_bound_holds() {
+        // Cong et al.'s invariant is per sink, stronger than the global
+        // radius bound.
+        let net = cluster_net();
+        for eps in [0.0, 0.1, 0.5] {
+            let t = bprim(&net, eps).unwrap();
+            for v in net.sinks() {
+                assert!(
+                    t.dist_from_root(v) <= (1.0 + eps) * net.dist(net.source(), v) + 1e-9,
+                    "eps {eps} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_eps_rejected() {
+        assert!(matches!(
+            bprim(&cluster_net(), -1.0),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_nets() {
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0)]).unwrap();
+        assert_eq!(bprim(&net, 0.0).unwrap().cost(), 0.0);
+        let net =
+            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(bprim(&net, 0.0).unwrap().cost(), 2.0);
+    }
+
+    #[test]
+    fn cost_at_least_mst() {
+        let net = cluster_net();
+        let mst = mst_tree(&net).cost();
+        for eps in [0.0, 0.2, 0.5] {
+            assert!(bprim(&net, eps).unwrap().cost() + 1e-9 >= mst);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Path-length constraint windows.
+
+use bmst_geom::{le_tol, Net};
+use bmst_tree::RoutingTree;
+
+use crate::BmstError;
+
+/// A window of admissible source-to-sink path lengths.
+///
+/// The plain BMST problem uses only the upper bound `(1 + eps) * R`; the
+/// clock-routing extension of §6 adds a lower bound `eps1 * R` so both the
+/// longest and shortest interconnection paths are controlled.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::PathConstraint;
+/// use bmst_geom::{Net, Point};
+///
+/// let net = Net::with_source_first(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+/// ])?;
+/// let c = PathConstraint::from_eps(&net, 0.5)?;
+/// assert_eq!(c.upper, 15.0);
+/// assert_eq!(c.lower, 0.0);
+///
+/// let lub = PathConstraint::from_eps_window(&net, 0.5, 0.5)?;
+/// assert_eq!(lub.lower, 5.0);
+/// assert_eq!(lub.upper, 15.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathConstraint {
+    /// Minimum admissible source-to-sink path length (`eps1 * R`; `0.0` when
+    /// only the upper bound is in force).
+    pub lower: f64,
+    /// Maximum admissible source-to-sink path length (`(1 + eps) * R`).
+    pub upper: f64,
+}
+
+impl PathConstraint {
+    /// Upper bound only: `path(S, x) <= (1 + eps) * R`.
+    ///
+    /// `eps = f64::INFINITY` produces an unbounded constraint (the MST
+    /// regime written `eps = inf` in the paper's tables).
+    ///
+    /// # Errors
+    ///
+    /// [`BmstError::InvalidEpsilon`] when `eps` is negative or NaN.
+    pub fn from_eps(net: &Net, eps: f64) -> Result<Self, BmstError> {
+        if eps.is_nan() || eps < 0.0 {
+            return Err(BmstError::InvalidEpsilon { eps });
+        }
+        Ok(PathConstraint { lower: 0.0, upper: net.path_bound(eps) })
+    }
+
+    /// Two-sided window: `eps1 * R <= path(S, x) <= (1 + eps2) * R`
+    /// (the paper's §6).
+    ///
+    /// # Errors
+    ///
+    /// * [`BmstError::InvalidEpsilon`] when either epsilon is negative/NaN;
+    /// * [`BmstError::EmptyBoundWindow`] when `eps1 > 1 + eps2`, i.e. the
+    ///   window is empty.
+    pub fn from_eps_window(net: &Net, eps1: f64, eps2: f64) -> Result<Self, BmstError> {
+        if eps1.is_nan() || eps1 < 0.0 {
+            return Err(BmstError::InvalidEpsilon { eps: eps1 });
+        }
+        if eps2.is_nan() || eps2 < 0.0 {
+            return Err(BmstError::InvalidEpsilon { eps: eps2 });
+        }
+        let r = net.source_radius();
+        let (lower, upper) = (eps1 * r, net.path_bound(eps2));
+        if lower > upper {
+            return Err(BmstError::EmptyBoundWindow { lower, upper });
+        }
+        Ok(PathConstraint { lower, upper })
+    }
+
+    /// Explicit bounds (used by the Elmore extension where the bound is a
+    /// delay, not a geometric length).
+    ///
+    /// # Errors
+    ///
+    /// [`BmstError::EmptyBoundWindow`] when `lower > upper`.
+    pub fn explicit(lower: f64, upper: f64) -> Result<Self, BmstError> {
+        if lower > upper {
+            return Err(BmstError::EmptyBoundWindow { lower, upper });
+        }
+        Ok(PathConstraint { lower, upper })
+    }
+
+    /// Returns `true` when a lower bound is in force.
+    #[inline]
+    pub fn has_lower(&self) -> bool {
+        self.lower > 0.0
+    }
+
+    /// Returns `true` when `len` lies in the window (tolerantly).
+    #[inline]
+    pub fn admits(&self, len: f64) -> bool {
+        le_tol(self.lower, len) && le_tol(len, self.upper)
+    }
+
+    /// Checks a complete tree: every node in `sinks` must have an in-window
+    /// source path length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink is not covered by the tree.
+    pub fn is_satisfied_by(
+        &self,
+        tree: &RoutingTree,
+        sinks: impl IntoIterator<Item = usize>,
+    ) -> bool {
+        sinks.into_iter().all(|v| self.admits(tree.dist_from_root(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmst_geom::Point;
+    use bmst_graph::Edge;
+
+    fn net() -> Net {
+        Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_eps_computes_bound() {
+        let c = PathConstraint::from_eps(&net(), 0.3).unwrap();
+        assert!((c.upper - 13.0).abs() < 1e-12);
+        assert!(!c.has_lower());
+    }
+
+    #[test]
+    fn infinite_eps_unbounded() {
+        let c = PathConstraint::from_eps(&net(), f64::INFINITY).unwrap();
+        assert!(c.upper.is_infinite());
+        assert!(c.admits(1e300));
+    }
+
+    #[test]
+    fn negative_eps_rejected() {
+        assert!(matches!(
+            PathConstraint::from_eps(&net(), -0.1),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            PathConstraint::from_eps(&net(), f64::NAN),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn window_bounds() {
+        let c = PathConstraint::from_eps_window(&net(), 0.5, 0.2).unwrap();
+        assert_eq!(c.lower, 5.0);
+        assert_eq!(c.upper, 12.0);
+        assert!(c.has_lower());
+        assert!(c.admits(5.0));
+        assert!(c.admits(12.0));
+        assert!(!c.admits(4.9));
+        assert!(!c.admits(12.1));
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        // eps1 = 2.0 => lower = 20, upper = (1 + 0) * 10 = 10.
+        assert!(matches!(
+            PathConstraint::from_eps_window(&net(), 2.0, 0.0),
+            Err(BmstError::EmptyBoundWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_rejects_inverted() {
+        assert!(PathConstraint::explicit(1.0, 2.0).is_ok());
+        assert!(PathConstraint::explicit(3.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn is_satisfied_by_checks_sinks_only() {
+        let net = net();
+        let star = RoutingTree::from_edges(
+            3,
+            0,
+            vec![Edge::new(0, 1, 10.0), Edge::new(0, 2, 4.0)],
+        )
+        .unwrap();
+        let c = PathConstraint::from_eps(&net, 0.0).unwrap();
+        assert!(c.is_satisfied_by(&star, net.sinks()));
+        let lub = PathConstraint::explicit(5.0, 10.0).unwrap();
+        // Sink 2 at distance 4 violates the lower bound.
+        assert!(!lub.is_satisfied_by(&star, net.sinks()));
+        assert!(lub.is_satisfied_by(&star, [1]));
+    }
+
+    #[test]
+    fn admits_is_tolerant() {
+        let c = PathConstraint::explicit(1.0, 2.0).unwrap();
+        assert!(c.admits(2.0 + 1e-12));
+        assert!(c.admits(1.0 - 1e-12));
+    }
+}

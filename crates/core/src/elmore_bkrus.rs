@@ -1,0 +1,266 @@
+//! BKRUS under the Elmore delay model (paper §3.2).
+//!
+//! The geometric path length is replaced by the Elmore RC delay. Because the
+//! delay from the source to a node depends on the *whole* tree topology and
+//! its capacitive load — attaching a subtree raises the delay of every node
+//! that shares wire upstream — the incremental `P`/`r` update of geometric
+//! BKRUS no longer applies: radii "must be completely recomputed after a
+//! tentative merger of the two subtrees", making the feasibility test
+//! `O(V^2)` and the whole construction `O(E V^2)`.
+
+use bmst_geom::{le_tol, Net};
+use bmst_graph::{complete_edges, sort_edges, DisjointSets, Edge};
+use bmst_tree::{elmore, ElmoreDelays, ElmoreParams, RoutingTree};
+
+use crate::BmstError;
+
+/// The Elmore reference radius `R`: the worst source-to-sink Elmore delay of
+/// the shortest path tree (the star).
+///
+/// The paper sets the delay bound to `(1 + eps) * R` with this `R`, noting
+/// the driver must be strong enough that the SPT itself is a solution.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::elmore_spt_radius;
+/// use bmst_geom::{Net, Point};
+/// use bmst_tree::ElmoreParams;
+///
+/// let net = Net::with_source_first(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+/// ])?;
+/// let params = ElmoreParams::uniform_loads(2, 0, 0.5, 0.2, 10.0, 1.0, 2.0);
+/// // Matches the hand computation of the two-node net.
+/// assert!((elmore_spt_radius(&net, &params) - 42.8).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn elmore_spt_radius(net: &Net, params: &ElmoreParams) -> f64 {
+    let spt = crate::spt_tree(net);
+    let delays = ElmoreDelays::from_source(&spt, params);
+    delays.max_delay_over(net.sinks())
+}
+
+/// BKRUS with Elmore-delay feasibility: constructs a spanning tree whose
+/// worst source-to-sink Elmore delay is at most `(1 + eps) * R`, where `R`
+/// is [`elmore_spt_radius`].
+///
+/// The Kruskal scan is unchanged; the feasibility conditions become:
+///
+/// * (3-a) if the merged tree contains the source:
+///   `r[source] <= (1 + eps) * R` in the tentatively merged tree, where
+///   `r[source]` is the worst driver-inclusive delay — this re-checks
+///   *existing* nodes too, because added capacitance slows them down;
+/// * (3-b) otherwise there must be a node `x` in the merged tree such that a
+///   hypothetical direct source wire to `x` would meet the bound:
+///   `r_d (c_d + c_s d(S,x) + C') + r_s d(S,x) (c_s d(S,x)/2 + C') + r[x]
+///   <= (1 + eps) * R`, with `C'` the total capacitance of the merged tree.
+///
+/// # Errors
+///
+/// * [`BmstError::InvalidEpsilon`] on negative/NaN `eps`;
+/// * [`BmstError::Infeasible`] when the scan ends without spanning — unlike
+///   the geometric case this can genuinely happen (Lemma 3.1's monotonicity
+///   argument does not carry over to the Elmore model), typically for very
+///   small `eps` or weak drivers.
+///
+/// # Panics
+///
+/// Panics if `params.load_cap.len() < net.len()`.
+pub fn bkrus_elmore(
+    net: &Net,
+    eps: f64,
+    params: &ElmoreParams,
+) -> Result<RoutingTree, BmstError> {
+    if eps.is_nan() || eps < 0.0 {
+        return Err(BmstError::InvalidEpsilon { eps });
+    }
+    let n = net.len();
+    let s = net.source();
+    assert!(params.load_cap.len() >= n, "load_cap too short for net");
+    if n == 1 {
+        return Ok(RoutingTree::from_edges(1, s, [])?);
+    }
+
+    let bound = if eps.is_infinite() {
+        f64::INFINITY
+    } else {
+        (1.0 + eps) * elmore_spt_radius(net, params)
+    };
+    let d = net.distance_matrix();
+    let mut edges = complete_edges(&d);
+    sort_edges(&mut edges);
+
+    let mut dsu = DisjointSets::new(n);
+    // Edge list per component, keyed by DSU representative.
+    let mut comp_edges: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let mut accepted = 0usize;
+
+    for e in edges {
+        if accepted == n - 1 {
+            break;
+        }
+        let (ru, rv) = (dsu.find(e.u), dsu.find(e.v));
+        if ru == rv {
+            continue;
+        }
+        // Tentative merged component.
+        let mut merged: Vec<Edge> =
+            Vec::with_capacity(comp_edges[ru].len() + comp_edges[rv].len() + 1);
+        merged.extend_from_slice(&comp_edges[ru]);
+        merged.extend_from_slice(&comp_edges[rv]);
+        merged.push(e);
+
+        let has_source = dsu.same_set(e.u, s) || dsu.same_set(e.v, s);
+        let feasible = if bound.is_infinite() {
+            true
+        } else if has_source {
+            let t = RoutingTree::from_edges(n, s, merged.iter().copied())?;
+            let delays = ElmoreDelays::from_source(&t, params);
+            le_tol(delays.max_delay(), bound)
+        } else {
+            // Root the component tree anywhere (e.u) and recompute all radii.
+            let t = RoutingTree::from_edges(n, e.u, merged.iter().copied())?;
+            let radii = elmore::elmore_radii(&t, params);
+            let total_cap = elmore::total_capacitance(&t, params);
+            let any_feasible = t.covered_nodes().any(|x| {
+                let dsx = d[(s, x)];
+                let direct = params.driver_res
+                    * (params.driver_cap + params.unit_cap * dsx + total_cap)
+                    + params.unit_res * dsx * (params.unit_cap * dsx / 2.0 + total_cap)
+                    + radii[x];
+                le_tol(direct, bound)
+            });
+            any_feasible
+        };
+
+        if feasible {
+            dsu.union(e.u, e.v);
+            let new_root = dsu.find(e.u);
+            let (a, b) = (ru.min(rv), ru.max(rv));
+            // Move both lists into the new representative slot.
+            let mut list = std::mem::take(&mut comp_edges[b]);
+            let mut other = std::mem::take(&mut comp_edges[a]);
+            list.append(&mut other);
+            list.push(e);
+            comp_edges[new_root] = list;
+            accepted += 1;
+        }
+    }
+
+    if accepted != n - 1 {
+        return Err(BmstError::Infeasible { connected: accepted + 1, total: n });
+    }
+    let root = dsu.find(s);
+    let tree = RoutingTree::from_edges(n, s, comp_edges[root].iter().copied())?;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst_tree;
+    use bmst_geom::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_net(seed: u64, n: usize) -> Net {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        Net::with_source_first(pts).unwrap()
+    }
+
+    fn strong_driver(n: usize) -> ElmoreParams {
+        // A strong driver so the SPT is comfortably feasible (paper's
+        // requirement).
+        ElmoreParams::uniform_loads(n, 0, 0.1, 0.2, 1.0, 0.5, 1.0)
+    }
+
+    #[test]
+    fn delay_bound_respected() {
+        for seed in 0..5 {
+            let net = random_net(seed, 9);
+            let params = strong_driver(net.len());
+            let r = elmore_spt_radius(&net, &params);
+            for eps in [0.2, 0.5, 1.0] {
+                let t = bkrus_elmore(&net, eps, &params).unwrap();
+                assert!(t.is_spanning());
+                let worst = ElmoreDelays::from_source(&t, &params)
+                    .max_delay_over(net.sinks());
+                assert!(
+                    worst <= (1.0 + eps) * r + 1e-6,
+                    "seed {seed} eps {eps}: {worst} > {}",
+                    (1.0 + eps) * r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_eps_matches_mst() {
+        let net = random_net(1, 10);
+        let params = strong_driver(net.len());
+        let t = bkrus_elmore(&net, f64::INFINITY, &params).unwrap();
+        assert!((t.cost() - mst_tree(&net).cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_bound_costs_more() {
+        let net = random_net(2, 10);
+        let params = strong_driver(net.len());
+        let tight = bkrus_elmore(&net, 0.1, &params).unwrap().cost();
+        let loose = bkrus_elmore(&net, 2.0, &params).unwrap().cost();
+        assert!(loose <= tight + 1e-9);
+    }
+
+    #[test]
+    fn eps_zero_star_is_feasible_fallback() {
+        // At eps = 0 only SPT-delay-equalling trees fit; the construction
+        // either succeeds within the bound or reports infeasibility — never
+        // silently violates.
+        let net = random_net(3, 7);
+        let params = strong_driver(net.len());
+        let r = elmore_spt_radius(&net, &params);
+        match bkrus_elmore(&net, 0.0, &params) {
+            Ok(t) => {
+                let worst =
+                    ElmoreDelays::from_source(&t, &params).max_delay_over(net.sinks());
+                assert!(worst <= r + 1e-6);
+            }
+            Err(BmstError::Infeasible { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn spt_radius_positive_for_nontrivial_net() {
+        let net = random_net(4, 5);
+        let params = strong_driver(net.len());
+        assert!(elmore_spt_radius(&net, &params) > 0.0);
+    }
+
+    #[test]
+    fn negative_eps_rejected() {
+        let net = random_net(5, 4);
+        let params = strong_driver(net.len());
+        assert!(matches!(
+            bkrus_elmore(&net, -0.5, &params),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_nets() {
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0)]).unwrap();
+        let params = strong_driver(1);
+        assert_eq!(bkrus_elmore(&net, 0.5, &params).unwrap().cost(), 0.0);
+
+        let net =
+            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)]).unwrap();
+        let params = strong_driver(2);
+        assert_eq!(bkrus_elmore(&net, 0.0, &params).unwrap().cost(), 3.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type shared by all BMST constructions.
+
+use std::error::Error;
+use std::fmt;
+
+use bmst_geom::GeomError;
+use bmst_graph::GraphError;
+use bmst_tree::TreeError;
+
+/// Errors produced by the bounded path length constructions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BmstError {
+    /// No tree satisfying the path-length constraints exists (or the
+    /// heuristic could not find one). For spanning-tree heuristics with both
+    /// lower and upper bounds this is an expected outcome the paper marks
+    /// with "-" in its Table 5.
+    Infeasible {
+        /// Nodes the construction managed to connect to the source.
+        connected: usize,
+        /// Total nodes that had to be connected.
+        total: usize,
+    },
+    /// The exact enumeration (BMST_G) exceeded its configured tree budget.
+    /// The paper's original Gabow implementation fails with memory overflow
+    /// in the same situations; the cap turns that into a clean error.
+    TreeLimitExceeded {
+        /// The configured maximum number of spanning trees to enumerate.
+        limit: usize,
+    },
+    /// An invalid `eps` parameter (negative or NaN) was supplied.
+    InvalidEpsilon {
+        /// The offending value.
+        eps: f64,
+    },
+    /// The lower bound exceeds the upper bound, so the constraint set is
+    /// empty.
+    EmptyBoundWindow {
+        /// Lower path-length bound.
+        lower: f64,
+        /// Upper path-length bound.
+        upper: f64,
+    },
+    /// The algorithm only supports a specific metric (e.g. Steiner
+    /// construction on the rectilinear Hanan grid requires L1).
+    UnsupportedMetric {
+        /// The metric the net uses.
+        metric: bmst_geom::Metric,
+    },
+    /// A geometry error bubbled up from input validation.
+    Geom(GeomError),
+    /// A graph error bubbled up from a substrate algorithm.
+    Graph(GraphError),
+    /// A tree construction error bubbled up from a substrate operation.
+    Tree(TreeError),
+}
+
+impl fmt::Display for BmstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmstError::Infeasible { connected, total } => write!(
+                f,
+                "no feasible tree: connected {connected} of {total} nodes under the path bounds"
+            ),
+            BmstError::TreeLimitExceeded { limit } => {
+                write!(f, "spanning tree enumeration exceeded the budget of {limit} trees")
+            }
+            BmstError::InvalidEpsilon { eps } => {
+                write!(f, "epsilon must be non-negative (or +inf), got {eps}")
+            }
+            BmstError::EmptyBoundWindow { lower, upper } => {
+                write!(f, "lower bound {lower} exceeds upper bound {upper}")
+            }
+            BmstError::UnsupportedMetric { metric } => {
+                write!(f, "algorithm does not support the {metric} metric")
+            }
+            BmstError::Geom(e) => write!(f, "geometry error: {e}"),
+            BmstError::Graph(e) => write!(f, "graph error: {e}"),
+            BmstError::Tree(e) => write!(f, "tree error: {e}"),
+        }
+    }
+}
+
+impl Error for BmstError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BmstError::Geom(e) => Some(e),
+            BmstError::Graph(e) => Some(e),
+            BmstError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for BmstError {
+    fn from(e: GeomError) -> Self {
+        BmstError::Geom(e)
+    }
+}
+
+impl From<GraphError> for BmstError {
+    fn from(e: GraphError) -> Self {
+        BmstError::Graph(e)
+    }
+}
+
+impl From<TreeError> for BmstError {
+    fn from(e: TreeError) -> Self {
+        BmstError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(BmstError::Infeasible { connected: 3, total: 5 }.to_string().contains("3 of 5"));
+        assert!(BmstError::TreeLimitExceeded { limit: 10 }.to_string().contains("10"));
+        assert!(BmstError::InvalidEpsilon { eps: -1.0 }.to_string().contains("-1"));
+        assert!(BmstError::EmptyBoundWindow { lower: 2.0, upper: 1.0 }
+            .to_string()
+            .contains("exceeds"));
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: BmstError = GeomError::EmptyNet.into();
+        assert!(matches!(e, BmstError::Geom(_)));
+        assert!(Error::source(&e).is_some());
+        let e: BmstError = GraphError::Disconnected { components: 2 }.into();
+        assert!(matches!(e, BmstError::Graph(_)));
+        let e: BmstError = TreeError::InvalidExchange.into();
+        assert!(matches!(e, BmstError::Tree(_)));
+        assert!(Error::source(&BmstError::InvalidEpsilon { eps: -1.0 }).is_none());
+    }
+}

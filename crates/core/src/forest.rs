@@ -1,0 +1,404 @@
+//! The partial-tree bookkeeping behind BKRUS: disjoint components, the
+//! in-tree path matrix `P`, the radius vector `r`, and the paper's `Merge`
+//! routine and feasibility conditions (3-a)/(3-b).
+//!
+//! The Steiner construction (`bmst-steiner`) reuses this machinery with a
+//! growing node universe, which is why the module is public.
+
+use bmst_geom::{le_tol, DistanceMatrix};
+use bmst_graph::DisjointSets;
+
+/// Forest state maintained during a bounded-Kruskal construction.
+///
+/// For every pair of nodes in the *same* partial tree, `P[x][y]` holds their
+/// in-tree path length; `r[x]` holds the radius of `x` within its partial
+/// tree (`max_y path(x, y)`); entries across different partial trees are
+/// stale zeros exactly as in the paper's formulation. Component membership
+/// is tracked by a disjoint-set forest plus explicit member lists so the
+/// `Merge` routine can iterate "each `x` in `t_u` and `y` in `t_v`" in
+/// `O(|t_u| * |t_v|)`.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::forest::KruskalForest;
+///
+/// // Three nodes, source 0. Merge 1 and 2 with an edge of length 4.
+/// let mut f = KruskalForest::new(3, 0);
+/// f.merge(1, 2, 4.0);
+/// assert_eq!(f.path(1, 2), 4.0);
+/// assert_eq!(f.radius(1), 4.0);
+/// assert!(!f.same_component(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KruskalForest {
+    p: DistanceMatrix,
+    r: Vec<f64>,
+    dsu: DisjointSets,
+    members: Vec<Vec<usize>>,
+    source: usize,
+}
+
+impl KruskalForest {
+    /// Creates `n` singleton partial trees; node `source` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    pub fn new(n: usize, source: usize) -> Self {
+        assert!(source < n, "source {source} out of bounds for {n} nodes");
+        KruskalForest {
+            p: DistanceMatrix::zeros(n),
+            r: vec![0.0; n],
+            dsu: DisjointSets::new(n),
+            members: (0..n).map(|i| vec![i]).collect(),
+            source,
+        }
+    }
+
+    /// Number of nodes in the universe.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Returns `true` when the forest has no nodes (never after `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// The source node index.
+    #[inline]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Number of remaining partial trees.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.dsu.num_sets()
+    }
+
+    /// Appends a fresh singleton node (Steiner-grid growth) and returns its
+    /// index.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.dsu.make_set();
+        self.p.grow(id + 1);
+        self.r.push(0.0);
+        self.members.push(vec![id]);
+        id
+    }
+
+    /// Returns `true` when `u` and `v` are already in the same partial tree
+    /// (the paper's `FIND_SET(u) == FIND_SET(v)`).
+    pub fn same_component(&mut self, u: usize, v: usize) -> bool {
+        self.dsu.same_set(u, v)
+    }
+
+    /// Members of the partial tree containing `u`.
+    pub fn component(&mut self, u: usize) -> &[usize] {
+        let root = self.dsu.find(u);
+        &self.members[root]
+    }
+
+    /// Returns `true` when the partial tree containing `u` contains the
+    /// source.
+    pub fn contains_source(&mut self, u: usize) -> bool {
+        self.dsu.same_set(u, self.source)
+    }
+
+    /// In-tree path length `P[x][y]`. Meaningful only when `x` and `y` are
+    /// in the same partial tree (stale zero otherwise, as in the paper).
+    #[inline]
+    pub fn path(&self, x: usize, y: usize) -> f64 {
+        self.p[(x, y)]
+    }
+
+    /// Radius `r[x]` of node `x` within its partial tree.
+    #[inline]
+    pub fn radius(&self, x: usize) -> f64 {
+        self.r[x]
+    }
+
+    /// Radius node `x` *would* have in the tree obtained by merging the
+    /// components of `u` and `v` with an edge of length `w`.
+    ///
+    /// The paper's formula: for `x` in `t_u`,
+    /// `radius_tM(x) = max(r[x], P[x][u] + w + r[v])`, and symmetrically for
+    /// `x` in `t_v`. No actual merge is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` is in neither component.
+    pub fn merged_radius(&mut self, x: usize, u: usize, v: usize, w: f64) -> f64 {
+        if self.dsu.same_set(x, u) {
+            self.r[x].max(self.p[(x, u)] + w + self.r[v])
+        } else {
+            debug_assert!(self.dsu.same_set(x, v), "node {x} is in neither component");
+            self.r[x].max(self.p[(x, v)] + w + self.r[u])
+        }
+    }
+
+    /// The paper's feasibility test for adding edge `(u, v)` of length `w`
+    /// under the upper path-length bound `upper`.
+    ///
+    /// * Condition (3-a): if one component contains the source `S`, every
+    ///   node of the other side stays within the bound:
+    ///   `path(S, u) + w + radius(v) <= upper` (or symmetrically).
+    /// * Condition (3-b): if neither side contains the source, the merged
+    ///   tree must keep a *feasible node* `x` with
+    ///   `dist(S, x) + radius_tM(x) <= upper`, guaranteeing it can later be
+    ///   connected to the source within the bound.
+    ///
+    /// `dist_s[x]` must hold the *direct* (geometric) distance from the
+    /// source to node `x`.
+    ///
+    /// Returns `true` when the merge is admissible. Does not check the
+    /// cycle condition; callers test [`KruskalForest::same_component`]
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist_s.len() < self.len()`.
+    pub fn is_feasible_merge(
+        &mut self,
+        u: usize,
+        v: usize,
+        w: f64,
+        dist_s: &[f64],
+        upper: f64,
+    ) -> bool {
+        assert!(dist_s.len() >= self.len(), "dist_s too short");
+        if upper.is_infinite() {
+            return true;
+        }
+        let su = self.contains_source(u);
+        let sv = self.contains_source(v);
+        if su {
+            // (3-a): t_u contains the source.
+            le_tol(self.p[(self.source, u)] + w + self.r[v], upper)
+        } else if sv {
+            le_tol(self.p[(self.source, v)] + w + self.r[u], upper)
+        } else {
+            // (3-b): a feasible node must survive the merge.
+            let root_u = self.dsu.find(u);
+            let root_v = self.dsu.find(v);
+            let check = |x: usize, anchor: usize, far_r: f64, p: &DistanceMatrix, r: &[f64]| {
+                let rad = r[x].max(p[(x, anchor)] + w + far_r);
+                le_tol(dist_s[x] + rad, upper)
+            };
+            self.members[root_u]
+                .iter()
+                .any(|&x| check(x, u, self.r[v], &self.p, &self.r))
+                || self.members[root_v]
+                    .iter()
+                    .any(|&x| check(x, v, self.r[u], &self.p, &self.r))
+        }
+    }
+
+    /// Merges the components of `u` and `v` with an edge of length `w`:
+    /// the paper's `Merge(u, v)` followed by `UNION(u, v)`.
+    ///
+    /// Updates `P[x][y]` for every cross pair
+    /// (`P[x][y] = P[x][u] + w + P[v][y]`) and refreshes the radii of all
+    /// nodes in the merged tree. `O(|t_u| * |t_v|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` and `v` are already in the same component (the caller
+    /// must have rejected cycle edges) or if `w` is negative/non-finite.
+    pub fn merge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "edge length must be finite non-negative, got {w}");
+        let root_u = self.dsu.find(u);
+        let root_v = self.dsu.find(v);
+        assert!(root_u != root_v, "merge({u}, {v}) would create a cycle");
+
+        // Take both member lists out to appease the borrow checker.
+        let mu = std::mem::take(&mut self.members[root_u]);
+        let mv = std::mem::take(&mut self.members[root_v]);
+
+        // Paper's Merge lines 1-3: cross path lengths.
+        for &x in &mu {
+            let px_u = self.p[(x, u)];
+            for &y in &mv {
+                let len = px_u + w + self.p[(v, y)];
+                self.p[(x, y)] = len;
+                self.p[(y, x)] = len;
+            }
+        }
+        // Lines 4-9: refresh radii with the new cross paths.
+        for &x in &mu {
+            let mut rx = self.r[x];
+            for &y in &mv {
+                rx = rx.max(self.p[(x, y)]);
+            }
+            self.r[x] = rx;
+        }
+        for &y in &mv {
+            let mut ry = self.r[y];
+            for &x in &mu {
+                ry = ry.max(self.p[(x, y)]);
+            }
+            self.r[y] = ry;
+        }
+
+        self.dsu.union(u, v);
+        let new_root = self.dsu.find(u);
+        let mut merged = mu;
+        merged.extend(mv);
+        self.members[new_root] = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the paper's Figure 3 worked example:
+    /// t_u = a(0) - b(1) - c(2) - d(3) chained with weights 2, 4, 3;
+    /// t_v = e(4) - f(5) with weight 2; merged by edge (c, e) of weight 2.
+    fn figure3_forest() -> KruskalForest {
+        let mut f = KruskalForest::new(6, 0);
+        f.merge(0, 1, 2.0); // a - b
+        f.merge(1, 2, 4.0); // b - c
+        f.merge(2, 3, 3.0); // c - d
+        f.merge(4, 5, 2.0); // e - f
+        f
+    }
+
+    #[test]
+    fn figure3_before_merge() {
+        let f = figure3_forest();
+        // Matrix P of the paper's "Before Merge" panel.
+        assert_eq!(f.path(0, 1), 2.0);
+        assert_eq!(f.path(0, 2), 6.0);
+        assert_eq!(f.path(0, 3), 9.0);
+        assert_eq!(f.path(1, 3), 7.0);
+        assert_eq!(f.path(2, 3), 3.0);
+        assert_eq!(f.path(4, 5), 2.0);
+        // Stale zero across components.
+        assert_eq!(f.path(0, 4), 0.0);
+        // Radii r = [9, 7, 6, 9, 2, 2].
+        let expect = [9.0, 7.0, 6.0, 9.0, 2.0, 2.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(f.radius(i), e, "r[{i}]");
+        }
+    }
+
+    #[test]
+    fn figure3_after_merge() {
+        let mut f = figure3_forest();
+        f.merge(2, 4, 5.0); // edge (c, e) weight 5
+        // "After Merge" matrix entries.
+        assert_eq!(f.path(0, 4), 11.0); // P[a][e] = P[a][c] + 5 + P[e][e]
+        assert_eq!(f.path(0, 5), 13.0); // P[a][f]
+        assert_eq!(f.path(1, 4), 9.0);
+        assert_eq!(f.path(1, 5), 11.0);
+        assert_eq!(f.path(2, 4), 5.0);
+        assert_eq!(f.path(2, 5), 7.0);
+        assert_eq!(f.path(3, 4), 8.0);
+        assert_eq!(f.path(3, 5), 10.0);
+        // Radii r = [13, 11, 7, 10, 11, 13] (paper's "After Merge" panel).
+        let expect = [13.0, 11.0, 7.0, 10.0, 11.0, 13.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(f.radius(i), e, "r[{i}]");
+        }
+        assert_eq!(f.num_components(), 1);
+    }
+
+    #[test]
+    fn merged_radius_matches_actual_merge() {
+        let mut f = figure3_forest();
+        // Predicted radii for the (c, e) merge...
+        let predicted: Vec<f64> = (0..6).map(|x| f.merged_radius(x, 2, 4, 5.0)).collect();
+        // ...must equal the radii after actually merging.
+        f.merge(2, 4, 5.0);
+        for (x, &pred) in predicted.iter().enumerate() {
+            assert_eq!(pred, f.radius(x), "node {x}");
+        }
+    }
+
+    #[test]
+    fn singleton_state() {
+        let f = KruskalForest::new(4, 0);
+        assert_eq!(f.num_components(), 4);
+        assert_eq!(f.radius(2), 0.0);
+        assert_eq!(f.path(1, 2), 0.0);
+    }
+
+    #[test]
+    fn component_membership_tracked() {
+        let mut f = KruskalForest::new(5, 0);
+        f.merge(1, 2, 1.0);
+        f.merge(2, 3, 1.0);
+        let mut c = f.component(3).to_vec();
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2, 3]);
+        assert!(f.same_component(1, 3));
+        assert!(!f.contains_source(1));
+        assert!(f.contains_source(0));
+    }
+
+    #[test]
+    fn add_node_grows_everything() {
+        let mut f = KruskalForest::new(2, 0);
+        let id = f.add_node();
+        assert_eq!(id, 2);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.radius(2), 0.0);
+        f.merge(1, 2, 5.0);
+        assert_eq!(f.path(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn merge_same_component_panics() {
+        let mut f = KruskalForest::new(3, 0);
+        f.merge(0, 1, 1.0);
+        f.merge(1, 0, 2.0);
+    }
+
+    #[test]
+    fn feasibility_3a_source_side() {
+        // Source 0 at origin, nodes on a line: 1 at 10, 2 at 11.
+        let mut f = KruskalForest::new(3, 0);
+        let dist_s = [0.0, 10.0, 11.0];
+        f.merge(0, 1, 10.0);
+        // Attach 2 under 1 (w = 1): path(S,1) + 1 + r[2] = 11 <= bound?
+        assert!(f.is_feasible_merge(1, 2, 1.0, &dist_s, 11.0));
+        assert!(!f.is_feasible_merge(1, 2, 1.0, &dist_s, 10.9));
+    }
+
+    #[test]
+    fn feasibility_3b_non_source_merge() {
+        // Nodes 1 and 2 merge away from source; bound must leave a feasible
+        // node.
+        let mut f = KruskalForest::new(3, 0);
+        let dist_s = [0.0, 10.0, 11.0];
+        // Merging 1, 2 (w = 1): candidates
+        //   x = 1: dist_s[1] + max(r[1], P[1][1] + 1 + r[2]) = 10 + 1 = 11
+        //   x = 2: 11 + 1 = 12
+        assert!(f.is_feasible_merge(1, 2, 1.0, &dist_s, 11.0));
+        assert!(!f.is_feasible_merge(1, 2, 1.0, &dist_s, 10.5));
+    }
+
+    #[test]
+    fn infinite_bound_always_feasible() {
+        let mut f = KruskalForest::new(3, 0);
+        assert!(f.is_feasible_merge(1, 2, 1e12, &[0.0; 3], f64::INFINITY));
+    }
+
+    #[test]
+    fn feasibility_is_tolerant() {
+        let mut f = KruskalForest::new(2, 0);
+        let dist_s = [0.0, 7.0];
+        assert!(f.is_feasible_merge(0, 1, 7.0, &dist_s, 7.0 - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_merge_panics() {
+        KruskalForest::new(2, 0).merge(0, 1, -1.0);
+    }
+}

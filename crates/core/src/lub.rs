@@ -1,0 +1,189 @@
+//! Lower- and upper-bounded path length spanning trees (paper §6).
+//!
+//! Clock routing needs both skew and cost control: every source-sink path
+//! must lie in the window `[eps1 * R, (1 + eps2) * R]`. Fast paths are as
+//! harmful as slow ones (the "double clocking" hazard), and the paper
+//! proposes wire-length control instead of buffer insertion.
+
+use bmst_geom::Net;
+use bmst_tree::RoutingTree;
+
+use crate::bkrus::run;
+use crate::{BmstError, PathConstraint};
+
+/// BKRUS with simultaneous lower and upper path-length bounds:
+/// `eps1 * R <= path(S, x) <= (1 + eps2) * R` for every sink `x`.
+///
+/// Two mechanisms implement §6 on top of plain BKRUS:
+///
+/// * **Lemma 6.1** — direct source edges shorter than `eps1 * R` are
+///   eliminated up front (they would immediately fix an under-length path);
+/// * a merge that connects a partial tree to the source's component fixes
+///   `path(S, y)` for every newly attached node, so such merges are also
+///   rejected when the shortest newly fixed path (`path(S, u) + w`) falls
+///   below the lower bound.
+///
+/// Because this is a *spanning* heuristic with node branching, many
+/// `(eps1, eps2)` combinations admit no solution (the paper's Table 5 "-"
+/// entries); those return [`BmstError::Infeasible`].
+///
+/// `eps1 = 1.0, eps2 = 0.0` requests an exact zero-skew tree in path length:
+/// every sink path equal to `R`.
+///
+/// # Errors
+///
+/// * [`BmstError::InvalidEpsilon`] / [`BmstError::EmptyBoundWindow`] on bad
+///   parameters;
+/// * [`BmstError::Infeasible`] when the heuristic cannot span the net within
+///   the window.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::lub_bkrus;
+/// use bmst_geom::{Net, Point};
+///
+/// let net = Net::with_source_first(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(0.0, 9.0),
+/// ])?;
+/// // All paths within [0.8 * R, 1.2 * R].
+/// let t = lub_bkrus(&net, 0.8, 0.2)?;
+/// for v in net.sinks() {
+///     let p = t.dist_from_root(v);
+///     assert!(p >= 8.0 - 1e-9 && p <= 12.0 + 1e-9);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lub_bkrus(net: &Net, eps1: f64, eps2: f64) -> Result<RoutingTree, BmstError> {
+    let constraint = PathConstraint::from_eps_window(net, eps1, eps2)?;
+    let tree = run(net, constraint, None)?;
+    // The merge conditions enforce the window during construction, but the
+    // final tree is re-validated so any gap in the incremental reasoning
+    // surfaces as an error rather than a silently out-of-window tree.
+    if constraint.is_satisfied_by(&tree, net.sinks()) {
+        Ok(tree)
+    } else {
+        Err(BmstError::Infeasible { connected: net.len(), total: net.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bkrus, mst_tree};
+    use bmst_geom::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_net(seed: u64, n: usize) -> Net {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        Net::with_source_first(pts).unwrap()
+    }
+
+    #[test]
+    fn window_respected_when_feasible() {
+        let mut feasible = 0;
+        for seed in 0..10 {
+            let net = random_net(seed, 10);
+            let r = net.source_radius();
+            if let Ok(t) = lub_bkrus(&net, 0.3, 1.0) {
+                feasible += 1;
+                for v in net.sinks() {
+                    let p = t.dist_from_root(v);
+                    assert!(p >= 0.3 * r - 1e-9, "seed {seed} node {v}: {p} < {}", 0.3 * r);
+                    assert!(p <= 2.0 * r + 1e-9, "seed {seed} node {v}");
+                }
+            }
+        }
+        assert!(feasible > 0, "loose window should usually be feasible");
+    }
+
+    #[test]
+    fn zero_lower_bound_equals_plain_bkrus() {
+        let net = random_net(1, 8);
+        let a = lub_bkrus(&net, 0.0, 0.5).unwrap();
+        let b = bkrus(&net, 0.5).unwrap();
+        assert_eq!(a.edges().len(), b.edges().len());
+        assert!((a.cost() - b.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_skew_line_net() {
+        // Sinks symmetric around the source: paths of exactly R exist via
+        // direct edges.
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(-10.0, 0.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let t = lub_bkrus(&net, 1.0, 0.0).unwrap();
+        for v in net.sinks() {
+            assert!((t.dist_from_root(v) - 10.0).abs() < 1e-9);
+        }
+        // Exact zero skew costs N * R here: every sink on its own spoke.
+        assert!((t.cost() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_window_reported() {
+        // Sinks at wildly different distances, and a window too narrow for
+        // the near sink to reach (node branching cannot lengthen its path).
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(100.0, 0.0),
+        ])
+        .unwrap();
+        let res = lub_bkrus(&net, 0.95, 0.0);
+        assert!(matches!(res, Err(BmstError::Infeasible { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let net = random_net(2, 6);
+        assert!(matches!(
+            lub_bkrus(&net, 3.0, 0.5),
+            Err(BmstError::EmptyBoundWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_at_least_mst_when_feasible() {
+        for seed in 0..6 {
+            let net = random_net(seed + 40, 8);
+            if let Ok(t) = lub_bkrus(&net, 0.2, 0.5) {
+                assert!(t.cost() + 1e-9 >= mst_tree(&net).cost());
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_lower_bound_costs_more() {
+        // The paper's Table 5/Figure 12 trade-off: raising the lower bound
+        // forces near sinks onto detours, raising cost. With sinks at 7 and
+        // 10 and a [8, 15] window, the near sink must route through the far
+        // one (cost 13) instead of taking its direct edge (MST cost 10).
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 0.0),
+            Point::new(10.0, 0.0),
+        ])
+        .unwrap();
+        let loose = lub_bkrus(&net, 0.0, 0.5).unwrap();
+        let tight = lub_bkrus(&net, 0.8, 0.5).unwrap();
+        assert!((loose.cost() - 10.0).abs() < 1e-9);
+        assert!((tight.cost() - 13.0).abs() < 1e-9);
+        // The detour satisfies the window: both sinks in [8, 15].
+        for v in net.sinks() {
+            let p = tight.dist_from_root(v);
+            assert!((8.0 - 1e-9..=15.0 + 1e-9).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Evaluation metrics: the ratios reported in every table of the paper.
+
+use bmst_geom::Net;
+use bmst_tree::RoutingTree;
+
+use crate::{mst_tree, spt_tree};
+
+/// The two ratios the paper reports for every tree:
+///
+/// * `perf_ratio = cost(T) / cost(MST)` — routing-cost overhead;
+/// * `path_ratio = longest path(T) / longest path(SPT)` — radius overhead
+///   (the SPT's longest path is the reference `R`).
+///
+/// # Examples
+///
+/// ```
+/// use bmst_core::{bkrus, TreeReport};
+/// use bmst_geom::{Net, Point};
+///
+/// let net = Net::with_source_first(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(5.0, 0.0),
+///     Point::new(6.0, 1.0),
+/// ])?;
+/// let t = bkrus(&net, 0.5)?;
+/// let rep = TreeReport::for_tree(&net, &t);
+/// assert!(rep.perf_ratio >= 1.0 - 1e-9);           // never beats the MST
+/// assert!(rep.path_ratio <= 1.5 + 1e-9);            // bounded by 1 + eps
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeReport {
+    /// Total wirelength of the tree.
+    pub cost: f64,
+    /// Longest source-to-sink path length in the tree.
+    pub longest_path: f64,
+    /// `cost / cost(MST)`; `1.0` for degenerate nets with zero MST cost.
+    pub perf_ratio: f64,
+    /// `longest_path / R`; `1.0` for degenerate nets with zero radius.
+    pub path_ratio: f64,
+}
+
+impl TreeReport {
+    /// Computes the report, deriving the MST and SPT baselines from the net.
+    ///
+    /// Prefer [`TreeReport::with_baselines`] inside sweeps so the baselines
+    /// are computed once.
+    pub fn for_tree(net: &Net, tree: &RoutingTree) -> Self {
+        let mst_cost = mst_tree(net).cost();
+        let spt_radius = spt_tree(net).source_radius();
+        Self::with_baselines(net, tree, mst_cost, spt_radius)
+    }
+
+    /// Computes the report against precomputed baselines
+    /// (`mst_cost = cost(MST)`, `spt_radius = R`).
+    pub fn with_baselines(
+        net: &Net,
+        tree: &RoutingTree,
+        mst_cost: f64,
+        spt_radius: f64,
+    ) -> Self {
+        let cost = tree.cost();
+        let longest_path = tree.max_dist_from_root(net.sinks());
+        TreeReport {
+            cost,
+            longest_path,
+            perf_ratio: if mst_cost > 0.0 { cost / mst_cost } else { 1.0 },
+            path_ratio: if spt_radius > 0.0 { longest_path / spt_radius } else { 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bkrus, spt_tree};
+    use bmst_geom::Point;
+
+    fn net() -> Net {
+        Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 1.0),
+            Point::new(11.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mst_report_is_unit_perf() {
+        let net = net();
+        let rep = TreeReport::for_tree(&net, &mst_tree(&net));
+        assert!((rep.perf_ratio - 1.0).abs() < 1e-12);
+        assert!(rep.path_ratio >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn spt_report_is_unit_path() {
+        let net = net();
+        let rep = TreeReport::for_tree(&net, &spt_tree(&net));
+        assert!((rep.path_ratio - 1.0).abs() < 1e-12);
+        assert!(rep.perf_ratio >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn with_baselines_matches_for_tree() {
+        let net = net();
+        let t = bkrus(&net, 0.2).unwrap();
+        let a = TreeReport::for_tree(&net, &t);
+        let b = TreeReport::with_baselines(
+            &net,
+            &t,
+            mst_tree(&net).cost(),
+            spt_tree(&net).source_radius(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0)]).unwrap();
+        let t = mst_tree(&net);
+        let rep = TreeReport::for_tree(&net, &t);
+        assert_eq!(rep.perf_ratio, 1.0);
+        assert_eq!(rep.path_ratio, 1.0);
+        assert_eq!(rep.cost, 0.0);
+    }
+}

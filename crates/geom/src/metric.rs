@@ -1,0 +1,95 @@
+//! Distance metrics on the plane.
+
+use std::fmt;
+
+use crate::Point;
+
+/// The distance metric used for wirelength.
+///
+/// The paper formulates the BMST problem on either a Manhattan (L1) or a
+/// Euclidean (L2) plane; all of its experimental results are computed in the
+/// Manhattan metric (routing on a rectilinear grid), so [`Metric::L1`] is the
+/// default.
+///
+/// A key property exploited by Lemma 3.1 of the paper is the triangle
+/// inequality, which both metrics satisfy (non-strictly in L1, strictly in L2
+/// for non-collinear points).
+///
+/// # Examples
+///
+/// ```
+/// use bmst_geom::{Metric, Point};
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(Metric::L1.dist(a, b), 7.0);
+/// assert_eq!(Metric::L2.dist(a, b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Manhattan / rectilinear metric: `|dx| + |dy|`.
+    #[default]
+    L1,
+    /// Euclidean metric: `sqrt(dx^2 + dy^2)`.
+    L2,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn dist(self, a: Point, b: Point) -> f64 {
+        match self {
+            Metric::L1 => a.manhattan(b),
+            Metric::L2 => a.euclidean(b),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::L1 => f.write_str("L1"),
+            Metric::L2 => f.write_str("L2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_manhattan() {
+        assert_eq!(Metric::default(), Metric::L1);
+    }
+
+    #[test]
+    fn l1_dominates_l2() {
+        // For any pair of points, the Manhattan distance is at least the
+        // Euclidean distance.
+        let pairs = [
+            (Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            (Point::new(-2.0, 3.0), Point::new(4.0, -1.0)),
+            (Point::new(5.0, 5.0), Point::new(5.0, 5.0)),
+        ];
+        for (a, b) in pairs {
+            assert!(Metric::L1.dist(a, b) >= Metric::L2.dist(a, b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 7.0);
+        let c = Point::new(-4.0, 3.0);
+        for m in [Metric::L1, Metric::L2] {
+            assert!(m.dist(a, c) <= m.dist(a, b) + m.dist(b, c) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::L1.to_string(), "L1");
+        assert_eq!(Metric::L2.to_string(), "L2");
+    }
+}

@@ -1,0 +1,242 @@
+//! Points in the plane and axis-aligned bounding boxes.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the plane with `f64` coordinates.
+///
+/// Coordinates are finite by convention; [`crate::Net::new`] validates this
+/// for whole terminal sets so individual `Point` construction stays cheap.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_geom::Point;
+///
+/// let p = Point::new(3.0, 4.0);
+/// let q = Point::new(0.0, 0.0);
+/// assert_eq!(p.manhattan(q), 7.0);
+/// assert_eq!(p.euclidean(q), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    #[inline]
+    pub fn euclidean(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Componentwise minimum of two points (lower-left corner of their box).
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Componentwise maximum of two points (upper-right corner of their box).
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// An axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_geom::{BoundingBox, Point};
+///
+/// let bb = BoundingBox::of([Point::new(1.0, 5.0), Point::new(3.0, 2.0)]).unwrap();
+/// assert_eq!(bb.lo, Point::new(1.0, 2.0));
+/// assert_eq!(bb.hi, Point::new(3.0, 5.0));
+/// assert_eq!(bb.half_perimeter(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl BoundingBox {
+    /// Computes the bounding box of a non-empty point collection, or `None`
+    /// when the iterator is empty.
+    pub fn of<I: IntoIterator<Item = Point>>(points: I) -> Option<BoundingBox> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox { lo: first, hi: first };
+        for p in it {
+            bb.lo = bb.lo.min(p);
+            bb.hi = bb.hi.max(p);
+        }
+        Some(bb)
+    }
+
+    /// Box width (`hi.x - lo.x`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Box height (`hi.y - lo.y`).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Half-perimeter wirelength (HPWL), the classical net-length lower
+    /// bound used in VLSI placement.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let p = Point::new(1.5, -2.0);
+        let q = Point::new(-3.0, 4.0);
+        assert_eq!(p.manhattan(q), q.manhattan(p));
+        assert_eq!(p.manhattan(p), 0.0);
+        assert_eq!(p.manhattan(q), 4.5 + 6.0);
+    }
+
+    #[test]
+    fn euclidean_345_triangle() {
+        assert_eq!(Point::new(0.0, 0.0).euclidean(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(3.0, 5.0);
+        assert_eq!(p + q, Point::new(4.0, 7.0));
+        assert_eq!(q - p, Point::new(2.0, 3.0));
+        assert_eq!(p * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: Point = (7.0, 8.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (7.0, 8.0));
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+    }
+
+    #[test]
+    fn non_finite_points_detected() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn bounding_box_of_empty_is_none() {
+        assert!(BoundingBox::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_single_point_is_degenerate() {
+        let bb = BoundingBox::of([Point::new(2.0, 3.0)]).unwrap();
+        assert_eq!(bb.width(), 0.0);
+        assert_eq!(bb.height(), 0.0);
+        assert!(bb.contains(Point::new(2.0, 3.0)));
+        assert!(!bb.contains(Point::new(2.0, 3.1)));
+    }
+
+    #[test]
+    fn bounding_box_contains_interior_and_boundary() {
+        let bb = BoundingBox::of([Point::ORIGIN, Point::new(4.0, 4.0)]).unwrap();
+        assert!(bb.contains(Point::new(2.0, 2.0)));
+        assert!(bb.contains(Point::new(0.0, 4.0)));
+        assert!(!bb.contains(Point::new(-0.1, 2.0)));
+        assert_eq!(bb.half_perimeter(), 8.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sparse adjacency-list representation.
+
+use crate::Edge;
+
+/// An undirected weighted graph stored as adjacency lists.
+///
+/// Used wherever the workspace needs a *sparse* graph: the BRBC baseline's
+/// `MST + shortcut` union graph and the Hanan routing grid for Steiner
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_graph::{AdjacencyList, Edge};
+///
+/// let g = AdjacencyList::from_edges(3, &[Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 2.0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyList {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl AdjacencyList {
+    /// Creates an empty graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        AdjacencyList { adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a node `>= n`.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut g = AdjacencyList::new(n);
+        for e in edges {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge. Parallel edges are kept (harmless for
+    /// shortest-path queries; callers that care deduplicate themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds, or if `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u != v, "self-loop ({u}, {v})");
+        assert!(u < self.len() && v < self.len(), "edge ({u}, {v}) out of bounds");
+        self.adj[u].push((v, weight));
+        self.adj[v].push((u, weight));
+    }
+
+    /// Appends an isolated node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Degree of node `u` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of node `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[u].iter().copied()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjacencyList::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let g = AdjacencyList::from_edges(3, &[Edge::new(0, 2, 5.0)]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(2, 5.0)]);
+        assert_eq!(g.neighbors(2).collect::<Vec<_>>(), vec![(0, 5.0)]);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = AdjacencyList::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        AdjacencyList::new(2).add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        AdjacencyList::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let mut g = AdjacencyList::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Dijkstra single-source shortest paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::AdjacencyList;
+
+/// Result of a single-source shortest-path computation.
+///
+/// `dist[v]` is the shortest-path distance from the source to `v`
+/// (`f64::INFINITY` when unreachable); `parent[v]` is the predecessor of `v`
+/// on one shortest path (`None` for the source and unreachable nodes).
+///
+/// The shortest path *tree* encoded by `parent` is the paper's SPT: the tree
+/// whose critical path delay is minimal but whose cost may be excessive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    /// Shortest distance from the source to each node.
+    pub dist: Vec<f64>,
+    /// Predecessor on a shortest path, `None` at the source / unreachable.
+    pub parent: Vec<Option<usize>>,
+    /// The source node the query was run from.
+    pub source: usize,
+}
+
+impl ShortestPaths {
+    /// The radius of the shortest path tree: the largest finite distance
+    /// (0.0 for a single-node graph). Unreachable nodes are ignored.
+    pub fn radius(&self) -> f64 {
+        self.dist.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max)
+    }
+
+    /// Nodes on the path from the source to `v`, source first.
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if !self.dist[v].is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Returns `true` when every node is reachable from the source.
+    pub fn all_reachable(&self) -> bool {
+        self.dist.iter().all(|d| d.is_finite())
+    }
+}
+
+/// Min-heap entry ordered by distance (reversed for `BinaryHeap`).
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest distance pops first. Distances are finite
+        // (weights validated by Edge) so partial_cmp never fails; ties break
+        // on node index for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra's algorithm from `source` over a non-negatively weighted graph.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or any edge weight is negative.
+///
+/// # Examples
+///
+/// ```
+/// use bmst_graph::{dijkstra, AdjacencyList, Edge};
+///
+/// // 0 --1-- 1 --1-- 2, plus a heavy direct edge 0 --5-- 2.
+/// let g = AdjacencyList::from_edges(
+///     3,
+///     &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 5.0)],
+/// );
+/// let sp = dijkstra(&g, 0);
+/// assert_eq!(sp.dist, vec![0.0, 1.0, 2.0]);
+/// assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
+/// ```
+pub fn dijkstra(graph: &AdjacencyList, source: usize) -> ShortestPaths {
+    let n = graph.len();
+    assert!(source < n, "source {source} out of bounds for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: source });
+
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for (v, w) in graph.neighbors(u) {
+            assert!(w >= 0.0, "negative edge weight {w} on ({u}, {v})");
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some(u);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+
+    ShortestPaths { dist, parent, source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Edge;
+
+    #[test]
+    fn single_node_graph() {
+        let g = AdjacencyList::new(1);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0.0]);
+        assert_eq!(sp.radius(), 0.0);
+        assert!(sp.all_reachable());
+        assert_eq!(sp.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn disconnected_node_is_unreachable() {
+        let g = AdjacencyList::from_edges(3, &[Edge::new(0, 1, 1.0)]);
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.all_reachable());
+        assert_eq!(sp.dist[2], f64::INFINITY);
+        assert_eq!(sp.path_to(2), None);
+        assert_eq!(sp.radius(), 1.0); // ignores the unreachable node
+    }
+
+    #[test]
+    fn prefers_cheaper_multi_hop_path() {
+        let g = AdjacencyList::from_edges(
+            4,
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+                Edge::new(0, 3, 10.0),
+            ],
+        );
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[3], 3.0);
+        assert_eq!(sp.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn complete_graph_spt_is_star_in_metric_space() {
+        // In a metric complete graph the shortest path to each node is the
+        // direct edge (triangle inequality), so the SPT is a star.
+        use bmst_geom::{DistanceMatrix, Metric, Point};
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(-2.0, 2.0),
+            Point::new(1.0, -4.0),
+        ];
+        let d = DistanceMatrix::from_points(&pts, Metric::L1);
+        let edges = crate::complete_edges(&d);
+        let g = AdjacencyList::from_edges(4, &edges);
+        let sp = dijkstra(&g, 0);
+        for v in 1..4 {
+            assert_eq!(sp.dist[v], d[(0, v)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_source_panics() {
+        dijkstra(&AdjacencyList::new(2), 5);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let g = AdjacencyList::from_edges(2, &[Edge::new(0, 1, 0.0)]);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[1], 0.0);
+    }
+}

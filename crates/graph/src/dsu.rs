@@ -1,0 +1,193 @@
+//! Disjoint-set forest (union-find).
+
+/// A disjoint-set forest with union by rank and path compression.
+///
+/// The paper implements its partial-tree bookkeeping with `MAKE_SET`,
+/// `FIND_SET` and `UNION` operations; this type provides the same interface
+/// with the standard near-constant amortised complexity (the paper uses a
+/// simpler linked-list scheme with `O(V)` unions — the observable behaviour
+/// is identical, only faster here).
+///
+/// # Examples
+///
+/// ```
+/// use bmst_graph::DisjointSets;
+///
+/// let mut dsu = DisjointSets::new(4);
+/// assert!(!dsu.same_set(0, 1));
+/// assert!(dsu.union(0, 1));
+/// assert!(dsu.same_set(0, 1));
+/// assert!(!dsu.union(1, 0)); // already merged
+/// assert_eq!(dsu.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets `{0}, {1}, ..., {n-1}`
+    /// (the paper's `MAKE_SET` loop).
+    pub fn new(n: usize) -> Self {
+        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], num_sets: n }
+    }
+
+    /// Number of elements across all sets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` when the forest has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently in the forest.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Appends a fresh singleton set and returns its element index.
+    ///
+    /// Used by the Steiner construction where Hanan-grid nodes are
+    /// materialised lazily.
+    pub fn make_set(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.num_sets += 1;
+        id
+    }
+
+    /// Representative of the set containing `x` (the paper's `FIND_SET`),
+    /// with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Returns `true` when `x` and `y` are in the same set.
+    pub fn same_set(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Merges the sets containing `x` and `y` (the paper's `UNION`).
+    /// Returns `true` if a merge happened, `false` if they were already in
+    /// the same set.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        self.parent[lo] = hi;
+        if self.rank[rx] == self.rank[ry] {
+            self.rank[hi] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Members of the set containing `x`, in ascending index order.
+    ///
+    /// The BKRUS `Merge` routine iterates over "each x in t_u and y in t_v";
+    /// this is the enumeration it uses. `O(n)` per call.
+    pub fn members(&mut self, x: usize) -> Vec<usize> {
+        let root = self.find(x);
+        (0..self.len()).filter(|&i| self.find(i) == root).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut dsu = DisjointSets::new(5);
+        assert_eq!(dsu.num_sets(), 5);
+        for i in 0..5 {
+            assert_eq!(dsu.find(i), i);
+        }
+        assert!(!dsu.same_set(0, 4));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut dsu = DisjointSets::new(4);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(2, 3));
+        assert_eq!(dsu.num_sets(), 2);
+        assert!(dsu.union(1, 3));
+        assert_eq!(dsu.num_sets(), 1);
+        assert!(dsu.same_set(0, 2));
+    }
+
+    #[test]
+    fn union_of_same_set_is_noop() {
+        let mut dsu = DisjointSets::new(3);
+        dsu.union(0, 1);
+        assert!(!dsu.union(0, 1));
+        assert_eq!(dsu.num_sets(), 2);
+    }
+
+    #[test]
+    fn make_set_appends_singleton() {
+        let mut dsu = DisjointSets::new(2);
+        dsu.union(0, 1);
+        let id = dsu.make_set();
+        assert_eq!(id, 2);
+        assert_eq!(dsu.len(), 3);
+        assert_eq!(dsu.num_sets(), 2);
+        assert!(!dsu.same_set(0, 2));
+    }
+
+    #[test]
+    fn members_lists_whole_component() {
+        let mut dsu = DisjointSets::new(6);
+        dsu.union(0, 2);
+        dsu.union(2, 4);
+        assert_eq!(dsu.members(4), vec![0, 2, 4]);
+        assert_eq!(dsu.members(1), vec![1]);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut dsu = DisjointSets::new(n);
+        for i in 1..n {
+            dsu.union(i - 1, i);
+        }
+        assert_eq!(dsu.num_sets(), 1);
+        let root = dsu.find(0);
+        for i in 0..n {
+            assert_eq!(dsu.find(i), root);
+        }
+    }
+
+    #[test]
+    fn empty_forest() {
+        let dsu = DisjointSets::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.num_sets(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table 1 instance statistics.
+
+use std::fmt;
+
+use bmst_geom::Net;
+
+/// The characteristics the paper reports per benchmark in Table 1:
+/// point count, complete-graph edge count, `R` (farthest direct source-sink
+/// distance) and `r` (nearest).
+///
+/// # Examples
+///
+/// ```
+/// use bmst_instances::{Benchmark, InstanceStats};
+///
+/// let s = Benchmark::P1.stats();
+/// assert_eq!(s.points, 6);
+/// assert_eq!(s.edges, 15);
+/// assert!(s.r_far > s.r_near);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of terminals (source included).
+    pub points: usize,
+    /// Number of edges of the complete terminal graph.
+    pub edges: usize,
+    /// `R`: direct distance from the source to the farthest sink.
+    pub r_far: f64,
+    /// `r`: direct distance from the source to the nearest sink.
+    pub r_near: f64,
+}
+
+impl InstanceStats {
+    /// Computes the statistics of a net.
+    pub fn of(name: &str, net: &Net) -> Self {
+        InstanceStats {
+            name: name.to_owned(),
+            points: net.len(),
+            edges: net.complete_edge_count(),
+            r_far: net.source_radius(),
+            r_near: net.source_nearest(),
+        }
+    }
+}
+
+impl fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} {:>8} {:>10} {:>12.1} {:>10.1}",
+            self.name, self.points, self.edges, self.r_far, self.r_near
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmst_geom::Point;
+
+    #[test]
+    fn stats_of_simple_net() {
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 7.0),
+        ])
+        .unwrap();
+        let s = InstanceStats::of("toy", &net);
+        assert_eq!(s.points, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.r_far, 7.0);
+        assert_eq!(s.r_near, 3.0);
+        let line = s.to_string();
+        assert!(line.contains("toy"));
+        assert!(line.contains("7.0"));
+    }
+}

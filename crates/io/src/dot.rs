@@ -1,0 +1,113 @@
+//! Graphviz DOT export of routing trees.
+//!
+//! Complements the SVG renderer: DOT captures the *structure* (useful for
+//! diffing topologies and for tools that consume graphs), SVG the
+//! *geometry*.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use bmst_tree::RoutingTree;
+
+/// Renders a routing tree as a Graphviz `graph` document.
+///
+/// Nodes carry their id; the root is marked with a double circle; edges
+/// carry their length as a label. Deterministic output (ascending child
+/// order).
+///
+/// # Examples
+///
+/// ```
+/// use bmst_graph::Edge;
+/// use bmst_io::dot;
+/// use bmst_tree::RoutingTree;
+///
+/// let tree = RoutingTree::from_edges(3, 0, vec![
+///     Edge::new(0, 1, 2.0),
+///     Edge::new(1, 2, 3.5),
+/// ])?;
+/// let doc = dot::render_tree(&tree);
+/// assert!(doc.starts_with("graph routing_tree {"));
+/// assert!(doc.contains(r#"1 -- 2 [label="3.5"]"#));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_tree(tree: &RoutingTree) -> String {
+    let mut out = String::from("graph routing_tree {\n");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    let _ = writeln!(out, "  {} [shape=doublecircle label=\"S{}\"];", tree.root(), tree.root());
+    for v in tree.covered_nodes() {
+        if v != tree.root() {
+            let _ = writeln!(out, "  {v};");
+        }
+    }
+    for e in tree.edges() {
+        let _ = writeln!(out, "  {} -- {} [label=\"{}\"];", e.u, e.v, e.weight);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the tree and writes it to `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_tree(path: impl AsRef<Path>, tree: &RoutingTree) -> std::io::Result<()> {
+    fs::write(path, render_tree(tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmst_graph::Edge;
+
+    fn sample() -> RoutingTree {
+        RoutingTree::from_edges(
+            4,
+            1,
+            vec![Edge::new(1, 0, 2.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure_rendered() {
+        let doc = render_tree(&sample());
+        assert!(doc.starts_with("graph routing_tree {"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("1 [shape=doublecircle label=\"S1\"];"));
+        assert_eq!(doc.matches(" -- ").count(), 3);
+        assert!(doc.contains("2 -- 3 [label=\"4\"];"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(render_tree(&sample()), render_tree(&sample()));
+    }
+
+    #[test]
+    fn single_node() {
+        let tree = RoutingTree::from_edges(1, 0, vec![]).unwrap();
+        let doc = render_tree(&tree);
+        assert!(doc.contains("doublecircle"));
+        assert_eq!(doc.matches(" -- ").count(), 0);
+    }
+
+    #[test]
+    fn uncovered_nodes_absent() {
+        let tree = RoutingTree::from_edges(5, 0, vec![Edge::new(0, 1, 1.0)]).unwrap();
+        let doc = render_tree(&tree);
+        assert!(!doc.contains("\n  4;"));
+        assert!(doc.contains("\n  1;"));
+    }
+
+    #[test]
+    fn file_write() {
+        let dir = std::env::temp_dir().join("bmst_dot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.dot");
+        write_tree(&path, &sample()).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("routing_tree"));
+    }
+}

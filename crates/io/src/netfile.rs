@@ -1,0 +1,234 @@
+//! The plain-text net format.
+//!
+//! One terminal per line as `x y`, the **source first** — the same shape as
+//! the sink-placement lists the paper's benchmark suites were distributed
+//! as (we prepend the source instead of appending it, so line order equals
+//! node index). Blank lines and `#` comments are ignored. The metric is not
+//! part of the file; nets parse as Manhattan (the paper's setting) and can
+//! be rebuilt under L2 by the caller if needed.
+//!
+//! ```text
+//! # a three-terminal net
+//! 0 0        <- source (node 0)
+//! 10 2       <- sink (node 1)
+//! 11.5 -3    <- sink (node 2)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use bmst_geom::{GeomError, Net, Point};
+
+/// Errors produced when parsing a net file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetError {
+    /// A line did not consist of two numbers.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A coordinate failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// The parsed terminal list was rejected by [`Net::new`]
+    /// (empty file, non-finite coordinate, ...).
+    Geom(GeomError),
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetError::BadLine { line, content } => {
+                write!(f, "line {line}: expected `x y`, got {content:?}")
+            }
+            ParseNetError::BadNumber { line, token } => {
+                write!(f, "line {line}: {token:?} is not a number")
+            }
+            ParseNetError::Geom(e) => write!(f, "invalid net: {e}"),
+        }
+    }
+}
+
+impl Error for ParseNetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetError::Geom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for ParseNetError {
+    fn from(e: GeomError) -> Self {
+        ParseNetError::Geom(e)
+    }
+}
+
+/// Parses a net from the plain-text format.
+///
+/// # Errors
+///
+/// See [`ParseNetError`].
+///
+/// # Examples
+///
+/// ```
+/// let net = bmst_io::netfile::from_str("0 0\n5 5\n# comment\n7 -1\n")?;
+/// assert_eq!(net.len(), 3);
+/// assert_eq!(net.source(), 0);
+/// # Ok::<(), bmst_io::ParseNetError>(())
+/// ```
+pub fn from_str(text: &str) -> Result<Net, ParseNetError> {
+    let mut points = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut it = content.split_whitespace();
+        let (Some(xs), Some(ys), None) = (it.next(), it.next(), it.next()) else {
+            return Err(ParseNetError::BadLine { line, content: content.to_owned() });
+        };
+        let x: f64 = xs
+            .parse()
+            .map_err(|_| ParseNetError::BadNumber { line, token: xs.to_owned() })?;
+        let y: f64 = ys
+            .parse()
+            .map_err(|_| ParseNetError::BadNumber { line, token: ys.to_owned() })?;
+        points.push(Point::new(x, y));
+    }
+    Ok(Net::with_source_first(points)?)
+}
+
+/// Serialises a net to the plain-text format (source first, full `f64`
+/// round-trip precision).
+pub fn to_string(net: &Net) -> String {
+    let mut out = String::from("# bmst net: source first, `x y` per line\n");
+    // Emit in node order with the source relocated to the front so the
+    // round-tripped net has source index 0 regardless of the original's.
+    let s = net.source();
+    let order = std::iter::once(s).chain((0..net.len()).filter(move |&i| i != s));
+    for i in order {
+        let p = net.point(i);
+        out.push_str(&format!("{:?} {:?}\n", p.x, p.y));
+    }
+    out
+}
+
+/// Reads a net from a file.
+///
+/// # Errors
+///
+/// I/O failures are converted into [`ParseNetError::BadLine`] at line 0 to
+/// keep the error type uniform; parse failures report their line.
+pub fn read(path: impl AsRef<Path>) -> Result<Net, ParseNetError> {
+    let text = fs::read_to_string(&path).map_err(|e| ParseNetError::BadLine {
+        line: 0,
+        content: format!("{}: {e}", path.as_ref().display()),
+    })?;
+    from_str(&text)
+}
+
+/// Writes a net to a file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write(path: impl AsRef<Path>, net: &Net) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_string(net).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let net = from_str("0 0\n1 2\n3 4\n").unwrap();
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.point(1), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let net = from_str("# header\n\n0 0   # the source\n\n 5.5   6.5 \n").unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.point(1), Point::new(5.5, 6.5));
+    }
+
+    #[test]
+    fn bad_line_reported_with_number() {
+        let err = from_str("0 0\n1 2 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetError::BadLine { line: 2, content: "1 2 3".into() }
+        );
+        let err = from_str("0 0\nxyz\n").unwrap_err();
+        assert!(matches!(err, ParseNetError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = from_str("0 zero\n").unwrap_err();
+        assert_eq!(err, ParseNetError::BadNumber { line: 1, token: "zero".into() });
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(from_str("# nothing\n"), Err(ParseNetError::Geom(_))));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(matches!(from_str("0 0\nNaN 3\n"), Err(ParseNetError::Geom(_))));
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let net = Net::with_source_first(vec![
+            Point::new(0.1, 0.2),
+            Point::new(1e-10, 12345.6789),
+            Point::new(-3.5, 2.25),
+        ])
+        .unwrap();
+        assert_eq!(from_str(&to_string(&net)).unwrap(), net);
+    }
+
+    #[test]
+    fn non_first_source_moves_to_front() {
+        let net = bmst_geom::Net::new(
+            vec![Point::new(9.0, 9.0), Point::new(0.0, 0.0)],
+            1,
+            bmst_geom::Metric::L1,
+        )
+        .unwrap();
+        let round = from_str(&to_string(&net)).unwrap();
+        assert_eq!(round.source(), 0);
+        assert_eq!(round.point(0), Point::new(0.0, 0.0));
+        assert_eq!(round.point(1), Point::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bmst_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.txt");
+        let net = from_str("0 0\n4 4\n").unwrap();
+        write(&path, &net).unwrap();
+        assert_eq!(read(&path).unwrap(), net);
+        let missing = read(dir.join("missing.txt"));
+        assert!(matches!(missing, Err(ParseNetError::BadLine { line: 0, .. })));
+    }
+}

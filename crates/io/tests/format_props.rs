@@ -1,0 +1,50 @@
+//! Property tests for the I/O formats.
+
+use bmst_geom::{Net, Point};
+use bmst_io::{netfile, svg};
+use proptest::prelude::*;
+
+fn arb_net() -> impl Strategy<Value = Net> {
+    proptest::collection::vec(
+        (
+            proptest::num::f64::NORMAL.prop_map(|x| (x % 1e6).abs()),
+            proptest::num::f64::NORMAL.prop_map(|y| (y % 1e6).abs()),
+        ),
+        1..12,
+    )
+    .prop_map(|coords| {
+        let pts: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        Net::with_source_first(pts).expect("finite coordinates")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary finite nets round-trip bit-for-bit (full f64 precision).
+    #[test]
+    fn netfile_round_trips_exactly(net in arb_net()) {
+        let text = netfile::to_string(&net);
+        let back = netfile::from_str(&text).expect("own output parses");
+        prop_assert_eq!(net, back);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn netfile_parser_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = netfile::from_str(&text);
+    }
+
+    /// SVG rendering of any MST is well-formed: one line per edge, balanced
+    /// document, all covered nodes marked.
+    #[test]
+    fn svg_is_well_formed(net in arb_net()) {
+        let tree = bmst_core::mst_tree(&net);
+        let doc = svg::render_tree(net.points(), &tree, &svg::SvgOptions::default());
+        prop_assert!(doc.starts_with("<svg"));
+        prop_assert!(doc.ends_with("</svg>\n"));
+        prop_assert_eq!(doc.matches("<line").count(), net.len() - 1);
+        prop_assert_eq!(doc.matches("<circle").count(), net.num_sinks());
+        prop_assert_eq!(doc.matches("<rect").count(), 2); // background + source
+    }
+}

@@ -1,0 +1,299 @@
+//! Netlists: named nets with routing criticality.
+
+use std::error::Error;
+use std::fmt;
+
+use bmst_geom::{Net, Point};
+
+/// How aggressively a net's source-sink paths must be bounded.
+///
+/// The mapping to `eps` lives in [`crate::RouterConfig`]; the tags
+/// themselves are design intent ("this is a clock", "this is a scan
+/// chain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Criticality {
+    /// Timing-critical: tight path bound (small eps).
+    Critical,
+    /// Ordinary signal net: moderate bound.
+    #[default]
+    Normal,
+    /// Non-critical (e.g. scan, reset): wirelength is all that matters.
+    Relaxed,
+}
+
+impl Criticality {
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "critical" => Some(Criticality::Critical),
+            "normal" => Some(Criticality::Normal),
+            "relaxed" => Some(Criticality::Relaxed),
+            _ => None,
+        }
+    }
+
+    /// The tag's name as written in netlist files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criticality::Critical => "critical",
+            Criticality::Normal => "normal",
+            Criticality::Relaxed => "relaxed",
+        }
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A net with a name and a criticality tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedNet {
+    /// The net's name (unique within a netlist by convention, not enforced).
+    pub name: String,
+    /// The geometry: source + sinks.
+    pub net: Net,
+    /// Routing intent.
+    pub criticality: Criticality,
+}
+
+impl NamedNet {
+    /// Bundles a net with its name and criticality.
+    pub fn new(name: impl Into<String>, net: Net, criticality: Criticality) -> Self {
+        NamedNet { name: name.into(), net, criticality }
+    }
+}
+
+/// A collection of nets to route.
+///
+/// Serialises to a simple block format (one `net <name> <criticality>`
+/// header, one `x y` terminal per line — source first — and `end`):
+///
+/// ```text
+/// net clk critical
+/// 0 0
+/// 10 3
+/// end
+/// net data0 relaxed
+/// 1 1
+/// 7 8
+/// end
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    /// The nets, in file/route order.
+    pub nets: Vec<NamedNet>,
+}
+
+/// Errors produced when parsing a netlist file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// A malformed line (wrong token count, bad number, ...).
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A `net` block was not terminated by `end`.
+    UnterminatedNet {
+        /// The net's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseNetlistError::UnterminatedNet { name } => {
+                write!(f, "net {name:?} missing `end`")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+impl Netlist {
+    /// Creates a netlist from nets.
+    pub fn new(nets: Vec<NamedNet>) -> Self {
+        Netlist { nets }
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Returns `true` when the netlist holds no nets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Total number of terminals across all nets.
+    pub fn terminal_count(&self) -> usize {
+        self.nets.iter().map(|n| n.net.len()).sum()
+    }
+
+    /// Parses the block format described on [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseNetlistError`].
+    pub fn from_str_block(text: &str) -> Result<Self, ParseNetlistError> {
+        let mut nets = Vec::new();
+        let mut current: Option<(String, Criticality, Vec<Point>, usize)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = content.split_whitespace().collect();
+            match (&mut current, tokens.as_slice()) {
+                (None, ["net", name, crit]) => {
+                    let Some(c) = Criticality::from_name(crit) else {
+                        return Err(ParseNetlistError::BadLine {
+                            line,
+                            reason: format!("unknown criticality {crit:?}"),
+                        });
+                    };
+                    current = Some((name.to_string(), c, Vec::new(), line));
+                }
+                (None, _) => {
+                    return Err(ParseNetlistError::BadLine {
+                        line,
+                        reason: format!("expected `net <name> <criticality>`, got {content:?}"),
+                    });
+                }
+                (Some((name, crit, pts, _)), ["end"]) => {
+                    let net = Net::with_source_first(std::mem::take(pts)).map_err(|e| {
+                        ParseNetlistError::BadLine { line, reason: format!("net {name:?}: {e}") }
+                    })?;
+                    nets.push(NamedNet::new(std::mem::take(name), net, *crit));
+                    current = None;
+                }
+                (Some((_, _, pts, _)), [xs, ys]) => {
+                    let parse = |t: &str| -> Result<f64, ParseNetlistError> {
+                        t.parse().map_err(|_| ParseNetlistError::BadLine {
+                            line,
+                            reason: format!("{t:?} is not a number"),
+                        })
+                    };
+                    pts.push(Point::new(parse(xs)?, parse(ys)?));
+                }
+                (Some(_), _) => {
+                    return Err(ParseNetlistError::BadLine {
+                        line,
+                        reason: format!("expected `x y` or `end`, got {content:?}"),
+                    });
+                }
+            }
+        }
+        if let Some((name, ..)) = current {
+            return Err(ParseNetlistError::UnterminatedNet { name });
+        }
+        Ok(Netlist::new(nets))
+    }
+
+    /// Serialises to the block format (round-trips with
+    /// [`Netlist::from_str_block`]).
+    pub fn to_string_block(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nets {
+            out.push_str(&format!("net {} {}\n", n.name, n.criticality));
+            let s = n.net.source();
+            let order =
+                std::iter::once(s).chain((0..n.net.len()).filter(move |&i| i != s));
+            for i in order {
+                let p = n.net.point(i);
+                out.push_str(&format!("{:?} {:?}\n", p.x, p.y));
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# two nets
+net clk critical
+0 0
+10 3
+9 -4
+end
+
+net data0 relaxed
+1 1
+7 8
+end
+";
+
+    #[test]
+    fn parses_blocks() {
+        let nl = Netlist::from_str_block(SAMPLE).unwrap();
+        assert_eq!(nl.len(), 2);
+        assert_eq!(nl.nets[0].name, "clk");
+        assert_eq!(nl.nets[0].criticality, Criticality::Critical);
+        assert_eq!(nl.nets[0].net.num_sinks(), 2);
+        assert_eq!(nl.nets[1].criticality, Criticality::Relaxed);
+        assert_eq!(nl.terminal_count(), 5);
+    }
+
+    #[test]
+    fn round_trips() {
+        let nl = Netlist::from_str_block(SAMPLE).unwrap();
+        let back = Netlist::from_str_block(&nl.to_string_block()).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn bad_criticality_rejected() {
+        let err = Netlist::from_str_block("net x urgent\n0 0\nend\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn unterminated_net_rejected() {
+        let err = Netlist::from_str_block("net x normal\n0 0\n").unwrap_err();
+        assert_eq!(err, ParseNetlistError::UnterminatedNet { name: "x".into() });
+    }
+
+    #[test]
+    fn stray_coordinates_rejected() {
+        let err = Netlist::from_str_block("0 0\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_net_block_rejected() {
+        let err = Netlist::from_str_block("net x normal\nend\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::BadLine { .. }));
+    }
+
+    #[test]
+    fn empty_text_is_empty_netlist() {
+        let nl = Netlist::from_str_block("# nothing\n").unwrap();
+        assert!(nl.is_empty());
+    }
+
+    #[test]
+    fn criticality_names_round_trip() {
+        for c in [Criticality::Critical, Criticality::Normal, Criticality::Relaxed] {
+            assert_eq!(Criticality::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Criticality::default(), Criticality::Normal);
+    }
+}

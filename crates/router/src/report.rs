@@ -1,0 +1,131 @@
+//! Routing reports.
+
+use std::fmt;
+
+use bmst_tree::RoutingTree;
+
+use crate::Criticality;
+
+/// One routed net.
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// The net's name.
+    pub name: String,
+    /// Its criticality tag.
+    pub criticality: Criticality,
+    /// The eps it was routed under.
+    pub eps: f64,
+    /// Total wirelength of its tree (Steiner wirelength for Steiner nets).
+    pub wirelength: f64,
+    /// Longest source-to-sink path length.
+    pub radius: f64,
+    /// The path-length bound it was routed under (`(1 + eps) * R`).
+    pub bound: f64,
+    /// The routing tree itself.
+    pub tree: RoutingTree,
+}
+
+impl RoutedNet {
+    /// Slack between the bound and the achieved radius (never negative for
+    /// a correct router).
+    #[inline]
+    pub fn slack(&self) -> f64 {
+        self.bound - self.radius
+    }
+}
+
+/// The aggregate result of routing a netlist.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Per-net results, in netlist order.
+    pub nets: Vec<RoutedNet>,
+    /// Sum of all net wirelengths — the paper's power/area proxy.
+    pub total_wirelength: f64,
+}
+
+impl RouteReport {
+    /// The smallest slack across all nets (`inf` for an empty report).
+    /// Negative slack would mean a bound violation.
+    pub fn worst_slack(&self) -> f64 {
+        self.nets.iter().map(RoutedNet::slack).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The net with the smallest slack, if any.
+    pub fn most_critical(&self) -> Option<&RoutedNet> {
+        self.nets
+            .iter()
+            .min_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("finite slack"))
+    }
+}
+
+impl fmt::Display for RouteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "net", "class", "eps", "wirelen", "radius", "bound", "slack"
+        )?;
+        for n in &self.nets {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                n.name,
+                n.criticality.name(),
+                if n.eps.is_infinite() { "inf".into() } else { format!("{:.2}", n.eps) },
+                n.wirelength,
+                n.radius,
+                n.bound,
+                n.slack()
+            )?;
+        }
+        writeln!(f, "total wirelength: {:.2}", self.total_wirelength)?;
+        write!(f, "worst slack: {:.2}", self.worst_slack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmst_graph::Edge;
+
+    fn routed(name: &str, radius: f64, bound: f64) -> RoutedNet {
+        RoutedNet {
+            name: name.into(),
+            criticality: Criticality::Normal,
+            eps: 0.5,
+            wirelength: 10.0,
+            radius,
+            bound,
+            tree: RoutingTree::from_edges(2, 0, vec![Edge::new(0, 1, 10.0)]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn slack_and_worst() {
+        let report = RouteReport {
+            nets: vec![routed("a", 8.0, 12.0), routed("b", 11.0, 12.0)],
+            total_wirelength: 20.0,
+        };
+        assert_eq!(report.worst_slack(), 1.0);
+        assert_eq!(report.most_critical().unwrap().name, "b");
+    }
+
+    #[test]
+    fn display_lists_every_net() {
+        let report = RouteReport {
+            nets: vec![routed("clk", 8.0, 12.0)],
+            total_wirelength: 10.0,
+        };
+        let text = report.to_string();
+        assert!(text.contains("clk"));
+        assert!(text.contains("total wirelength: 10.00"));
+        assert!(text.contains("worst slack: 4.00"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = RouteReport { nets: vec![], total_wirelength: 0.0 };
+        assert!(report.most_critical().is_none());
+        assert_eq!(report.worst_slack(), f64::INFINITY);
+    }
+}

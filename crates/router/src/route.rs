@@ -1,0 +1,222 @@
+//! The routing pass itself.
+
+use bmst_core::{bkh2, bkrus, BmstError};
+use bmst_geom::Net;
+use bmst_steiner::bkst;
+use bmst_tree::RoutingTree;
+
+use crate::{Criticality, Netlist, RouteReport, RoutedNet};
+
+/// Which construction routes each net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteAlgorithm {
+    /// BKRUS: the fast default (`O(V^3)` per net).
+    #[default]
+    Bkrus,
+    /// BKRUS + BKH2 exchange post-processing: a few percent cheaper, much
+    /// slower — the paper recommends it below ~300 terminals per net.
+    Bkh2,
+    /// Bounded Steiner trees on the Hanan grid: cheapest, rectilinear only.
+    Steiner,
+}
+
+/// Per-criticality eps assignment and algorithm selection.
+///
+/// The defaults encode the paper's trade-off curve: critical nets get a
+/// tight 10% slack, normal nets 50%, relaxed nets are pure MSTs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// `eps` for [`Criticality::Critical`] nets.
+    pub eps_critical: f64,
+    /// `eps` for [`Criticality::Normal`] nets.
+    pub eps_normal: f64,
+    /// `eps` for [`Criticality::Relaxed`] nets
+    /// (`f64::INFINITY` = unbounded MST).
+    pub eps_relaxed: f64,
+    /// The construction to use.
+    pub algorithm: RouteAlgorithm,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            eps_critical: 0.1,
+            eps_normal: 0.5,
+            eps_relaxed: f64::INFINITY,
+            algorithm: RouteAlgorithm::Bkrus,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The eps this configuration assigns to a criticality class.
+    pub fn eps_for(&self, c: Criticality) -> f64 {
+        match c {
+            Criticality::Critical => self.eps_critical,
+            Criticality::Normal => self.eps_normal,
+            Criticality::Relaxed => self.eps_relaxed,
+        }
+    }
+}
+
+fn route_one(
+    net: &Net,
+    eps: f64,
+    algorithm: RouteAlgorithm,
+) -> Result<(RoutingTree, f64), BmstError> {
+    Ok(match algorithm {
+        RouteAlgorithm::Bkrus => {
+            let t = bkrus(net, eps)?;
+            let cost = t.cost();
+            (t, cost)
+        }
+        RouteAlgorithm::Bkh2 => {
+            let t = bkh2(net, eps)?;
+            let cost = t.cost();
+            (t, cost)
+        }
+        RouteAlgorithm::Steiner => {
+            let st = bkst(net, eps)?;
+            let cost = st.wirelength();
+            (st.tree, cost)
+        }
+    })
+}
+
+impl Netlist {
+    /// Routes every net under `config`, returning the aggregate report.
+    ///
+    /// Nets are routed independently (classical global routing by nets);
+    /// the report records, per net, the wirelength, the longest source-sink
+    /// path, the bound it was routed under, and the slack between them.
+    ///
+    /// # Errors
+    ///
+    /// The first net that fails to route aborts the pass with that net's
+    /// [`BmstError`] (upper-bound-only routing cannot fail; the error paths
+    /// exist for exotic configurations).
+    pub fn route(&self, config: &RouterConfig) -> Result<RouteReport, BmstError> {
+        let mut nets = Vec::with_capacity(self.nets.len());
+        let mut total_wirelength = 0.0;
+        for n in &self.nets {
+            let eps = config.eps_for(n.criticality);
+            let bound = n.net.path_bound(eps);
+            let (tree, wirelength) = route_one(&n.net, eps, config.algorithm)?;
+            // For Steiner trees the radius of interest is over terminals
+            // only; terminal ids coincide with net node ids in both cases.
+            let radius = tree.max_dist_from_root(n.net.sinks());
+            total_wirelength += wirelength;
+            nets.push(RoutedNet {
+                name: n.name.clone(),
+                criticality: n.criticality,
+                eps,
+                wirelength,
+                radius,
+                bound,
+                tree,
+            });
+        }
+        Ok(RouteReport { nets, total_wirelength })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NamedNet;
+    use bmst_geom::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_netlist(seed: u64, nets: usize) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for i in 0..nets {
+            let n = rng.gen_range(3..9);
+            let pts = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let crit = match i % 3 {
+                0 => Criticality::Critical,
+                1 => Criticality::Normal,
+                _ => Criticality::Relaxed,
+            };
+            out.push(NamedNet::new(
+                format!("n{i}"),
+                Net::with_source_first(pts).unwrap(),
+                crit,
+            ));
+        }
+        Netlist::new(out)
+    }
+
+    #[test]
+    fn routes_all_nets_within_bounds() {
+        let nl = random_netlist(1, 9);
+        for algorithm in
+            [RouteAlgorithm::Bkrus, RouteAlgorithm::Bkh2, RouteAlgorithm::Steiner]
+        {
+            let cfg = RouterConfig { algorithm, ..RouterConfig::default() };
+            let report = nl.route(&cfg).unwrap();
+            assert_eq!(report.nets.len(), 9);
+            for rn in &report.nets {
+                assert!(
+                    rn.radius <= rn.bound + 1e-9,
+                    "{}: radius {} > bound {}",
+                    rn.name,
+                    rn.radius,
+                    rn.bound
+                );
+            }
+            assert!(report.worst_slack() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn criticality_maps_to_eps() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.eps_for(Criticality::Critical), 0.1);
+        assert_eq!(cfg.eps_for(Criticality::Normal), 0.5);
+        assert!(cfg.eps_for(Criticality::Relaxed).is_infinite());
+    }
+
+    #[test]
+    fn steiner_pass_is_cheapest() {
+        let nl = random_netlist(2, 6);
+        let spanning = nl
+            .route(&RouterConfig { algorithm: RouteAlgorithm::Bkrus, ..Default::default() })
+            .unwrap();
+        let steiner = nl
+            .route(&RouterConfig { algorithm: RouteAlgorithm::Steiner, ..Default::default() })
+            .unwrap();
+        assert!(steiner.total_wirelength <= spanning.total_wirelength + 1e-9);
+    }
+
+    #[test]
+    fn tighter_config_costs_more() {
+        let nl = random_netlist(3, 8);
+        let tight = RouterConfig {
+            eps_critical: 0.0,
+            eps_normal: 0.1,
+            eps_relaxed: 0.2,
+            algorithm: RouteAlgorithm::Bkrus,
+        };
+        let loose = RouterConfig {
+            eps_critical: 1.0,
+            eps_normal: 2.0,
+            eps_relaxed: f64::INFINITY,
+            algorithm: RouteAlgorithm::Bkrus,
+        };
+        let a = nl.route(&tight).unwrap().total_wirelength;
+        let b = nl.route(&loose).unwrap().total_wirelength;
+        assert!(b <= a + 1e-9, "loose {b} > tight {a}");
+    }
+
+    #[test]
+    fn empty_netlist_routes_trivially() {
+        let report = Netlist::default().route(&RouterConfig::default()).unwrap();
+        assert_eq!(report.nets.len(), 0);
+        assert_eq!(report.total_wirelength, 0.0);
+        assert_eq!(report.worst_slack(), f64::INFINITY);
+    }
+}

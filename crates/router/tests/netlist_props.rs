@@ -1,0 +1,59 @@
+//! Property tests for the netlist format and the routing pass.
+
+use bmst_geom::{Net, Point};
+use bmst_router::{Criticality, NamedNet, Netlist, RouterConfig};
+use proptest::prelude::*;
+
+fn arb_named_net() -> impl Strategy<Value = NamedNet> {
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        proptest::collection::vec((0i32..200, 0i32..200), 1..=8),
+        0usize..3,
+    )
+        .prop_map(|(name, coords, crit)| {
+            let pts: Vec<Point> = coords
+                .iter()
+                .map(|&(x, y)| Point::new(x as f64 * 0.5, y as f64 * 0.25))
+                .collect();
+            let criticality = match crit {
+                0 => Criticality::Critical,
+                1 => Criticality::Normal,
+                _ => Criticality::Relaxed,
+            };
+            NamedNet::new(name, Net::with_source_first(pts).expect("finite"), criticality)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Netlists round-trip through the block format exactly.
+    #[test]
+    fn block_format_round_trips(nets in proptest::collection::vec(arb_named_net(), 0..6)) {
+        let nl = Netlist::new(nets);
+        let text = nl.to_string_block();
+        let back = Netlist::from_str_block(&text).expect("own output parses");
+        prop_assert_eq!(nl, back);
+    }
+
+    /// Routing any netlist meets every per-net bound and sums wirelengths.
+    #[test]
+    fn routing_meets_bounds(nets in proptest::collection::vec(arb_named_net(), 1..5)) {
+        let nl = Netlist::new(nets);
+        let report = nl.route(&RouterConfig::default()).expect("routes");
+        prop_assert_eq!(report.nets.len(), nl.len());
+        let mut total = 0.0;
+        for rn in &report.nets {
+            prop_assert!(rn.radius <= rn.bound + 1e-9, "{}", rn.name);
+            prop_assert!(rn.slack() >= -1e-9);
+            total += rn.wirelength;
+        }
+        prop_assert!((total - report.total_wirelength).abs() < 1e-9);
+    }
+
+    /// Garbage lines never panic the parser.
+    #[test]
+    fn parser_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = Netlist::from_str_block(&text);
+    }
+}

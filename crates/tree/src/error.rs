@@ -1,0 +1,95 @@
+//! Error type for routing-tree construction and mutation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or mutating a [`crate::RoutingTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The root index is outside the node universe.
+    RootOutOfBounds {
+        /// Offending root index.
+        root: usize,
+        /// Size of the node universe.
+        n: usize,
+    },
+    /// An edge references a node outside the node universe.
+    NodeOutOfBounds {
+        /// Offending node index.
+        node: usize,
+        /// Size of the node universe.
+        n: usize,
+    },
+    /// The edge set contains a cycle (two edges reach the same node).
+    Cycle {
+        /// A node reached twice.
+        node: usize,
+    },
+    /// Some edges are not reachable from the root.
+    Disconnected {
+        /// Number of edges that could not be attached to the root component.
+        unattached_edges: usize,
+    },
+    /// A queried node is not covered by this (Steiner) tree.
+    NodeNotCovered {
+        /// The uncovered node.
+        node: usize,
+    },
+    /// A T-exchange referenced an edge that is not in the tree.
+    NotATreeEdge {
+        /// Child endpoint of the requested tree edge.
+        u: usize,
+        /// Other endpoint of the requested tree edge.
+        v: usize,
+    },
+    /// A T-exchange would disconnect the tree (the added edge does not
+    /// reconnect the two components created by the removal).
+    InvalidExchange,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::RootOutOfBounds { root, n } => {
+                write!(f, "root {root} out of bounds for {n} nodes")
+            }
+            TreeError::NodeOutOfBounds { node, n } => {
+                write!(f, "edge endpoint {node} out of bounds for {n} nodes")
+            }
+            TreeError::Cycle { node } => {
+                write!(f, "edge set contains a cycle through node {node}")
+            }
+            TreeError::Disconnected { unattached_edges } => {
+                write!(f, "{unattached_edges} edges are not reachable from the root")
+            }
+            TreeError::NodeNotCovered { node } => {
+                write!(f, "node {node} is not covered by the tree")
+            }
+            TreeError::NotATreeEdge { u, v } => {
+                write!(f, "({u}, {v}) is not a tree edge")
+            }
+            TreeError::InvalidExchange => {
+                f.write_str("exchange edge does not reconnect the split components")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(TreeError::RootOutOfBounds { root: 9, n: 3 }.to_string().contains("root 9"));
+        assert!(TreeError::Cycle { node: 2 }.to_string().contains("cycle"));
+        assert!(TreeError::Disconnected { unattached_edges: 4 }.to_string().contains('4'));
+        assert!(TreeError::NodeNotCovered { node: 1 }.to_string().contains("not covered"));
+        assert!(TreeError::NotATreeEdge { u: 0, v: 1 }.to_string().contains("not a tree edge"));
+        assert!(TreeError::InvalidExchange.to_string().contains("reconnect"));
+        assert!(TreeError::NodeOutOfBounds { node: 5, n: 2 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Clock-skew control with the lower/upper bounded construction (§6 of the
+//! paper): bound every source-to-sink path from *both* sides so that no
+//! flip-flop clocks too late (upper bound) or too early — the
+//! "double clocking" hazard (lower bound).
+//!
+//! Run: `cargo run --release --example clock_skew`
+
+use bmst_core::{lub_bkrus, mst_tree, BmstError};
+use bmst_geom::{Net, Point};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A clock source in the die centre and flip-flop groups around it.
+    let net = Net::with_source_first(vec![
+        Point::new(0.0, 0.0), // clock driver
+        Point::new(8.0, 2.0),
+        Point::new(-7.0, 3.0),
+        Point::new(2.0, -9.0),
+        Point::new(-4.0, -6.0),
+        Point::new(5.0, 6.0),
+        Point::new(-9.0, -1.0),
+    ])?;
+    let r = net.source_radius();
+    let mst_cost = mst_tree(&net).cost();
+    println!("clock net: {} sinks, R = {r}, cost(MST) = {mst_cost:.1}", net.num_sinks());
+    println!();
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>10}",
+        "window", "shortest", "longest", "skew", "cost/MST"
+    );
+
+    // Tighten the window step by step: skew (longest/shortest) falls,
+    // wirelength rises.
+    for (eps1, eps2) in [(0.0, 1.0), (0.3, 0.5), (0.5, 0.3), (0.7, 0.2), (0.8, 0.1)] {
+        match lub_bkrus(&net, eps1, eps2) {
+            Ok(tree) => {
+                let shortest = tree.min_dist_from_root(net.sinks());
+                let longest = tree.max_dist_from_root(net.sinks());
+                println!(
+                    "[{:.1},{:.1}] {shortest:>12.2} {longest:>12.2} {:>10.2} {:>10.2}",
+                    eps1,
+                    1.0 + eps2,
+                    longest / shortest,
+                    tree.cost() / mst_cost,
+                );
+                // The window really holds for every sink.
+                for v in net.sinks() {
+                    let p = tree.dist_from_root(v);
+                    assert!(p >= eps1 * r - 1e-9 && p <= (1.0 + eps2) * r + 1e-9);
+                }
+            }
+            Err(BmstError::Infeasible { .. }) => {
+                // Spanning trees route sink-to-sink; some windows only a
+                // Steiner topology could satisfy (the paper's Table 5 "-").
+                println!("[{:.1},{:.1}] {:>12} {:>12} {:>10} {:>10}", eps1, 1.0 + eps2, "-", "-", "-", "-");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    println!();
+    println!("Instead of burning area and power on delay buffers for fast paths,");
+    println!("the lower bound lengthens them by wire-length control.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Head-to-head comparison of every construction in the workspace on one
+//! net — the paper's Figure 11 ordering, live.
+//!
+//! Run: `cargo run --release --example compare_heuristics`
+
+use bmst_core::{
+    bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, maximal_spanning_tree, mst_tree, spt_tree,
+    BkexConfig,
+};
+use bmst_instances::random_net;
+use bmst_steiner::bkst;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = random_net(12, 2024);
+    let eps = 0.2;
+    println!(
+        "random net: {} sinks, R = {:.1}, eps = {eps} (bound {:.1})",
+        net.num_sinks(),
+        net.source_radius(),
+        net.path_bound(eps)
+    );
+    println!();
+
+    let mst = mst_tree(&net);
+    let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+    let mut push = |name: &'static str, cost: f64, radius: f64| {
+        rows.push((name, cost, radius));
+    };
+
+    push("BKST (Steiner)", bkst(&net, eps)?.wirelength(), bkst(&net, eps)?.terminal_radius());
+    push("MST (unbounded)", mst.cost(), mst.source_radius());
+    push("BMST_G (exact)", gabow_bmst(&net, eps)?.cost(), gabow_bmst(&net, eps)?.source_radius());
+    let ex = bkex(&net, eps, BkexConfig::default())?;
+    push("BKEX", ex.cost(), ex.source_radius());
+    let h2 = bkh2(&net, eps)?;
+    push("BKH2", h2.cost(), h2.source_radius());
+    let bk = bkrus(&net, eps)?;
+    push("BKRUS", bk.cost(), bk.source_radius());
+    let pb = bprim(&net, eps)?;
+    push("BPRIM", pb.cost(), pb.source_radius());
+    let br = brbc(&net, eps)?;
+    push("BRBC", br.cost(), br.source_radius());
+    let spt = spt_tree(&net);
+    push("SPT", spt.cost(), spt.source_radius());
+    let maxst = maximal_spanning_tree(&net);
+    push("MaxST (ceiling)", maxst.cost(), maxst.source_radius());
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    println!("{:<18} {:>10} {:>10} {:>10}", "construction", "cost", "cost/MST", "radius");
+    for (name, cost, radius) in rows {
+        println!(
+            "{name:<18} {cost:>10.2} {:>10.3} {:>10.2}",
+            cost / mst.cost(),
+            radius
+        );
+    }
+    println!();
+    println!("Only MST, MaxST and SPT ignore the bound; everything else keeps the");
+    println!("longest source-sink path within (1 + eps) * R.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a net, construct a bounded path length spanning tree,
+//! and inspect the cost/radius trade-off.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use bmst_core::{bkrus, mst_tree, spt_tree};
+use bmst_geom::{Net, Point};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A driver at the origin and eight sinks scattered to its right — a
+    // typical signal net after placement.
+    let net = Net::with_source_first(vec![
+        Point::new(0.0, 0.0), // the source (driver)
+        Point::new(9.0, 2.0),
+        Point::new(11.0, -1.0),
+        Point::new(12.0, 3.0),
+        Point::new(8.0, -3.0),
+        Point::new(14.0, 1.0),
+        Point::new(10.0, 5.0),
+        Point::new(6.0, 4.0),
+        Point::new(13.0, -2.0),
+    ])?;
+
+    // R is the direct distance to the farthest sink: no tree can deliver the
+    // signal there along a shorter route.
+    let r = net.source_radius();
+    println!("net: {} sinks, R = {r}", net.num_sinks());
+    println!();
+
+    // The two classical extremes.
+    let mst = mst_tree(&net);
+    let spt = spt_tree(&net);
+    println!("MST: cost {:6.2}, radius {:6.2}  (cheapest, slowest)", mst.cost(), mst.source_radius());
+    println!("SPT: cost {:6.2}, radius {:6.2}  (fastest, priciest)", spt.cost(), spt.source_radius());
+    println!();
+
+    // BKRUS sweeps smoothly between them: radius <= (1 + eps) * R.
+    println!("{:>5} {:>10} {:>10} {:>14}", "eps", "cost", "radius", "radius bound");
+    for eps in [0.0, 0.1, 0.25, 0.5, 1.0, f64::INFINITY] {
+        let tree = bkrus(&net, eps)?;
+        let bound = net.path_bound(eps);
+        println!(
+            "{:>5} {:>10.2} {:>10.2} {:>14.2}",
+            if eps.is_infinite() { "inf".into() } else { format!("{eps}") },
+            tree.cost(),
+            tree.source_radius(),
+            bound,
+        );
+        assert!(tree.source_radius() <= bound + 1e-9);
+    }
+
+    println!();
+    println!("Pick eps by how much extra delay the timing budget tolerates; the");
+    println!("tree's wirelength (and hence power) shrinks as eps grows.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Renders the paper's special benchmarks and their routing trees to SVG —
+//! the fastest way to *see* what the bound does to a topology.
+//!
+//! Run: `cargo run --release --example render_gallery`
+//! Writes `gallery/*.svg` into the current directory.
+
+use bmst_core::{bkrus, mst_tree, spt_tree};
+use bmst_io::svg::{self, SvgOptions};
+use bmst_instances::Benchmark;
+use bmst_steiner::bkst;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("gallery");
+    std::fs::create_dir_all(dir)?;
+    let opts = SvgOptions::default();
+
+    for b in Benchmark::SPECIAL {
+        let net = b.build();
+        let pts = net.points();
+
+        let mst = mst_tree(&net);
+        svg::write_tree(dir.join(format!("{}_mst.svg", b.name())), pts, &mst, &opts)?;
+
+        let spt = spt_tree(&net);
+        svg::write_tree(dir.join(format!("{}_spt.svg", b.name())), pts, &spt, &opts)?;
+
+        let bkt = bkrus(&net, 0.2)?;
+        svg::write_tree(dir.join(format!("{}_bkrus_eps02.svg", b.name())), pts, &bkt, &opts)?;
+
+        let st = bkst(&net, 0.2)?;
+        let st_opts = SvgOptions { terminals: st.num_terminals, ..SvgOptions::default() };
+        svg::write_tree(
+            dir.join(format!("{}_bkst_eps02.svg", b.name())),
+            &st.points,
+            &st.tree,
+            &st_opts,
+        )?;
+
+        println!(
+            "{:<4} MST {:7.2} | SPT {:7.2} | BKRUS@0.2 {:7.2} | BKST@0.2 {:7.2}",
+            b.name(),
+            mst.cost(),
+            spt.cost(),
+            bkt.cost(),
+            st.wirelength()
+        );
+    }
+    println!();
+    println!("wrote gallery/*.svg — open them in any browser.");
+    Ok(())
+}

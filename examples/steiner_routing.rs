@@ -1,0 +1,53 @@
+//! Bounded path length *Steiner* routing on the Hanan grid (§3.3 of the
+//! paper): BKST introduces Steiner points so sinks can share trunks,
+//! beating every spanning construction — while still honouring the radius
+//! bound.
+//!
+//! Run: `cargo run --release --example steiner_routing`
+
+use bmst_core::{bkh2, bkrus, mst_tree};
+use bmst_geom::{Net, Point};
+use bmst_steiner::bkst;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A source on the left and two columns of sinks that want to share
+    // vertical trunks.
+    let net = Net::with_source_first(vec![
+        Point::new(0.0, 0.0),
+        Point::new(8.0, 3.0),
+        Point::new(8.0, -3.0),
+        Point::new(8.0, 1.0),
+        Point::new(12.0, 2.0),
+        Point::new(12.0, -2.0),
+        Point::new(12.0, 4.0),
+    ])?;
+    let eps = 0.3;
+    let bound = net.path_bound(eps);
+    println!("net: {} sinks, R = {}, bound = {bound}", net.num_sinks(), net.source_radius());
+    println!();
+
+    let mst = mst_tree(&net);
+    let spanning = bkrus(&net, eps)?;
+    let improved = bkh2(&net, eps)?;
+    let steiner = bkst(&net, eps)?;
+
+    println!("MST (unbounded)       cost {:6.2}", mst.cost());
+    println!("BKRUS spanning tree   cost {:6.2}", spanning.cost());
+    println!("BKH2  spanning tree   cost {:6.2}", improved.cost());
+    println!("BKST  Steiner tree    cost {:6.2}", steiner.wirelength());
+    println!();
+
+    let steiner_points: Vec<_> = steiner.steiner_nodes().collect();
+    println!("BKST materialised {} Steiner point(s):", steiner_points.len());
+    for id in steiner_points {
+        println!("   node {id} at {}", steiner.points[id]);
+    }
+    println!();
+    println!(
+        "Steiner sharing saves {:.1}% of the bounded spanning wirelength",
+        (1.0 - steiner.wirelength() / spanning.cost()) * 100.0
+    );
+    assert!(steiner.terminal_radius() <= bound + 1e-9);
+    println!("and the longest source-sink path ({:.2}) still meets the bound.", steiner.terminal_radius());
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the BMST reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so the examples and
+//! integration tests can use a single import root. Library users should
+//! depend on the individual crates (`bmst-core`, `bmst-steiner`, ...)
+//! directly.
+
+pub use bmst_clock as clock;
+pub use bmst_core as core;
+pub use bmst_geom as geom;
+pub use bmst_graph as graph;
+pub use bmst_instances as instances;
+pub use bmst_io as io;
+pub use bmst_router as router;
+pub use bmst_steiner as steiner;
+pub use bmst_tree as tree;

@@ -1,0 +1,178 @@
+//! Failure-injection and degenerate-input tests across the whole stack:
+//! every public construction must either route correctly or fail with a
+//! typed error — never panic, never return an out-of-contract tree.
+
+use bmst_core::{
+    bkex, bkh2, bkrus, bkrus_elmore, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree,
+    prim_dijkstra, spt_tree, BkexConfig, BmstError,
+};
+use bmst_geom::{GeomError, Metric, Net, Point};
+use bmst_steiner::bkst;
+use bmst_tree::ElmoreParams;
+
+/// Nets every algorithm must digest: single terminal, one sink, coincident
+/// sinks, fully collinear, extreme coordinates, and a zero-radius cluster
+/// with one outlier.
+fn degenerate_nets() -> Vec<(&'static str, Net)> {
+    vec![
+        (
+            "single",
+            Net::with_source_first(vec![Point::new(3.0, 3.0)]).unwrap(),
+        ),
+        (
+            "one-sink",
+            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)])
+                .unwrap(),
+        ),
+        (
+            "coincident-sinks",
+            Net::with_source_first(vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 5.0),
+                Point::new(5.0, 5.0),
+                Point::new(5.0, 5.0),
+            ])
+            .unwrap(),
+        ),
+        (
+            "collinear",
+            Net::with_source_first(
+                (0..7).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect(),
+            )
+            .unwrap(),
+        ),
+        (
+            "huge-coordinates",
+            Net::with_source_first(vec![
+                Point::new(1e12, -1e12),
+                Point::new(1e12 + 5.0, -1e12),
+                Point::new(1e12, -1e12 + 7.0),
+            ])
+            .unwrap(),
+        ),
+        (
+            "sink-on-source",
+            Net::with_source_first(vec![
+                Point::new(2.0, 2.0),
+                Point::new(2.0, 2.0),
+                Point::new(9.0, 2.0),
+            ])
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_construction_survives_degenerate_nets() {
+    for (name, net) in degenerate_nets() {
+        for eps in [0.0, 0.5, f64::INFINITY] {
+            let bound = net.path_bound(eps) + 1e-6;
+            let check = |alg: &str, tree: &bmst_tree::RoutingTree| {
+                assert!(tree.is_spanning(), "{name}/{alg}/{eps}");
+                assert!(
+                    tree.max_dist_from_root(net.sinks()) <= bound,
+                    "{name}/{alg}/{eps}"
+                );
+            };
+            check("bkrus", &bkrus(&net, eps).unwrap());
+            check("bkh2", &bkh2(&net, eps).unwrap());
+            check("bprim", &bprim(&net, eps).unwrap());
+            check("brbc", &brbc(&net, eps).unwrap());
+            check("bkex", &bkex(&net, eps, BkexConfig::default()).unwrap());
+            if net.len() <= 7 {
+                check("gabow", &gabow_bmst(&net, eps).unwrap());
+            }
+            check("pd", &prim_dijkstra(&net, 0.5).unwrap());
+            check("mst", &mst_tree(&net));
+            check("spt", &spt_tree(&net));
+
+            let st = bkst(&net, eps).unwrap();
+            assert!(st.terminal_radius() <= bound, "{name}/bkst/{eps}");
+            for t in 0..net.len() {
+                assert!(st.tree.is_covered(t), "{name}/bkst/{eps}: terminal {t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn elmore_constructions_survive_degenerate_nets() {
+    for (name, net) in degenerate_nets() {
+        let params =
+            ElmoreParams::uniform_loads(net.len(), net.source(), 0.1, 0.1, 50.0, 1.0, 1.0);
+        // A strong driver makes even eps = 0.5 widely feasible; where the
+        // scan dead-ends the error must be typed, not a panic.
+        match bkrus_elmore(&net, 0.5, &params) {
+            Ok(t) => assert!(t.is_spanning(), "{name}"),
+            Err(BmstError::Infeasible { .. }) => {}
+            Err(e) => panic!("{name}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn invalid_parameters_fail_typed() {
+    let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])
+        .unwrap();
+    for bad in [-0.5, f64::NAN, f64::NEG_INFINITY] {
+        assert!(matches!(bkrus(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
+        assert!(matches!(bkst(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
+        assert!(matches!(bprim(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
+    }
+    // LUB with inverted window.
+    assert!(matches!(
+        lub_bkrus(&net, 5.0, 0.0),
+        Err(BmstError::EmptyBoundWindow { .. })
+    ));
+    // Steiner on Euclidean nets.
+    let l2 = Net::new(
+        vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+        0,
+        Metric::L2,
+    )
+    .unwrap();
+    assert!(matches!(bkst(&l2, 0.5), Err(BmstError::UnsupportedMetric { .. })));
+}
+
+#[test]
+fn geometry_validation_is_airtight() {
+    assert_eq!(Net::with_source_first(vec![]), Err(GeomError::EmptyNet));
+    assert!(matches!(
+        Net::with_source_first(vec![Point::new(f64::INFINITY, 0.0)]),
+        Err(GeomError::NonFinitePoint { index: 0 })
+    ));
+    assert!(matches!(
+        Net::new(vec![Point::ORIGIN], 7, Metric::L1),
+        Err(GeomError::SourceOutOfBounds { .. })
+    ));
+}
+
+/// L2 nets route through every spanning construction (the paper formulates
+/// BMST for both metrics; only the Steiner grid is L1-specific).
+#[test]
+fn euclidean_metric_supported_by_spanning_algorithms() {
+    let net = Net::new(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(-4.0, 3.0),
+            Point::new(5.0, -1.0),
+        ],
+        0,
+        Metric::L2,
+    )
+    .unwrap();
+    for eps in [0.0, 0.3] {
+        let bound = net.path_bound(eps) + 1e-9;
+        for tree in [
+            bkrus(&net, eps).unwrap(),
+            bkh2(&net, eps).unwrap(),
+            bprim(&net, eps).unwrap(),
+            brbc(&net, eps).unwrap(),
+            gabow_bmst(&net, eps).unwrap(),
+        ] {
+            assert!(tree.is_spanning());
+            assert!(tree.max_dist_from_root(net.sinks()) <= bound);
+        }
+    }
+}

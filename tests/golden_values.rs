@@ -1,0 +1,79 @@
+//! Golden regression values: fixed seeds, exact expected costs.
+//!
+//! Every algorithm in the workspace is deterministic, so any change to
+//! these numbers means the *algorithm* changed — deliberately or not. The
+//! values were recorded from the initial release build; update them only
+//! with an explanation of what changed and why that is correct.
+
+use bmst_core::{bkh2, bkrus, bprim, brbc, mst_tree, spt_tree};
+use bmst_instances::random_net;
+use bmst_steiner::bkst;
+
+/// (seed, mst, spt, bkrus@0.2, bkh2@0.2, bprim@0.2, brbc@0.2, bkst@0.2)
+type GoldenRow = (u64, f64, f64, f64, f64, f64, f64, f64);
+
+const GOLDEN: [GoldenRow; 3] = [
+    (
+        11,
+        219.9189246550,
+        543.2251846240,
+        278.0062618983,
+        240.3616694532,
+        265.6726828739,
+        543.2251846240,
+        227.9909703320,
+    ),
+    (
+        22,
+        281.9641349640,
+        537.3212453640,
+        287.4950841042,
+        287.4950841042,
+        292.9498338109,
+        537.3212453640,
+        281.7886308552,
+    ),
+    (
+        33,
+        239.2197346246,
+        502.0298269443,
+        239.2197346246,
+        239.2197346246,
+        279.5326326004,
+        418.7266583535,
+        225.2440984053,
+    ),
+];
+
+const TOL: f64 = 1e-6;
+
+#[test]
+fn algorithm_outputs_are_stable() {
+    for &(seed, mst, spt, bk, h2, bp, br, st) in &GOLDEN {
+        let net = random_net(9, seed);
+        let eps = 0.2;
+        assert!((mst_tree(&net).cost() - mst).abs() < TOL, "mst seed {seed}");
+        assert!((spt_tree(&net).cost() - spt).abs() < TOL, "spt seed {seed}");
+        assert!((bkrus(&net, eps).unwrap().cost() - bk).abs() < TOL, "bkrus seed {seed}");
+        assert!((bkh2(&net, eps).unwrap().cost() - h2).abs() < TOL, "bkh2 seed {seed}");
+        assert!((bprim(&net, eps).unwrap().cost() - bp).abs() < TOL, "bprim seed {seed}");
+        assert!((brbc(&net, eps).unwrap().cost() - br).abs() < TOL, "brbc seed {seed}");
+        assert!(
+            (bkst(&net, eps).unwrap().wirelength() - st).abs() < TOL,
+            "bkst seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn benchmark_builders_are_stable() {
+    use bmst_instances::Benchmark;
+    // Characteristic values of the rebuilt special benchmarks; these anchor
+    // the Table 1 reproduction.
+    let p1 = Benchmark::P1.build();
+    assert!((p1.source_radius() - 20.4).abs() < 1e-9);
+    assert!((p1.source_nearest() - 20.0).abs() < 1e-9);
+    let p4 = Benchmark::P4.build();
+    assert!((p4.source_radius() - 10.4).abs() < 1e-9);
+    assert!((p4.source_nearest() - 5.8).abs() < 1e-9);
+}

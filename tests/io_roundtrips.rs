@@ -1,0 +1,82 @@
+//! Integration tests for the I/O layer against real benchmark instances and
+//! real routing results.
+
+use bmst_core::{bkrus, mst_tree};
+use bmst_instances::{random_net, Benchmark};
+use bmst_io::{netfile, svg};
+use bmst_steiner::bkst;
+
+/// Every special benchmark survives a net-file round trip bit-for-bit.
+#[test]
+fn benchmarks_round_trip_through_netfile() {
+    for b in Benchmark::SPECIAL {
+        let net = b.build();
+        let text = netfile::to_string(&net);
+        let back = netfile::from_str(&text).unwrap();
+        assert_eq!(net, back, "{}", b.name());
+    }
+    // And one of the larger substitutes.
+    let net = Benchmark::Pr1.build();
+    assert_eq!(netfile::from_str(&netfile::to_string(&net)).unwrap(), net);
+}
+
+/// Routing a round-tripped net gives the identical tree (full determinism
+/// through serialisation).
+#[test]
+fn routing_is_stable_across_serialisation() {
+    for seed in 0..4 {
+        let net = random_net(10, 1300 + seed);
+        let back = netfile::from_str(&netfile::to_string(&net)).unwrap();
+        let a = bkrus(&net, 0.2).unwrap();
+        let b = bkrus(&back, 0.2).unwrap();
+        assert_eq!(a.edges().len(), b.edges().len());
+        assert!((a.cost() - b.cost()).abs() < 1e-12);
+        for (ea, eb) in a.edges().iter().zip(b.edges().iter()) {
+            assert_eq!(ea.endpoints(), eb.endpoints());
+        }
+    }
+}
+
+/// SVG rendering works for spanning and Steiner trees of every special
+/// benchmark, marking the right node classes.
+#[test]
+fn svg_renders_benchmark_trees() {
+    for b in Benchmark::SPECIAL {
+        let net = b.build();
+
+        let spanning = mst_tree(&net);
+        let doc = svg::render_tree(net.points(), &spanning, &svg::SvgOptions::default());
+        assert_eq!(doc.matches("<line").count(), net.len() - 1, "{}", b.name());
+        assert_eq!(doc.matches("<circle").count(), net.num_sinks());
+
+        let st = bkst(&net, 0.3).unwrap();
+        let opts = svg::SvgOptions { terminals: st.num_terminals, ..Default::default() };
+        let doc = svg::render_tree(&st.points, &st.tree, &opts);
+        // All terminals drawn as sinks/source, Steiner nodes hollow.
+        assert_eq!(
+            doc.matches(r##"fill="#2ca02c""##).count(),
+            net.num_sinks(),
+            "{}: sink markers",
+            b.name()
+        );
+        assert_eq!(
+            doc.matches("steiner ").count(),
+            st.steiner_nodes().count(),
+            "{}: steiner markers",
+            b.name()
+        );
+    }
+}
+
+/// The netfile parser accepts the exact output of `bmst gen` (CLI glue).
+#[test]
+fn cli_gen_output_parses() {
+    let out = bmst_cli_gen(12, 5);
+    let net = netfile::from_str(&out).unwrap();
+    assert_eq!(net.num_sinks(), 12);
+}
+
+fn bmst_cli_gen(sinks: usize, seed: u64) -> String {
+    // Use the library entry point rather than spawning a process.
+    bmst_io::netfile::to_string(&bmst_instances::uniform_cloud(sinks, 100.0, seed))
+}

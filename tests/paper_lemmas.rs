@@ -1,0 +1,201 @@
+//! Tests for the paper's formal claims (lemmas and worked examples).
+
+use bmst_core::forest::KruskalForest;
+use bmst_core::{bkrus, bkrus_trace, preprocess_edges, EdgeDecision, PathConstraint};
+use bmst_geom::{le_tol, Net, Point};
+use bmst_graph::Edge;
+use bmst_instances::random_net;
+
+/// Lemma 3.1: once BKRUS rejects an edge for the bound, that edge can never
+/// become feasible later. We verify it operationally: replay the
+/// construction, and at every later step re-test each bound-rejected edge
+/// against the current forest — it must still be infeasible.
+#[test]
+fn lemma_3_1_rejected_edges_stay_rejected() {
+    for seed in 0..6 {
+        let net = random_net(9, 900 + seed);
+        for eps in [0.0, 0.1, 0.3] {
+            let (_, trace) = bkrus_trace(&net, eps).unwrap();
+            let bound = net.path_bound(eps);
+            let d = net.distance_matrix();
+            let dist_s: Vec<f64> =
+                (0..net.len()).map(|v| d[(net.source(), v)]).collect();
+
+            // Replay: maintain the forest; after each accepted merge, every
+            // previously bound-rejected edge must still fail the test
+            // (unless its endpoints have meanwhile merged — then it is a
+            // cycle edge, also unusable).
+            let mut forest = KruskalForest::new(net.len(), net.source());
+            let mut rejected: Vec<Edge> = Vec::new();
+            for ev in &trace {
+                match ev.decision {
+                    EdgeDecision::RejectedBound => rejected.push(ev.edge),
+                    EdgeDecision::RejectedCycle => {}
+                    EdgeDecision::Accepted => {
+                        forest.merge(ev.edge.u, ev.edge.v, ev.edge.weight);
+                        for e in &rejected {
+                            if forest.same_component(e.u, e.v) {
+                                continue; // now a cycle edge
+                            }
+                            assert!(
+                                !forest.is_feasible_merge(
+                                    e.u, e.v, e.weight, &dist_s, bound
+                                ),
+                                "seed {seed} eps {eps}: rejected edge {e} became feasible"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The paper (§5): "BKT is a local optimum with respect to a single
+/// T-exchange" — no single feasible exchange lowers its cost.
+#[test]
+fn bkt_is_single_exchange_local_optimum() {
+    for seed in 0..6 {
+        let net = random_net(8, 950 + seed);
+        for eps in [0.1, 0.4] {
+            let tree = bkrus(&net, eps).unwrap();
+            let bound = net.path_bound(eps);
+            let d = net.distance_matrix();
+            let n = net.len();
+            for x in 0..n {
+                for y in (x + 1)..n {
+                    if tree.contains_edge(x, y) {
+                        continue;
+                    }
+                    // Every cycle edge that could be removed:
+                    for w in tree.path_nodes(x, y) {
+                        if tree.parent(w).is_none() {
+                            continue;
+                        }
+                        let Ok(t2) =
+                            tree.apply_exchange(w, Edge::new(x, y, d[(x, y)]))
+                        else {
+                            continue;
+                        };
+                        if t2.satisfies_upper_bound(bound, net.sinks()) {
+                            assert!(
+                                t2.cost() >= tree.cost() - 1e-9,
+                                "seed {seed} eps {eps}: feasible exchange improved BKT \
+                                 ({} -> {})",
+                                tree.cost(),
+                                t2.cost()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 4.1/4.2 soundness: preprocessing never removes *all* optimal
+/// solutions — the optimum over the kept edge set equals the optimum over
+/// the full edge set (checked by brute force on tiny nets).
+#[test]
+fn preprocessing_preserves_the_optimum() {
+    use bmst_tree::RoutingTree;
+
+    fn brute_opt(net: &Net, edges: &[Edge], bound: f64) -> Option<f64> {
+        let n = net.len();
+        let m = edges.len();
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != n - 1 {
+                continue;
+            }
+            let chosen: Vec<Edge> =
+                (0..m).filter(|&i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            if let Ok(t) = RoutingTree::from_edges(n, net.source(), chosen) {
+                if t.is_spanning() && t.satisfies_upper_bound(bound, net.sinks()) {
+                    best = Some(best.map_or(t.cost(), |b: f64| b.min(t.cost())));
+                }
+            }
+        }
+        best
+    }
+
+    for seed in 0..6 {
+        let net = random_net(4, 980 + seed);
+        for eps in [0.0, 0.2, 0.6] {
+            let constraint = PathConstraint::from_eps(&net, eps).unwrap();
+            let all = bmst_graph::complete_edges(&net.distance_matrix());
+            let (kept, forced) = preprocess_edges(&net, constraint);
+            let full = brute_opt(&net, &all, constraint.upper);
+            let pruned = brute_opt(&net, &kept, constraint.upper);
+            assert_eq!(
+                full.is_some(),
+                pruned.is_some(),
+                "seed {seed} eps {eps}: feasibility changed"
+            );
+            if let (Some(f), Some(p)) = (full, pruned) {
+                assert!(
+                    (f - p).abs() < 1e-9,
+                    "seed {seed} eps {eps}: optimum changed {f} -> {p}"
+                );
+            }
+            // Forced edges (Lemma 4.3) appear in every feasible tree: verify
+            // the optimum is achievable using them.
+            for e in &forced {
+                assert!(kept.iter().any(|k| k.endpoints() == e.endpoints()));
+            }
+        }
+    }
+}
+
+/// Lemma 6.1: a direct source edge shorter than the lower bound never
+/// appears in a lower-bounded BKRUS tree.
+#[test]
+fn lemma_6_1_short_source_edges_excluded() {
+    for seed in 0..6 {
+        let net = random_net(8, 1100 + seed);
+        let r = net.source_radius();
+        let lower = 0.5 * r;
+        if let Ok(tree) = bmst_core::lub_bkrus(&net, 0.5, 1.0) {
+            let s = net.source();
+            for e in tree.edges() {
+                if e.connects(s) {
+                    assert!(
+                        le_tol(lower, e.weight),
+                        "seed {seed}: source edge of length {} below lower bound {lower}",
+                        e.weight
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The paper's Figure 2 feasibility conditions, directly:
+/// (3-a) with the source in one partial tree, (3-b) with the source in
+/// neither. Constructed so both branches are exercised with exact numbers.
+#[test]
+fn feasibility_conditions_exact_values() {
+    // Line: S(0) - a(1) at 4 - b(2) at 5 - c(3) at 9 (coordinates on x axis).
+    let net = Net::with_source_first(vec![
+        Point::new(0.0, 0.0),
+        Point::new(4.0, 0.0),
+        Point::new(5.0, 0.0),
+        Point::new(9.0, 0.0),
+    ])
+    .unwrap();
+    let d = net.distance_matrix();
+    let dist_s: Vec<f64> = (0..4).map(|v| d[(0, v)]).collect();
+
+    // (3-b): merge b and c away from the source: candidate x = b gives
+    // dist(S,b) + (0 + 4 + 0) = 9; feasible iff bound >= 9.
+    let mut f = KruskalForest::new(4, 0);
+    assert!(f.is_feasible_merge(2, 3, 4.0, &dist_s, 9.0));
+    assert!(!f.is_feasible_merge(2, 3, 4.0, &dist_s, 8.9));
+    f.merge(2, 3, 4.0);
+
+    // (3-a): source tree = {S, a} after merging edge (S, a); attach the
+    // {b, c} tree via (a, b): path(S,a) + d(a,b) + radius(b) = 4 + 1 + 4 = 9.
+    f.merge(0, 1, 4.0);
+    assert!(f.is_feasible_merge(1, 2, 1.0, &dist_s, 9.0));
+    assert!(!f.is_feasible_merge(1, 2, 1.0, &dist_s, 8.9));
+}

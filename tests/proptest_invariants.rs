@@ -1,0 +1,182 @@
+//! Property-based tests over random geometry: structural invariants that
+//! must hold for *every* input, not just the benchmarks.
+
+use bmst_core::{bkh2, bkrus, bprim, brbc, gabow_bmst, mst_tree, spt_tree};
+use bmst_geom::{DistanceMatrix, Metric, Net, Point};
+use bmst_graph::{complete_edges, kruskal_mst, prim_mst, tree_cost};
+use bmst_steiner::bkst;
+use proptest::prelude::*;
+
+/// Strategy: a net of 2..=10 terminals with coordinates on a small integer
+/// lattice scaled by 0.5 (keeps arithmetic well-conditioned and hits lots
+/// of ties, the hardest case for deterministic orderings).
+fn arb_net() -> impl Strategy<Value = Net> {
+    proptest::collection::vec((0i32..40, 0i32..40), 2..=10).prop_filter_map(
+        "needs >= 2 distinct points",
+        |coords| {
+            let pts: Vec<Point> = coords
+                .iter()
+                .map(|&(x, y)| Point::new(x as f64 * 0.5, y as f64 * 0.5))
+                .collect();
+            // Reject nets where every sink coincides with the source
+            // (degenerate R = 0 makes eps meaningless).
+            let net = Net::with_source_first(pts).ok()?;
+            (net.source_radius() > 0.0).then_some(net)
+        },
+    )
+}
+
+fn arb_eps() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(0.1), Just(0.5), Just(1.0), Just(f64::INFINITY)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prim and Kruskal agree on MST cost for any point set.
+    #[test]
+    fn mst_algorithms_agree(net in arb_net()) {
+        let d = net.distance_matrix();
+        let prim = prim_mst(&d, net.source());
+        let kruskal = kruskal_mst(net.len(), &complete_edges(&d)).unwrap();
+        prop_assert!((tree_cost(&prim) - tree_cost(&kruskal)).abs() < 1e-9);
+    }
+
+    /// Every heuristic spans, respects its bound, and costs at least the
+    /// MST and at most the SPT... except BRBC, whose worst case exceeds the
+    /// SPT (it keeps MST edges alongside shortcuts).
+    #[test]
+    fn heuristics_bound_and_cost_sandwich(net in arb_net(), eps in arb_eps()) {
+        let bound = net.path_bound(eps) + 1e-9;
+        let mst = mst_tree(&net).cost();
+        let spt = spt_tree(&net).cost();
+        for (name, tree) in [
+            ("bkrus", bkrus(&net, eps).unwrap()),
+            ("bkh2", bkh2(&net, eps).unwrap()),
+            ("bprim", bprim(&net, eps).unwrap()),
+            ("brbc", brbc(&net, eps).unwrap()),
+        ] {
+            prop_assert!(tree.is_spanning(), "{name} not spanning");
+            prop_assert!(
+                tree.max_dist_from_root(net.sinks()) <= bound,
+                "{name} violates bound"
+            );
+            prop_assert!(tree.cost() >= mst - 1e-9, "{name} under MST");
+            if name != "brbc" {
+                prop_assert!(tree.cost() <= spt + 1e-9, "{name} over SPT: {} vs {spt}", tree.cost());
+            }
+        }
+    }
+
+    /// BKH2 never loses to BKRUS; the exact optimum never loses to BKH2.
+    #[test]
+    fn refinement_chain(net in arb_net(), eps in arb_eps()) {
+        // Keep the exact method off the largest instances for speed.
+        if net.len() <= 7 {
+            let bk = bkrus(&net, eps).unwrap().cost();
+            let h2 = bkh2(&net, eps).unwrap().cost();
+            let opt = gabow_bmst(&net, eps).unwrap().cost();
+            prop_assert!(h2 <= bk + 1e-9);
+            prop_assert!(opt <= h2 + 1e-9);
+        }
+    }
+
+    /// The Steiner tree covers all terminals within the bound and never
+    /// costs more than the BKRUS spanning tree by more than rounding.
+    #[test]
+    fn steiner_invariants(net in arb_net(), eps in arb_eps()) {
+        let st = bkst(&net, eps).unwrap();
+        let bound = net.path_bound(eps) + 1e-9;
+        prop_assert!(st.terminal_radius() <= bound);
+        for t in 0..net.len() {
+            prop_assert!(st.tree.is_covered(t));
+        }
+        // Terminal coordinates are preserved verbatim.
+        for (i, &p) in net.points().iter().enumerate() {
+            prop_assert_eq!(st.points[i], p);
+        }
+    }
+
+    /// RoutingTree path queries are consistent: symmetric, zero on the
+    /// diagonal, and satisfying the tree identity
+    /// `path(u, v) = dist(root, u) + dist(root, v) - 2 dist(root, lca)`.
+    #[test]
+    fn tree_path_queries_consistent(net in arb_net()) {
+        let tree = mst_tree(&net);
+        let n = net.len();
+        for u in 0..n {
+            prop_assert!(tree.path_length(u, u).abs() < 1e-12);
+            for v in (u + 1)..n {
+                let a = tree.path_length(u, v);
+                let b = tree.path_length(v, u);
+                prop_assert!((a - b).abs() < 1e-9);
+                // Path length is at least the metric distance.
+                prop_assert!(a >= net.dist(u, v) - 1e-9);
+                // And matches a fresh distance scan.
+                let d = tree.dists_from(u);
+                prop_assert!((d[v] - a).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Distance matrices are symmetric with zero diagonal and satisfy the
+    /// triangle inequality in both metrics.
+    #[test]
+    fn distance_matrix_is_metric(
+        coords in proptest::collection::vec((0i32..100, 0i32..100), 1..=8),
+        l2 in proptest::bool::ANY,
+    ) {
+        let pts: Vec<Point> =
+            coords.iter().map(|&(x, y)| Point::new(x as f64, y as f64)).collect();
+        let metric = if l2 { Metric::L2 } else { Metric::L1 };
+        let d = DistanceMatrix::from_points(&pts, metric);
+        let n = pts.len();
+        for i in 0..n {
+            prop_assert_eq!(d[(i, i)], 0.0);
+            for j in 0..n {
+                prop_assert_eq!(d[(i, j)], d[(j, i)]);
+                for k in 0..n {
+                    prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// A T-exchange never changes the node universe or disconnects the
+    /// tree, and changes the cost by exactly the weight difference.
+    #[test]
+    fn exchange_preserves_structure(net in arb_net()) {
+        let tree = mst_tree(&net);
+        let n = net.len();
+        if n < 3 {
+            return Ok(());
+        }
+        let d = net.distance_matrix();
+        // Try every non-tree edge against every removable cycle edge.
+        for x in 0..n {
+            for y in (x + 1)..n {
+                if tree.contains_edge(x, y) {
+                    continue;
+                }
+                let path = tree.path_nodes(x, y);
+                // Remove the first father edge along the cycle.
+                for w in &path {
+                    let Some(p) = tree.parent(*w) else { continue };
+                    if !path.contains(&p) {
+                        continue;
+                    }
+                    let swapped = tree.apply_exchange(
+                        *w,
+                        bmst_graph::Edge::new(x, y, d[(x, y)]),
+                    );
+                    if let Ok(t2) = swapped {
+                        prop_assert!(t2.is_spanning());
+                        let expect =
+                            tree.cost() - tree.parent_edge_weight(*w) + d[(x, y)];
+                        prop_assert!((t2.cost() - expect).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-validation of the two §3.3 Steiner substrates: the direct Hanan
+//! L-path construction and the general routing-graph construction must
+//! agree qualitatively on unobstructed instances.
+
+use bmst_instances::random_net;
+use bmst_steiner::{bkst, bkst_on_graph, RoutingGraph};
+
+#[test]
+fn graph_and_hanan_bkst_agree_on_open_ground() {
+    for seed in 0..5 {
+        let net = random_net(7, 3100 + seed);
+        let eps = 0.4;
+
+        let hanan = bkst(&net, eps).unwrap();
+
+        let graph = RoutingGraph::grid(net.points());
+        let source = graph.locate(net.point(net.source())).unwrap();
+        let sinks: Vec<usize> = net
+            .sinks()
+            .map(|v| graph.locate(net.point(v)).unwrap())
+            .collect();
+        let on_graph = bkst_on_graph(&graph, source, &sinks, eps).unwrap();
+
+        // Same bound semantics (graph distance == Manhattan on open ground).
+        let bound = net.path_bound(eps) + 1e-9;
+        assert!(hanan.terminal_radius() <= bound, "seed {seed}: hanan");
+        assert!(
+            on_graph.tree.max_dist_from_root(1..=sinks.len()) <= bound,
+            "seed {seed}: graph"
+        );
+
+        // Construction order differs (graph routes may stair-step), so the
+        // costs need not be identical — but both are Steiner trees of the
+        // same terminals under the same bound, and must be within a modest
+        // factor of each other.
+        let a = hanan.wirelength();
+        let b = on_graph.wirelength();
+        assert!(
+            (a - b).abs() <= 0.35 * a.max(b),
+            "seed {seed}: hanan {a} vs graph {b}"
+        );
+    }
+}
+
+#[test]
+fn graph_bkst_never_beats_graph_shortest_paths() {
+    // Sanity floor: no tree can connect a sink shorter than its shortest
+    // path in the routing graph.
+    for seed in 0..5 {
+        let net = random_net(6, 3200 + seed);
+        let graph = RoutingGraph::grid(net.points());
+        let source = graph.locate(net.point(net.source())).unwrap();
+        let sinks: Vec<usize> = net
+            .sinks()
+            .map(|v| graph.locate(net.point(v)).unwrap())
+            .collect();
+        let st = bkst_on_graph(&graph, source, &sinks, 1.0).unwrap();
+        let sp = graph.shortest_paths(source);
+        for (i, &t) in sinks.iter().enumerate() {
+            assert!(
+                st.tree.dist_from_root(i + 1) + 1e-9 >= sp.dist[t],
+                "seed {seed} sink {i}"
+            );
+        }
+    }
+}
