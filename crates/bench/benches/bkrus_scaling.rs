@@ -3,6 +3,13 @@
 //! BKRUS is `O(V^3)` (dominated by the `Merge` routine); this bench tracks
 //! the constant and confirms the cubic trend on uniform nets.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -1,5 +1,12 @@
 //! Criterion bench: Elmore delay evaluation and the Elmore-bounded BKRUS.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -13,8 +20,7 @@ fn bench_elmore(c: &mut Criterion) {
     for &n in &[50usize, 200] {
         let net = uniform_cloud(n, 100.0, 0xE1 + n as u64);
         let tree = mst_tree(&net);
-        let params =
-            ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
+        let params = ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
         group.bench_with_input(BenchmarkId::new("delays_from_source", n), &n, |b, _| {
             b.iter(|| ElmoreDelays::from_source(black_box(&tree), &params))
         });
@@ -23,8 +29,7 @@ fn bench_elmore(c: &mut Criterion) {
         });
     }
     let net = uniform_cloud(12, 100.0, 0xE2);
-    let params =
-        ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
+    let params = ElmoreParams::uniform_loads(net.len(), net.source(), 0.2, 0.2, 10.0, 1.0, 4.0);
     group.bench_function("bkrus_elmore_12", |b| {
         b.iter(|| bkrus_elmore(black_box(&net), 0.5, &params).expect("routes"))
     });

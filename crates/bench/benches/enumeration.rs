@@ -1,6 +1,13 @@
 //! Criterion bench: cost-ordered spanning tree enumeration (Gabow's
 //! primitive) and the exact BMST search built on it.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -15,9 +22,7 @@ fn bench_enumeration(c: &mut Criterion) {
         let net = uniform_cloud(n - 1, 100.0, 0xE4E + n as u64);
         let edges = complete_edges(&net.distance_matrix());
         group.bench_with_input(BenchmarkId::new("all_trees", n), &n, |b, &n| {
-            b.iter(|| {
-                SpanningTreeEnumerator::new(n, black_box(edges.clone())).count()
-            })
+            b.iter(|| SpanningTreeEnumerator::new(n, black_box(edges.clone())).count())
         });
     }
     for &sinks in &[8usize, 12] {

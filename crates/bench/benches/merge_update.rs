@@ -1,6 +1,13 @@
 //! Criterion bench: the paper's `Merge` routine (path matrix + radius
 //! update), the `O(V^2)` inner loop that dominates BKRUS.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

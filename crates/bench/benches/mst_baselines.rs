@@ -1,6 +1,13 @@
 //! Criterion bench: the MST baselines (dense Prim vs edge-list Kruskal) and
 //! the SPT star, which every table normalises against.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -12,9 +19,7 @@ fn bench_baselines(c: &mut Criterion) {
     let net = uniform_cloud(200, 100.0, 0xBA5E);
     let d = net.distance_matrix();
 
-    c.bench_function("prim_dense_200", |b| {
-        b.iter(|| prim_mst(black_box(&d), 0))
-    });
+    c.bench_function("prim_dense_200", |b| b.iter(|| prim_mst(black_box(&d), 0)));
     c.bench_function("kruskal_complete_200", |b| {
         b.iter(|| {
             let edges = complete_edges(black_box(&d));

@@ -1,5 +1,12 @@
 //! Criterion bench: Hanan grid construction and the BKST Steiner builder.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

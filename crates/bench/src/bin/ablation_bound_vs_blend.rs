@@ -4,6 +4,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin ablation_bound_vs_blend`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::suite_seed;
 use bmst_core::{bkrus, mst_tree, prim_dijkstra};
 use bmst_instances::random_suite;
@@ -19,11 +26,23 @@ fn main() {
     );
 
     for (name, f) in [
-        ("BKRUS eps=0.2", Box::new(|n: &bmst_geom::Net| bkrus(n, 0.2).unwrap())
-            as Box<dyn Fn(&bmst_geom::Net) -> bmst_tree::RoutingTree>),
-        ("AHHK c=0.15", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.15).unwrap())),
-        ("AHHK c=0.30", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.30).unwrap())),
-        ("AHHK c=0.50", Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.50).unwrap())),
+        (
+            "BKRUS eps=0.2",
+            Box::new(|n: &bmst_geom::Net| bkrus(n, 0.2).unwrap())
+                as Box<dyn Fn(&bmst_geom::Net) -> bmst_tree::RoutingTree>,
+        ),
+        (
+            "AHHK c=0.15",
+            Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.15).unwrap()),
+        ),
+        (
+            "AHHK c=0.30",
+            Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.30).unwrap()),
+        ),
+        (
+            "AHHK c=0.50",
+            Box::new(|n: &bmst_geom::Net| prim_dijkstra(n, 0.50).unwrap()),
+        ),
     ] {
         let mut cost = 0.0;
         let mut radius = 0.0;

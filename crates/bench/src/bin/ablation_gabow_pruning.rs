@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin ablation_gabow_pruning`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::fmt_eps;
 use bmst_core::{gabow_bmst_with, preprocess_edges, GabowConfig, PathConstraint};
 use bmst_instances::random_suite;
@@ -26,12 +33,18 @@ fn main() {
             let with = gabow_bmst_with(
                 net,
                 c,
-                GabowConfig { max_trees: budget, use_pruning: true },
+                GabowConfig {
+                    max_trees: budget,
+                    use_pruning: true,
+                },
             );
             let without = gabow_bmst_with(
                 net,
                 c,
-                GabowConfig { max_trees: budget, use_pruning: false },
+                GabowConfig {
+                    max_trees: budget,
+                    use_pruning: false,
+                },
             );
             let fmt = |r: &Result<bmst_core::GabowOutcome, bmst_core::BmstError>| match r {
                 Ok(o) => o.trees_examined.to_string(),

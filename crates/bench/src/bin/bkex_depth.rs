@@ -8,6 +8,13 @@
 //! Default: 10 cases per (size, eps); `--full` uses 50 (the paper's scale,
 //! 2,750 total runs — slow).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{has_flag, suite_seed, RANDOM_NET_SIZES};
 use bmst_core::{bkex, gabow_bmst_with, BkexConfig, GabowConfig, PathConstraint};
 use bmst_instances::random_suite;
@@ -19,7 +26,11 @@ fn main() {
     let cases = if full { 50 } else { 10 };
     // Depth 5-6 searches on 15-sink nets are the paper's multi-hour tail;
     // the default stops at the headline depth 4 (99.7% in the paper).
-    let depths: Vec<usize> = if full { vec![2, 3, 4, 5, 6] } else { vec![2, 3, 4] };
+    let depths: Vec<usize> = if full {
+        vec![2, 3, 4, 5, 6]
+    } else {
+        vec![2, 3, 4]
+    };
     let mut optimal = vec![0usize; depths.len()];
     let mut skipped = 0usize;
     let mut total = 0usize;
@@ -34,7 +45,10 @@ fn main() {
                 let opt = match gabow_bmst_with(
                     net,
                     c,
-                    GabowConfig { max_trees: 200_000, ..GabowConfig::default() },
+                    GabowConfig {
+                        max_trees: 200_000,
+                        ..GabowConfig::default()
+                    },
                 ) {
                     Ok(o) => o.tree.cost(),
                     Err(_) => {

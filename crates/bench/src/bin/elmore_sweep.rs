@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin elmore_sweep`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{fmt_eps, suite_seed};
 use bmst_core::{bkrus_elmore, elmore_spt_radius, mst_tree};
 use bmst_instances::random_suite;
@@ -16,11 +23,13 @@ fn main() {
     // A wire-dominated operating point (strong driver, resistive wires), so
     // topology actually moves the delay: 0.5 ohm/um, 0.2 fF/um wires, a
     // 2 ohm / 1 fF driver, 5 fF sink loads.
-    let mk_params = |n: usize, source: usize| {
-        ElmoreParams::uniform_loads(n, source, 0.5, 0.2, 2.0, 1.0, 5.0)
-    };
+    let mk_params =
+        |n: usize, source: usize| ElmoreParams::uniform_loads(n, source, 0.5, 0.2, 2.0, 1.0, 5.0);
 
-    println!("Elmore-delay BKRUS sweep ({} random nets of {size} sinks)", suite.len());
+    println!(
+        "Elmore-delay BKRUS sweep ({} random nets of {size} sinks)",
+        suite.len()
+    );
     println!(
         "{:>5} {:>16} {:>10} {:>12} {:>8}",
         "eps", "worst delay/R", "bound/R", "cost/MST", "ok"
@@ -33,7 +42,11 @@ fn main() {
         for net in &suite {
             let params = mk_params(net.len(), net.source());
             let r = elmore_spt_radius(net, &params);
-            let bound = if eps.is_infinite() { f64::INFINITY } else { (1.0 + eps) * r };
+            let bound = if eps.is_infinite() {
+                f64::INFINITY
+            } else {
+                (1.0 + eps) * r
+            };
             // Under the Elmore model the Kruskal scan can genuinely dead-end
             // for very tight bounds (Lemma 3.1's monotonicity does not carry
             // over); such instances are reported, not hidden.
@@ -47,14 +60,25 @@ fn main() {
             cost_ratio += t.cost() / mst_tree(net).cost();
         }
         if solved == 0 {
-            println!("{:>5} {:>16} {:>10} {:>12} {:>8}", fmt_eps(eps), "-", "-", "-", "-");
+            println!(
+                "{:>5} {:>16} {:>10} {:>12} {:>8}",
+                fmt_eps(eps),
+                "-",
+                "-",
+                "-",
+                "-"
+            );
             continue;
         }
         println!(
             "{:>5} {:>16.3} {:>10} {:>12.3} {:>8}  ({solved}/{} solved)",
             fmt_eps(eps),
             worst_rel,
-            if eps.is_infinite() { "inf".to_owned() } else { format!("{:.3}", 1.0 + eps) },
+            if eps.is_infinite() {
+                "inf".to_owned()
+            } else {
+                format!("{:.3}", 1.0 + eps)
+            },
             cost_ratio / solved as f64,
             all_ok,
             suite.len()

@@ -6,6 +6,13 @@
 //! Run: `cargo run --release -p bmst-bench --bin fig10_ratio`
 //! `--full` uses 50 cases per point instead of 10.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{fmt_eps, has_flag, suite_seed, TABLE4_EPS};
 use bmst_core::{bkh2, bkrus, gabow_bmst, mst_tree};
 use bmst_instances::random_suite;

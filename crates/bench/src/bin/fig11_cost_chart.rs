@@ -8,6 +8,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig11_cost_chart`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{has_flag, suite_seed};
 use bmst_core::{
     bkex, bkh2, bkrus, gabow_bmst, maximal_spanning_tree, mst_tree, spt_tree, BkexConfig,
@@ -34,12 +41,28 @@ fn main() {
     for net in &suite {
         let mst = mst_tree(net).cost();
         let add = |totals: &mut Vec<(&str, f64)>, name: &str, v: f64| {
-            totals.iter_mut().find(|(n, _)| *n == name).expect("known name").1 += v / mst;
+            totals
+                .iter_mut()
+                .find(|(n, _)| *n == name)
+                .expect("known name")
+                .1 += v / mst;
         };
-        add(&mut totals, "BKST", bkst(net, eps).expect("spans").wirelength());
+        add(
+            &mut totals,
+            "BKST",
+            bkst(net, eps).expect("spans").wirelength(),
+        );
         add(&mut totals, "MST", mst);
-        add(&mut totals, "BMST_G", gabow_bmst(net, eps).expect("spans").cost());
-        add(&mut totals, "BKEX", bkex(net, eps, BkexConfig::default()).expect("spans").cost());
+        add(
+            &mut totals,
+            "BMST_G",
+            gabow_bmst(net, eps).expect("spans").cost(),
+        );
+        add(
+            &mut totals,
+            "BKEX",
+            bkex(net, eps, BkexConfig::default()).expect("spans").cost(),
+        );
         add(&mut totals, "BKH2", bkh2(net, eps).expect("spans").cost());
         add(&mut totals, "BKRUS", bkrus(net, eps).expect("spans").cost());
         add(&mut totals, "SPT", spt_tree(net).cost());

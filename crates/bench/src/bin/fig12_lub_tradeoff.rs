@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig12_lub_tradeoff`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_clock::zero_skew_tree;
 use bmst_core::{lub_bkrus, mst_tree};
 use bmst_instances::figure13_family;

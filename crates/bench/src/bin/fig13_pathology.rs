@@ -4,12 +4,22 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig13_pathology`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus, mst_tree};
 use bmst_instances::figure13_family;
 
 fn main() {
     println!("Figure 13: cost(BKT at eps=0) / cost(MST) grows linearly in the cluster size");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>8}", "N", "BKT@0", "MST", "ratio", "~N?");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>8}",
+        "N", "BKT@0", "MST", "ratio", "~N?"
+    );
     for n in [2usize, 4, 6, 8, 12, 16, 20, 25, 30] {
         let net = figure13_family(n);
         let bkt = bkrus(&net, 0.0).expect("bkrus spans").cost();
@@ -27,5 +37,9 @@ fn main() {
     println!("cost(MST) exactly:");
     let net = figure13_family(20);
     let unbounded = bkrus(&net, f64::INFINITY).expect("bkrus spans").cost();
-    println!("  N = 20, eps = inf: cost = {:.2} = MST {:.2}", unbounded, mst_tree(&net).cost());
+    println!(
+        "  N = 20, eps = inf: cost = {:.2} = MST {:.2}",
+        unbounded,
+        mst_tree(&net).cost()
+    );
 }

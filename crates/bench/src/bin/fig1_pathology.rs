@@ -4,6 +4,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig1_pathology`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus, bprim, mst_tree, spt_tree};
 use bmst_instances::Benchmark;
 
@@ -12,22 +19,33 @@ fn main() {
     let eps = 0.25;
 
     println!("Figure 1: BPRIM vs BKRUS on the p3 configuration (eps = {eps})");
-    println!("R = {:.2}, bound = {:.2}", net.source_radius(), 1.25 * net.source_radius());
+    println!(
+        "R = {:.2}, bound = {:.2}",
+        net.source_radius(),
+        1.25 * net.source_radius()
+    );
     println!();
 
     let spt = spt_tree(&net);
-    println!("SPT        (eps = 0.0 reference): cost = {:8.2}", spt.cost());
+    println!(
+        "SPT        (eps = 0.0 reference): cost = {:8.2}",
+        spt.cost()
+    );
 
     let pb = bprim(&net, eps).expect("bprim spans");
     println!("BPRIM      (eps = {eps}): cost = {:8.2}", pb.cost());
-    let direct_spokes =
-        net.sinks().filter(|&v| pb.parent(v) == Some(net.source())).count();
+    let direct_spokes = net
+        .sinks()
+        .filter(|&v| pb.parent(v) == Some(net.source()))
+        .count();
     println!("           direct source spokes: {direct_spokes}");
 
     let bk = bkrus(&net, eps).expect("bkrus spans");
     println!("BKRUS      (eps = {eps}): cost = {:8.2}", bk.cost());
-    let bk_spokes =
-        net.sinks().filter(|&v| bk.parent(v) == Some(net.source())).count();
+    let bk_spokes = net
+        .sinks()
+        .filter(|&v| bk.parent(v) == Some(net.source()))
+        .count();
     println!("           direct source spokes: {bk_spokes}");
 
     let mst = mst_tree(&net);

@@ -4,6 +4,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig4_trace`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus_trace, EdgeDecision};
 use bmst_geom::{Net, Point};
 

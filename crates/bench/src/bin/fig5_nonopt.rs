@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig5_nonopt`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkex, bkrus, gabow_bmst, BkexConfig};
 use bmst_geom::{Net, Point};
 

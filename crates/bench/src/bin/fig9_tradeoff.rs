@@ -7,6 +7,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin fig9_tradeoff`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::fmt_eps;
 use bmst_core::{bkrus, mst_tree, spt_tree, TreeReport};
 use bmst_instances::Benchmark;
@@ -25,7 +32,12 @@ fn main() {
         for eps in SWEEP {
             let t = bkrus(&net, eps).expect("bkrus spans");
             let rep = TreeReport::with_baselines(&net, &t, mst_cost, spt_radius);
-            println!("{:>5} {:>10.3} {:>10.3}", fmt_eps(eps), rep.path_ratio, rep.perf_ratio);
+            println!(
+                "{:>5} {:>10.3} {:>10.3}",
+                fmt_eps(eps),
+                rep.path_ratio,
+                rep.perf_ratio
+            );
         }
     }
     println!();

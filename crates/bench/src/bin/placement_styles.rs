@@ -8,6 +8,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin placement_styles`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkh2, bkrus, mst_tree, spt_tree};
 use bmst_geom::Net;
 use bmst_instances::{clustered_net, random_net, ring_net, row_net};

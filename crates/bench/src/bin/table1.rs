@@ -3,6 +3,13 @@
 //!
 //! Run: `cargo run --release -p bmst-bench --bin table1`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_instances::Benchmark;
 
 fn main() {

@@ -6,10 +6,17 @@
 //! Run: `cargo run --release -p bmst-bench --bin table2`
 //! Add `--skip-exact` to omit the exponential exact methods.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{fmt_eps, has_flag, timed, TABLE_EPS};
 use bmst_core::{
-    bkex, bkh2, bkrus, bprim, gabow_bmst_with, mst_tree, spt_tree, BkexConfig,
-    GabowConfig, PathConstraint, TreeReport,
+    bkex, bkh2, bkrus, bprim, gabow_bmst_with, mst_tree, spt_tree, BkexConfig, GabowConfig,
+    PathConstraint, TreeReport,
 };
 use bmst_geom::Net;
 use bmst_instances::Benchmark;
@@ -26,15 +33,17 @@ fn row(report: Option<(TreeReport, f64)>) -> String {
 fn run_all(net: &Net, eps: f64, skip_exact: bool) -> [Option<(TreeReport, f64)>; 5] {
     let mst_cost = mst_tree(net).cost();
     let spt_radius = spt_tree(net).source_radius();
-    let rep = |t: &bmst_tree::RoutingTree| {
-        TreeReport::with_baselines(net, t, mst_cost, spt_radius)
-    };
+    let rep = |t: &bmst_tree::RoutingTree| TreeReport::with_baselines(net, t, mst_cost, spt_radius);
     // The exact methods are exponential; on the 31-point p4 we shrink their
     // budgets (the paper's own p4 rows ran for up to 565 CPU seconds, with
     // '-' entries where Gabow overflowed memory).
     let big = net.len() > 20;
     let gabow_budget = if big { 100_000 } else { 500_000 };
-    let bkex_cfg = if big { BkexConfig::with_depth(3) } else { BkexConfig::default() };
+    let bkex_cfg = if big {
+        BkexConfig::with_depth(3)
+    } else {
+        BkexConfig::default()
+    };
 
     let gabow = if skip_exact {
         None
@@ -44,7 +53,10 @@ fn run_all(net: &Net, eps: f64, skip_exact: bool) -> [Option<(TreeReport, f64)>;
             gabow_bmst_with(
                 net,
                 c,
-                GabowConfig { max_trees: gabow_budget, ..GabowConfig::default() },
+                GabowConfig {
+                    max_trees: gabow_budget,
+                    ..GabowConfig::default()
+                },
             )
         });
         out.ok().map(|o| (rep(&o.tree), cpu))

@@ -10,6 +10,13 @@
 //! sweep, and BKH2 everywhere (slow: the paper capped BKH2 at ~12 CPU
 //! hours).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{fmt_eps, has_flag, timed, TABLE_EPS};
 use bmst_core::{bkh2_from, bkrus, mst_tree, spt_tree, PathConstraint, TreeReport};
 use bmst_instances::Benchmark;
@@ -19,10 +26,19 @@ fn main() {
     let benches: Vec<Benchmark> = if full {
         Benchmark::LARGE.to_vec()
     } else {
-        vec![Benchmark::Pr1, Benchmark::Pr2, Benchmark::R1, Benchmark::R2, Benchmark::R3]
+        vec![
+            Benchmark::Pr1,
+            Benchmark::Pr2,
+            Benchmark::R1,
+            Benchmark::R2,
+            Benchmark::R3,
+        ]
     };
-    let eps_sweep: Vec<f64> =
-        if full { TABLE_EPS.to_vec() } else { vec![f64::INFINITY, 0.5, 0.2, 0.0] };
+    let eps_sweep: Vec<f64> = if full {
+        TABLE_EPS.to_vec()
+    } else {
+        vec![f64::INFINITY, 0.5, 0.2, 0.0]
+    };
 
     println!("Table 3: BKRUS and BKH2 results for large benchmarks");
     println!(

@@ -7,12 +7,17 @@
 //! The default uses 10 cases per (size, eps) cell; `--full` uses the
 //! paper's 50 (substantially slower, dominated by the exact BMST_G runs).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::{
     fmt_eps, has_flag, suite_seed, Aggregate, RANDOM_CASES, RANDOM_NET_SIZES, TABLE4_EPS,
 };
-use bmst_core::{
-    bkh2, bkrus, bprim, brbc, gabow_bmst_with, mst_tree, GabowConfig, PathConstraint,
-};
+use bmst_core::{bkh2, bkrus, bprim, brbc, gabow_bmst_with, mst_tree, GabowConfig, PathConstraint};
 use bmst_instances::random_suite;
 use bmst_steiner::bkst;
 
@@ -49,7 +54,10 @@ fn main() {
                 match gabow_bmst_with(
                     net,
                     c,
-                    GabowConfig { max_trees: 500_000, ..GabowConfig::default() },
+                    GabowConfig {
+                        max_trees: 500_000,
+                        ..GabowConfig::default()
+                    },
                 ) {
                     Ok(exact) => g.push(exact.tree.cost() / mst),
                     Err(_) => g_skipped += 1,

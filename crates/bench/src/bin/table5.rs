@@ -7,6 +7,13 @@
 //! Run: `cargo run --release -p bmst-bench --bin table5`
 //! `--full` adds the large pr*/r* benchmarks.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_bench::has_flag;
 use bmst_core::{lub_bkrus, mst_tree};
 use bmst_instances::Benchmark;
@@ -37,7 +44,11 @@ fn main() {
                     Ok(t) => {
                         let longest = t.max_dist_from_root(net.sinks());
                         let shortest = t.min_dist_from_root(net.sinks());
-                        let s = if shortest > 0.0 { longest / shortest } else { f64::NAN };
+                        let s = if shortest > 0.0 {
+                            longest / shortest
+                        } else {
+                            f64::NAN
+                        };
                         let r = t.cost() / mst_tree(&net).cost();
                         print!(" {s:>8.1} {r:>8.1} |");
                     }

@@ -11,8 +11,7 @@ use std::time::Instant;
 
 /// The epsilon sweep used by the paper's Tables 2 and 3:
 /// `inf, 1.5, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0`.
-pub const TABLE_EPS: [f64; 9] =
-    [f64::INFINITY, 1.5, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0];
+pub const TABLE_EPS: [f64; 9] = [f64::INFINITY, 1.5, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0];
 
 /// The epsilon sweep used by the paper's Table 4 (random nets):
 /// `0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0`.
@@ -84,6 +83,7 @@ impl Aggregate {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

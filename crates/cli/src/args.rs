@@ -84,6 +84,8 @@ pub struct RouteArgs {
     pub svg: Option<String>,
     /// List tree edges in the report.
     pub edges: bool,
+    /// Re-verify the tree with the invariant auditor after construction.
+    pub audit: bool,
 }
 
 /// What `gen` should generate.
@@ -142,7 +144,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
             let value = match name {
-                "edges" | "help" => None,
+                "edges" | "audit" | "help" => None,
                 _ => Some(
                     it.next()
                         .ok_or_else(|| CliError::new(format!("--{name} needs a value")))?
@@ -158,7 +160,8 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
 }
 
 fn parse_f64(name: &str, v: &str) -> Result<f64, CliError> {
-    v.parse().map_err(|_| CliError::new(format!("--{name}: {v:?} is not a number")))
+    v.parse()
+        .map_err(|_| CliError::new(format!("--{name}: {v:?} is not a number")))
 }
 
 /// Parses a full invocation (program name already stripped).
@@ -184,6 +187,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 pd_c: 0.5,
                 svg: None,
                 edges: false,
+                audit: false,
             };
             for (name, value) in flags {
                 let v = value.as_deref();
@@ -194,6 +198,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                     ("pd-c", Some(v)) => args.pd_c = parse_f64("pd-c", v)?,
                     ("svg", Some(v)) => args.svg = Some(v.to_owned()),
                     ("edges", _) => args.edges = true,
+                    ("audit", _) => args.audit = true,
                     (other, _) => {
                         return Err(CliError::new(format!("route: unknown flag --{other}")))
                     }
@@ -211,14 +216,15 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 let v = value.as_deref();
                 match (name.as_str(), v) {
                     ("sinks", Some(v)) => {
-                        sinks = Some(v.parse().map_err(|_| {
-                            CliError::new(format!("--sinks: {v:?} is not a count"))
-                        })?)
+                        sinks =
+                            Some(v.parse().map_err(|_| {
+                                CliError::new(format!("--sinks: {v:?} is not a count"))
+                            })?)
                     }
                     ("seed", Some(v)) => {
-                        seed = v.parse().map_err(|_| {
-                            CliError::new(format!("--seed: {v:?} is not a seed"))
-                        })?
+                        seed = v
+                            .parse()
+                            .map_err(|_| CliError::new(format!("--seed: {v:?} is not a seed")))?
                     }
                     ("side", Some(v)) => side = parse_f64("side", v)?,
                     ("bench", Some(v)) => bench = Some(v.to_owned()),
@@ -234,9 +240,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 }
                 (Some(sinks), None) => GenSource::Random { sinks, seed, side },
                 (None, Some(b)) => GenSource::Bench(b),
-                (None, None) => {
-                    return Err(CliError::new("gen: need --sinks N or --bench NAME"))
-                }
+                (None, None) => return Err(CliError::new("gen: need --sinks N or --bench NAME")),
             };
             Ok(Command::Gen { source, out })
         }
@@ -257,9 +261,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 match (name.as_str(), value.as_deref()) {
                     ("algorithm", Some(v)) => algorithm = v.to_owned(),
                     (other, _) => {
-                        return Err(CliError::new(format!(
-                            "netlist: unknown flag --{other}"
-                        )))
+                        return Err(CliError::new(format!("netlist: unknown flag --{other}")))
                     }
                 }
             }
@@ -273,6 +275,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn argv(s: &str) -> Vec<String> {
@@ -287,12 +290,13 @@ mod tests {
         assert_eq!(a.algorithm, Algorithm::Bkrus);
         assert_eq!(a.eps, 0.2);
         assert!(!a.edges);
+        assert!(!a.audit);
     }
 
     #[test]
     fn parse_route_full() {
         let Command::Route(a) = parse(&argv(
-            "route net.txt --algorithm steiner --eps 0.5 --eps1 0.1 --svg t.svg --edges",
+            "route net.txt --algorithm steiner --eps 0.5 --eps1 0.1 --svg t.svg --edges --audit",
         ))
         .unwrap() else {
             panic!()
@@ -302,6 +306,7 @@ mod tests {
         assert_eq!(a.eps1, Some(0.1));
         assert_eq!(a.svg.as_deref(), Some("t.svg"));
         assert!(a.edges);
+        assert!(a.audit);
     }
 
     #[test]
@@ -309,13 +314,20 @@ mod tests {
         assert_eq!(
             parse(&argv("gen --sinks 5 --seed 2 --side 50")).unwrap(),
             Command::Gen {
-                source: GenSource::Random { sinks: 5, seed: 2, side: 50.0 },
+                source: GenSource::Random {
+                    sinks: 5,
+                    seed: 2,
+                    side: 50.0
+                },
                 out: None
             }
         );
         assert_eq!(
             parse(&argv("gen --bench p3 --out x.txt")).unwrap(),
-            Command::Gen { source: GenSource::Bench("p3".into()), out: Some("x.txt".into()) }
+            Command::Gen {
+                source: GenSource::Bench("p3".into()),
+                out: Some("x.txt".into())
+            }
         );
         assert!(parse(&argv("gen")).is_err());
         assert!(parse(&argv("gen --sinks 5 --bench p1")).is_err());

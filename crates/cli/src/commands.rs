@@ -3,8 +3,8 @@
 use std::fmt::Write as _;
 
 use bmst_core::{
-    bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree, prim_dijkstra,
-    spt_tree, BkexConfig,
+    audit_construction, bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree,
+    prim_dijkstra, spt_tree, BkexConfig, PathConstraint,
 };
 use bmst_geom::{Net, Point};
 use bmst_instances::Benchmark;
@@ -34,24 +34,30 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 }
 
 fn route_netlist(path: &str, algorithm: &str) -> Result<String, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    let netlist = Netlist::from_str_block(&text)
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let netlist =
+        Netlist::from_str_block(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let algorithm = match algorithm {
         "bkrus" => RouteAlgorithm::Bkrus,
         "bkh2" => RouteAlgorithm::Bkh2,
         "steiner" | "bkst" => RouteAlgorithm::Steiner,
         other => {
-            return Err(CliError::new(format!("unknown netlist algorithm {other:?}")))
+            return Err(CliError::new(format!(
+                "unknown netlist algorithm {other:?}"
+            )))
         }
     };
-    let config = RouterConfig { algorithm, ..RouterConfig::default() };
+    let config = RouterConfig {
+        algorithm,
+        ..RouterConfig::default()
+    };
     let report = netlist
         .route(&config)
         .map_err(|e| CliError::new(format!("routing failed: {e}")))?;
-    Ok(format!("{report}
-"))
+    Ok(format!(
+        "{report}
+"
+    ))
 }
 
 fn load(path: &str) -> Result<Net, CliError> {
@@ -62,12 +68,27 @@ fn stats(path: &str) -> Result<String, CliError> {
     let net = load(path)?;
     let mut out = String::new();
     let _ = writeln!(out, "{path}:");
-    let _ = writeln!(out, "  points = {} (1 source + {} sinks)", net.len(), net.num_sinks());
-    let _ = writeln!(out, "  complete-graph edges = {}", net.complete_edge_count());
+    let _ = writeln!(
+        out,
+        "  points = {} (1 source + {} sinks)",
+        net.len(),
+        net.num_sinks()
+    );
+    let _ = writeln!(
+        out,
+        "  complete-graph edges = {}",
+        net.complete_edge_count()
+    );
     let _ = writeln!(out, "  R = {} (farthest sink)", net.source_radius());
     let _ = writeln!(out, "  r = {} (nearest sink)", net.source_nearest());
     let bb = net.bounding_box();
-    let _ = writeln!(out, "  bounding box = {} .. {}, HPWL = {}", bb.lo, bb.hi, bb.half_perimeter());
+    let _ = writeln!(
+        out,
+        "  bounding box = {} .. {}, HPWL = {}",
+        bb.lo,
+        bb.hi,
+        bb.half_perimeter()
+    );
     let _ = writeln!(out, "  cost(MST) = {:.3}", mst_tree(&net).cost());
     let _ = writeln!(out, "  cost(SPT) = {:.3}", spt_tree(&net).cost());
     Ok(out)
@@ -78,7 +99,10 @@ fn gen(source: GenSource, out: Option<String>) -> Result<String, CliError> {
         GenSource::Random { sinks, seed, side } => {
             // Reuse the instances generator for exact reproducibility.
             let n = bmst_instances::uniform_cloud(sinks, side, seed);
-            (n, format!("uniform net: {sinks} sinks, seed {seed}, side {side}"))
+            (
+                n,
+                format!("uniform net: {sinks} sinks, seed {seed}, side {side}"),
+            )
         }
         GenSource::Bench(name) => {
             let b = Benchmark::ALL
@@ -91,8 +115,7 @@ fn gen(source: GenSource, out: Option<String>) -> Result<String, CliError> {
     let text = netfile::to_string(&net);
     match out {
         Some(path) => {
-            std::fs::write(&path, text)
-                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            std::fs::write(&path, text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
             Ok(format!("{label} -> {path} ({} sinks)\n", net.num_sinks()))
         }
         None => Ok(text),
@@ -117,7 +140,11 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
             let (tree, note) = match args.eps1 {
                 Some(e1) => (
                     lub_bkrus(&net, e1, args.eps).map_err(infeasible)?,
-                    format!("paths within [{} , {}]", e1 * net.source_radius(), net.path_bound(args.eps)),
+                    format!(
+                        "paths within [{} , {}]",
+                        e1 * net.source_radius(),
+                        net.path_bound(args.eps)
+                    ),
                 ),
                 None => (
                     bkrus(&net, args.eps).map_err(infeasible)?,
@@ -181,6 +208,36 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "{} [{:?}]", args.net, args.algorithm);
     let _ = writeln!(out, "  {}", routed.bound_note);
+    if args.audit {
+        // Re-verify the finished tree against the net: structure, path
+        // tables, merge consistency, and — where the algorithm gives a hard
+        // guarantee — the path-length window.
+        let constraint = match args.algorithm {
+            Algorithm::Bkrus => Some(match args.eps1 {
+                Some(e1) => {
+                    PathConstraint::from_eps_window(&net, e1, args.eps).map_err(infeasible)?
+                }
+                None => PathConstraint::from_eps(&net, args.eps).map_err(infeasible)?,
+            }),
+            Algorithm::Bkh2
+            | Algorithm::Bkex
+            | Algorithm::Gabow
+            | Algorithm::Bprim
+            | Algorithm::Brbc => {
+                Some(PathConstraint::from_eps(&net, args.eps).map_err(infeasible)?)
+            }
+            // Steiner/clock trees add non-terminal nodes and the soft
+            // heuristics promise no window: audit structure and tables only.
+            Algorithm::PrimDijkstra
+            | Algorithm::Steiner
+            | Algorithm::Mst
+            | Algorithm::Spt
+            | Algorithm::ZeroSkew => None,
+        };
+        audit_construction(&net, &routed.tree, constraint.as_ref())
+            .map_err(|v| CliError::new(format!("audit failed: {v}")))?;
+        let _ = writeln!(out, "  audit = ok (structure, tables, merge, bounds)");
+    }
     let _ = writeln!(out, "  cost = {:.4}", routed.tree.cost());
     let sinks = (0..routed.terminals).filter(|&v| v != routed.tree.root());
     let _ = writeln!(
@@ -195,7 +252,11 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
     );
     let mst_cost = mst_tree(&net).cost();
     if mst_cost > 0.0 {
-        let _ = writeln!(out, "  cost / cost(MST) = {:.4}", routed.tree.cost() / mst_cost);
+        let _ = writeln!(
+            out,
+            "  cost / cost(MST) = {:.4}",
+            routed.tree.cost() / mst_cost
+        );
     }
     let steiner_count = routed.tree.covered_count().saturating_sub(routed.terminals);
     if steiner_count > 0 {
@@ -208,7 +269,10 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
         }
     }
     if let Some(path) = &args.svg {
-        let opts = svg::SvgOptions { terminals: routed.terminals, ..Default::default() };
+        let opts = svg::SvgOptions {
+            terminals: routed.terminals,
+            ..Default::default()
+        };
         svg::write_tree(path, &routed.points, &routed.tree, &opts)
             .map_err(|e| CliError::new(format!("{path}: {e}")))?;
         let _ = writeln!(out, "  svg -> {path}");

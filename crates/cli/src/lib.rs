@@ -50,6 +50,8 @@ ROUTE OPTIONS:
   --pd-c <C>        blend parameter for `pd` (Prim-Dijkstra)  (default: 0.5)
   --svg <FILE>      render the tree to an SVG file
   --edges           list the tree edges
+  --audit           re-verify the tree with the invariant auditor (structure,
+                    path tables, merge consistency, bound window)
 
 GEN OPTIONS:
   --sinks <N>       uniform random net with N sinks
@@ -61,6 +63,7 @@ GEN OPTIONS:
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn argv(s: &str) -> Vec<String> {
@@ -109,7 +112,11 @@ mod tests {
         let dir = std::env::temp_dir().join("bmst_cli_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let net_path = dir.join("net.txt");
-        run_cli(&argv(&format!("gen --bench p1 --out {}", net_path.display()))).unwrap();
+        run_cli(&argv(&format!(
+            "gen --bench p1 --out {}",
+            net_path.display()
+        )))
+        .unwrap();
         let out = run_cli(&argv(&format!("stats {}", net_path.display()))).unwrap();
         assert!(out.contains("R ="));
         assert!(out.contains("points = 6"));
@@ -120,19 +127,22 @@ mod tests {
         let dir = std::env::temp_dir().join("bmst_cli_test3");
         std::fs::create_dir_all(&dir).unwrap();
         let net_path = dir.join("net.txt");
-        run_cli(&argv(&format!("gen --sinks 6 --seed 3 --out {}", net_path.display())))
-            .unwrap();
+        run_cli(&argv(&format!(
+            "gen --sinks 6 --seed 3 --out {}",
+            net_path.display()
+        )))
+        .unwrap();
         for alg in [
-            "bkrus", "bkh2", "bkex", "gabow", "bprim", "brbc", "pd", "steiner", "mst",
-            "spt", "zskew",
-        ]
-        {
+            "bkrus", "bkh2", "bkex", "gabow", "bprim", "brbc", "pd", "steiner", "mst", "spt",
+            "zskew",
+        ] {
             let out = run_cli(&argv(&format!(
-                "route {} --algorithm {alg} --eps 0.4",
+                "route {} --algorithm {alg} --eps 0.4 --audit",
                 net_path.display()
             )))
             .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(out.contains("cost"), "{alg}: {out}");
+            assert!(out.contains("audit = ok"), "{alg}: {out}");
         }
     }
 
@@ -141,8 +151,11 @@ mod tests {
         let dir = std::env::temp_dir().join("bmst_cli_test4");
         std::fs::create_dir_all(&dir).unwrap();
         let net_path = dir.join("net.txt");
-        run_cli(&argv(&format!("gen --sinks 5 --seed 9 --out {}", net_path.display())))
-            .unwrap();
+        run_cli(&argv(&format!(
+            "gen --sinks 5 --seed 9 --out {}",
+            net_path.display()
+        )))
+        .unwrap();
         let out = run_cli(&argv(&format!(
             "route {} --eps 1.0 --eps1 0.2",
             net_path.display()
@@ -172,9 +185,11 @@ end
         let out = run_cli(&argv(&format!("netlist {}", path.display()))).unwrap();
         assert!(out.contains("clk"), "{out}");
         assert!(out.contains("total wirelength"));
-        let out =
-            run_cli(&argv(&format!("netlist {} --algorithm steiner", path.display())))
-                .unwrap();
+        let out = run_cli(&argv(&format!(
+            "netlist {} --algorithm steiner",
+            path.display()
+        )))
+        .unwrap();
         assert!(out.contains("worst slack"));
         assert!(run_cli(&argv(&format!(
             "netlist {} --algorithm magic",

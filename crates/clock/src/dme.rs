@@ -125,6 +125,7 @@ fn walk_l_path(a: Point, b: Point, d: f64) -> Point {
 /// assert!(zst.skew() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[allow(clippy::expect_used)] // construction invariants, justified inline
 pub fn zero_skew_tree(net: &Net) -> ZeroSkewTree {
     let n = net.len();
     let source = net.source();
@@ -132,8 +133,13 @@ pub fn zero_skew_tree(net: &Net) -> ZeroSkewTree {
     let mut edges: Vec<Edge> = Vec::new();
 
     if net.num_sinks() == 0 {
+        // lint: allow(no-panic) — a one-node tree with no edges is trivially valid
         let tree = RoutingTree::from_edges(1, source, []).expect("single node");
-        return ZeroSkewTree { tree, points, num_terminals: n };
+        return ZeroSkewTree {
+            tree,
+            points,
+            num_terminals: n,
+        };
     }
 
     let sinks: Vec<usize> = net.sinks().collect();
@@ -148,13 +154,22 @@ pub fn zero_skew_tree(net: &Net) -> ZeroSkewTree {
     }
 
     let tree = RoutingTree::from_edges(points.len(), source, edges)
+        // lint: allow(no-panic) — embed() emits one edge per merge, which is a tree by induction
         .expect("bottom-up merges form a tree");
-    ZeroSkewTree { tree, points, num_terminals: n }
+    ZeroSkewTree {
+        tree,
+        points,
+        num_terminals: n,
+    }
 }
 
 fn embed(topo: &Topology, points: &mut Vec<Point>, edges: &mut Vec<Edge>) -> Tap {
     match topo {
-        Topology::Leaf(s) => Tap { node: *s, point: points[*s], delay: 0.0 },
+        Topology::Leaf(s) => Tap {
+            node: *s,
+            point: points[*s],
+            delay: 0.0,
+        },
         Topology::Internal(l, r) => {
             let tl = embed(l, points, edges);
             let tr = embed(r, points, edges);
@@ -172,6 +187,7 @@ fn embed(topo: &Topology, points: &mut Vec<Point>, edges: &mut Vec<Edge>) -> Tap
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -198,8 +214,16 @@ mod tests {
 
     #[test]
     fn balance_midpoint_when_delays_equal() {
-        let l = Tap { node: 0, point: Point::new(0.0, 0.0), delay: 0.0 };
-        let r = Tap { node: 1, point: Point::new(4.0, 0.0), delay: 0.0 };
+        let l = Tap {
+            node: 0,
+            point: Point::new(0.0, 0.0),
+            delay: 0.0,
+        };
+        let r = Tap {
+            node: 1,
+            point: Point::new(4.0, 0.0),
+            delay: 0.0,
+        };
         let (p, d, wl, wr) = balance(&l, &r);
         assert_eq!(p, Point::new(2.0, 0.0));
         assert_eq!(d, 2.0);
@@ -208,20 +232,39 @@ mod tests {
 
     #[test]
     fn balance_shifts_towards_slower_side() {
-        let l = Tap { node: 0, point: Point::new(0.0, 0.0), delay: 3.0 };
-        let r = Tap { node: 1, point: Point::new(4.0, 0.0), delay: 0.0 };
+        let l = Tap {
+            node: 0,
+            point: Point::new(0.0, 0.0),
+            delay: 3.0,
+        };
+        let r = Tap {
+            node: 1,
+            point: Point::new(4.0, 0.0),
+            delay: 0.0,
+        };
         let (p, d, wl, wr) = balance(&l, &r);
         // x = (0 - 3 + 4)/2 = 0.5 from the left.
         assert_eq!(p, Point::new(0.5, 0.0));
         assert_eq!(d, 3.5);
         assert!((wl - 0.5).abs() < 1e-12 && (wr - 3.5).abs() < 1e-12);
-        assert!((3.0 + wl - (0.0 + wr)).abs() < 1e-12, "both sides equal delay");
+        assert!(
+            (3.0 + wl - (0.0 + wr)).abs() < 1e-12,
+            "both sides equal delay"
+        );
     }
 
     #[test]
     fn balance_snakes_when_one_side_is_far_slower() {
-        let l = Tap { node: 0, point: Point::new(0.0, 0.0), delay: 10.0 };
-        let r = Tap { node: 1, point: Point::new(2.0, 0.0), delay: 0.0 };
+        let l = Tap {
+            node: 0,
+            point: Point::new(0.0, 0.0),
+            delay: 10.0,
+        };
+        let r = Tap {
+            node: 1,
+            point: Point::new(2.0, 0.0),
+            delay: 0.0,
+        };
         let (p, d, wl, wr) = balance(&l, &r);
         assert_eq!(p, Point::new(0.0, 0.0)); // tap at the slow side
         assert_eq!(d, 10.0);
@@ -298,8 +341,7 @@ mod tests {
         assert_eq!(zst.wirelength(), 0.0);
         assert_eq!(zst.skew(), 0.0);
 
-        let net =
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap();
         let zst = zero_skew_tree(&net);
         assert!((zst.sink_path_length(1) - 7.0).abs() < 1e-6);
     }

@@ -98,21 +98,9 @@ fn split(points: &[Point], ids: &mut [usize]) -> Topology {
     let (min_x, max_x) = minmax(ids.iter().map(|&i| points[i].x));
     let (min_y, max_y) = minmax(ids.iter().map(|&i| points[i].y));
     if max_x - min_x >= max_y - min_y {
-        ids.sort_by(|&a, &b| {
-            points[a]
-                .x
-                .partial_cmp(&points[b].x)
-                .expect("finite")
-                .then(a.cmp(&b))
-        });
+        ids.sort_by(|&a, &b| points[a].x.total_cmp(&points[b].x).then(a.cmp(&b)));
     } else {
-        ids.sort_by(|&a, &b| {
-            points[a]
-                .y
-                .partial_cmp(&points[b].y)
-                .expect("finite")
-                .then(a.cmp(&b))
-        });
+        ids.sort_by(|&a, &b| points[a].y.total_cmp(&points[b].y).then(a.cmp(&b)));
     }
     let mid = ids.len() / 2;
     let (left, right) = ids.split_at_mut(mid);
@@ -130,10 +118,13 @@ fn minmax(values: impl Iterator<Item = f64>) -> (f64, f64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn grid_points(n: usize) -> Vec<Point> {
-        (0..n).map(|i| Point::new((i % 4) as f64, (i / 4) as f64)).collect()
+        (0..n)
+            .map(|i| Point::new((i % 4) as f64, (i / 4) as f64))
+            .collect()
     }
 
     #[test]
@@ -171,7 +162,9 @@ mod tests {
             Point::new(11.0, 0.1),
         ];
         let topo = balanced_topology(&pts, &[0, 1, 2, 3]);
-        let Topology::Internal(l, r) = topo else { panic!("expected split") };
+        let Topology::Internal(l, r) = topo else {
+            panic!("expected split")
+        };
         let mut left = l.sinks();
         left.sort_unstable();
         let mut right = r.sinks();
@@ -184,7 +177,10 @@ mod tests {
     fn deterministic() {
         let pts = grid_points(10);
         let sinks: Vec<usize> = (0..10).collect();
-        assert_eq!(balanced_topology(&pts, &sinks), balanced_topology(&pts, &sinks));
+        assert_eq!(
+            balanced_topology(&pts, &sinks),
+            balanced_topology(&pts, &sinks)
+        );
     }
 
     #[test]

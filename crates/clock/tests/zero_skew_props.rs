@@ -1,6 +1,13 @@
 //! Property tests: zero skew must hold for *every* sink geometry, not just
 //! the sampled ones.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // tests may panic and compare exact floats
+
 use bmst_clock::{balanced_topology, zero_skew_tree};
 use bmst_geom::{Net, Point};
 use proptest::prelude::*;

@@ -58,7 +58,9 @@ pub fn prim_dijkstra(net: &Net, c: f64) -> Result<RoutingTree, BmstError> {
     let n = net.len();
     let s = net.source();
     if n == 1 {
-        return Ok(RoutingTree::from_edges(1, s, [])?);
+        let tree = RoutingTree::from_edges(1, s, [])?;
+        crate::audit::debug_audit(net, &tree, None);
+        return Ok(tree);
     }
     let d = net.distance_matrix();
 
@@ -100,11 +102,16 @@ pub fn prim_dijkstra(net: &Net, c: f64) -> Result<RoutingTree, BmstError> {
             }
         }
     }
-    Ok(RoutingTree::from_edges(n, s, edges)?)
+    let tree = RoutingTree::from_edges(n, s, edges)?;
+    // AHHK has no hard path bound, so only the structural and merge
+    // invariants are audited.
+    crate::audit::debug_audit(net, &tree, None);
+    Ok(tree)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{mst_tree, spt_tree};
     use bmst_geom::Point;

@@ -30,11 +30,15 @@ use bmst_tree::RoutingTree;
 /// assert_eq!(mst.source_radius(), 2.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[allow(clippy::expect_used)] // construction invariant, justified inline
 pub fn mst_tree(net: &Net) -> RoutingTree {
     let d = net.distance_matrix();
     let edges = prim_mst(&d, net.source());
-    RoutingTree::from_edges(net.len(), net.source(), edges)
-        .expect("Prim's algorithm produces a spanning tree")
+    let tree = RoutingTree::from_edges(net.len(), net.source(), edges)
+        // lint: allow(no-panic) — Prim on a complete graph always spans
+        .expect("Prim's algorithm produces a spanning tree");
+    crate::audit::debug_audit(net, &tree, None);
+    tree
 }
 
 /// The shortest path tree of the net: every sink connected to the source by
@@ -44,10 +48,14 @@ pub fn mst_tree(net: &Net) -> RoutingTree {
 /// path (triangle inequality), so the SPT is the star centred at the source.
 /// Its radius `R` is minimal among all spanning trees, and its cost is the
 /// worst of all the constructions considered in the paper (Figure 11).
+#[allow(clippy::expect_used)] // construction invariant, justified inline
 pub fn spt_tree(net: &Net) -> RoutingTree {
     let s = net.source();
     let edges = net.sinks().map(|v| Edge::new(s, v, net.dist(s, v)));
-    RoutingTree::from_edges(net.len(), s, edges).expect("a star is a spanning tree")
+    // lint: allow(no-panic) — a star over every sink is a spanning tree by construction
+    let tree = RoutingTree::from_edges(net.len(), s, edges).expect("a star is a spanning tree");
+    crate::audit::debug_audit(net, &tree, None);
+    tree
 }
 
 /// The *maximal* spanning tree: the most expensive spanning tree of the
@@ -55,6 +63,7 @@ pub fn spt_tree(net: &Net) -> RoutingTree {
 ///
 /// It appears at the top of the paper's routing-cost chart (Figure 11) as
 /// the cost ceiling. Computed by running Prim on negated weights.
+#[allow(clippy::expect_used)] // construction invariant, justified inline
 pub fn maximal_spanning_tree(net: &Net) -> RoutingTree {
     let n = net.len();
     let s = net.source();
@@ -89,11 +98,15 @@ pub fn maximal_spanning_tree(net: &Net) -> RoutingTree {
             }
         }
     }
-    RoutingTree::from_edges(n, s, edges).expect("Prim produces a spanning tree")
+    // lint: allow(no-panic) — max-Prim on a complete graph always spans
+    let tree = RoutingTree::from_edges(n, s, edges).expect("Prim produces a spanning tree");
+    crate::audit::debug_audit(net, &tree, None);
+    tree
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_geom::Point;
 
@@ -143,8 +156,7 @@ mod tests {
 
     #[test]
     fn single_sink_net_all_trees_coincide() {
-        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)])
-            .unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)]).unwrap();
         assert_eq!(mst_tree(&net).cost(), 4.0);
         assert_eq!(spt_tree(&net).cost(), 4.0);
         assert_eq!(maximal_spanning_tree(&net).cost(), 4.0);
@@ -161,7 +173,11 @@ mod tests {
     #[test]
     fn non_first_source_respected() {
         let net = Net::new(
-            vec![Point::new(5.0, 0.0), Point::new(0.0, 0.0), Point::new(9.0, 0.0)],
+            vec![
+                Point::new(5.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(9.0, 0.0),
+            ],
             1,
             bmst_geom::Metric::L1,
         )

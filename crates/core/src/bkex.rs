@@ -48,7 +48,9 @@ impl BkexConfig {
     /// The depth that makes the search provably exact for a net of `n`
     /// terminals: `n - 1` T-exchanges reach any spanning tree.
     pub fn exact_for(n: usize) -> Self {
-        BkexConfig { max_depth: n.saturating_sub(1) }
+        BkexConfig {
+            max_depth: n.saturating_sub(1),
+        }
     }
 }
 
@@ -131,18 +133,20 @@ pub fn bkex_from_with(
 ) -> RoutingTree {
     let d = net.distance_matrix();
     let mut incumbent = start;
-    while let Some(better) =
-        dfs_exchange(net, &d, feasible, &incumbent, 0.0, 0, config.max_depth)
-    {
+    while let Some(better) = dfs_exchange(net, &d, feasible, &incumbent, 0.0, 0, config.max_depth) {
         debug_assert!(better.cost() < incumbent.cost());
         incumbent = better;
     }
+    // The predicate is arbitrary, so only the structural and merge
+    // invariants are audited here.
+    crate::audit::debug_audit(net, &incumbent, None);
     incumbent
 }
 
 /// One level of the paper's `DFS_EXCHANGE(T, weight_sum)`. Returns a
 /// feasible tree strictly cheaper than the iteration's root, if one is
 /// reachable through negative-prefix exchange sequences from `tree`.
+#[allow(clippy::expect_used)] // cycle-walk invariants, justified inline
 fn dfs_exchange(
     net: &Net,
     d: &bmst_geom::DistanceMatrix,
@@ -178,6 +182,7 @@ fn dfs_exchange(
                 if weight_sum + diff < -EPS_TOL {
                     let candidate = tree
                         .apply_exchange(v, Edge::new(x, y, add_w))
+                        // lint: allow(no-panic) — (x, y) closes the cycle through v, so the exchange reconnects
                         .expect("cycle edges always reconnect");
                     if feasible(&candidate) {
                         return Some(candidate);
@@ -194,6 +199,7 @@ fn dfs_exchange(
                         return Some(found);
                     }
                 }
+                // lint: allow(no-panic) — the loop exits at the LCA before v can reach the root
                 v = tree.parent(v).expect("walk stops at the common ancestor");
             }
         }
@@ -203,6 +209,7 @@ fn dfs_exchange(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{gabow_bmst, mst_tree};
     use bmst_geom::Point;
@@ -225,8 +232,9 @@ mod tests {
             let net = random_net(seed, 6);
             for eps in [0.0, 0.2, 0.5] {
                 let exact = gabow_bmst(&net, eps).unwrap().cost();
-                let ex =
-                    bkex(&net, eps, BkexConfig::exact_for(net.len())).unwrap().cost();
+                let ex = bkex(&net, eps, BkexConfig::exact_for(net.len()))
+                    .unwrap()
+                    .cost();
                 assert!(
                     (exact - ex).abs() < 1e-9,
                     "seed {seed} eps {eps}: bkex {ex} vs gabow {exact}"
@@ -305,8 +313,7 @@ mod tests {
     fn trivial_nets() {
         let net = Net::with_source_first(vec![Point::new(0.0, 0.0)]).unwrap();
         assert_eq!(bkex(&net, 0.0, BkexConfig::default()).unwrap().cost(), 0.0);
-        let net =
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0)]).unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0)]).unwrap();
         assert_eq!(bkex(&net, 0.0, BkexConfig::default()).unwrap().cost(), 3.0);
     }
 }

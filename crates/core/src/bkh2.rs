@@ -70,11 +70,7 @@ pub fn bkh2_from(net: &Net, constraint: PathConstraint, start: RoutingTree) -> R
 /// # Panics
 ///
 /// Panics if `params.load_cap.len() < net.len()`.
-pub fn bkh2_elmore(
-    net: &Net,
-    eps: f64,
-    params: &ElmoreParams,
-) -> Result<RoutingTree, BmstError> {
+pub fn bkh2_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<RoutingTree, BmstError> {
     let start = bkrus_elmore(net, eps, params)?;
     let bound = if eps.is_infinite() {
         f64::INFINITY
@@ -89,11 +85,17 @@ pub fn bkh2_elmore(
                 bound,
             )
     };
-    Ok(bkex_from_with(net, &feasible, start, BkexConfig::with_depth(2)))
+    Ok(bkex_from_with(
+        net,
+        &feasible,
+        start,
+        BkexConfig::with_depth(2),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{bkex, gabow_bmst, BkexConfig};
     use bmst_geom::Point;
@@ -177,16 +179,14 @@ mod tests {
             assert!(out.cost() <= start.cost() + 1e-9, "seed {seed}");
             // The delay bound still holds after the exchanges.
             let bound = (1.0 + eps) * crate::elmore_spt_radius(&net, &params);
-            let worst =
-                ElmoreDelays::from_source(&out, &params).max_delay_over(net.sinks());
+            let worst = ElmoreDelays::from_source(&out, &params).max_delay_over(net.sinks());
             assert!(worst <= bound + 1e-6, "seed {seed}: {worst} > {bound}");
         }
     }
 
     #[test]
     fn trivial_net() {
-        let net =
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
         assert_eq!(bkh2(&net, 0.0).unwrap().cost(), 1.0);
     }
 }

@@ -99,7 +99,9 @@ pub(crate) fn run(
     let n = net.len();
     let source = net.source();
     if n == 1 {
-        return Ok(RoutingTree::from_edges(1, source, [])?);
+        let tree = RoutingTree::from_edges(1, source, [])?;
+        crate::audit::debug_audit(net, &tree, Some(&constraint));
+        return Ok(tree);
     }
 
     let d = net.distance_matrix();
@@ -121,7 +123,10 @@ pub(crate) fn run(
         }
         if forest.same_component(e.u, e.v) {
             if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent { edge: e, decision: EdgeDecision::RejectedCycle });
+                t.push(TraceEvent {
+                    edge: e,
+                    decision: EdgeDecision::RejectedCycle,
+                });
             }
             continue;
         }
@@ -132,17 +137,28 @@ pub(crate) fn run(
             forest.merge(e.u, e.v, e.weight);
             tree_edges.push(e);
             if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent { edge: e, decision: EdgeDecision::Accepted });
+                t.push(TraceEvent {
+                    edge: e,
+                    decision: EdgeDecision::Accepted,
+                });
             }
         } else if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent { edge: e, decision: EdgeDecision::RejectedBound });
+            t.push(TraceEvent {
+                edge: e,
+                decision: EdgeDecision::RejectedBound,
+            });
         }
     }
 
     if tree_edges.len() != n - 1 {
-        return Err(BmstError::Infeasible { connected: tree_edges.len() + 1, total: n });
+        return Err(BmstError::Infeasible {
+            connected: tree_edges.len() + 1,
+            total: n,
+        });
     }
-    Ok(RoutingTree::from_edges(n, source, tree_edges)?)
+    let tree = RoutingTree::from_edges(n, source, tree_edges)?;
+    crate::audit::debug_audit(net, &tree, Some(&constraint));
+    Ok(tree)
 }
 
 /// §6 lower-bound condition: a merge that connects a component to the
@@ -163,9 +179,10 @@ fn lower_bound_ok(forest: &mut KruskalForest, u: usize, v: usize, w: f64, lower:
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
-    use bmst_geom::Point;
     use crate::mst_tree;
+    use bmst_geom::Point;
 
     /// The paper's Figure 4 instance: source at origin, four sinks, R = 8,
     /// bound 12 at eps = 0.5.
@@ -178,11 +195,11 @@ mod tests {
     /// rejected.
     fn figure4_like_net() -> Net {
         Net::with_source_first(vec![
-            Point::new(0.0, 0.0),  // S
-            Point::new(8.0, 0.0),  // a: the farthest sink, R = 8
-            Point::new(5.0, 0.0),  // b
-            Point::new(6.0, 1.0),  // c
-            Point::new(7.0, 1.0),  // d
+            Point::new(0.0, 0.0), // S
+            Point::new(8.0, 0.0), // a: the farthest sink, R = 8
+            Point::new(5.0, 0.0), // b
+            Point::new(6.0, 1.0), // c
+            Point::new(7.0, 1.0), // d
         ])
         .unwrap()
     }
@@ -242,7 +259,10 @@ mod tests {
     #[test]
     fn negative_eps_rejected() {
         let net = figure4_like_net();
-        assert!(matches!(bkrus(&net, -0.5), Err(BmstError::InvalidEpsilon { .. })));
+        assert!(matches!(
+            bkrus(&net, -0.5),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
     }
 
     #[test]
@@ -251,8 +271,7 @@ mod tests {
         let t = bkrus(&net, 0.0).unwrap();
         assert_eq!(t.cost(), 0.0);
 
-        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)])
-            .unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]).unwrap();
         let t = bkrus(&net, 0.0).unwrap();
         assert_eq!(t.cost(), 4.0);
         assert_eq!(t.parent(1), Some(0));
@@ -274,7 +293,9 @@ mod tests {
         }
         // With eps = 0 on this net at least one bound rejection must occur
         // (the far cluster cannot fully chain through b).
-        assert!(trace.iter().any(|e| e.decision == EdgeDecision::RejectedBound));
+        assert!(trace
+            .iter()
+            .any(|e| e.decision == EdgeDecision::RejectedBound));
     }
 
     #[test]
@@ -289,7 +310,9 @@ mod tests {
         ])
         .unwrap();
         let (_, trace) = bkrus_trace(&net, 1.0).unwrap();
-        assert!(trace.iter().any(|e| e.decision == EdgeDecision::RejectedCycle));
+        assert!(trace
+            .iter()
+            .any(|e| e.decision == EdgeDecision::RejectedCycle));
     }
 
     #[test]
@@ -299,7 +322,10 @@ mod tests {
         // pay roughly MST cost for moderate eps.
         let mut pts = vec![Point::new(0.0, 0.0)];
         for i in 0..8 {
-            pts.push(Point::new(16.0 + 0.3 * (i % 4) as f64, 0.3 * (i / 4) as f64));
+            pts.push(Point::new(
+                16.0 + 0.3 * (i % 4) as f64,
+                0.3 * (i / 4) as f64,
+            ));
         }
         let net = Net::with_source_first(pts).unwrap();
         let mst = mst_tree(&net).cost();

@@ -44,11 +44,13 @@ use crate::{BmstError, PathConstraint};
 pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
     // Validates eps; the per-node bounds below are tighter than
     // constraint.upper.
-    let _constraint = PathConstraint::from_eps(net, eps)?;
+    let constraint = PathConstraint::from_eps(net, eps)?;
     let n = net.len();
     let s = net.source();
     if n == 1 {
-        return Ok(RoutingTree::from_edges(1, s, [])?);
+        let tree = RoutingTree::from_edges(1, s, [])?;
+        crate::audit::debug_audit(net, &tree, Some(&constraint));
+        return Ok(tree);
     }
     let d = net.distance_matrix();
 
@@ -70,17 +72,18 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
                     continue;
                 }
                 let w = d[(u, v)];
-                let node_bound =
-                    if eps.is_infinite() { f64::INFINITY } else { (1.0 + eps) * d[(s, v)] };
+                let node_bound = if eps.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    (1.0 + eps) * d[(s, v)]
+                };
                 if !le_tol(path_s[u] + w, node_bound) {
                     continue;
                 }
                 let cand = (w, u, v);
                 let better = match best {
                     None => true,
-                    Some(b) => {
-                        (cand.0, cand.1, cand.2) < (b.0, b.1, b.2)
-                    }
+                    Some(b) => (cand.0, cand.1, cand.2) < (b.0, b.1, b.2),
                 };
                 if better {
                     best = Some(cand);
@@ -97,16 +100,22 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
                 // Unreachable for eps >= 0 (direct source edges are always
                 // feasible); report rather than assert.
                 let connected = in_tree.iter().filter(|&&b| b).count();
-                return Err(BmstError::Infeasible { connected, total: n });
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: n,
+                });
             }
         }
     }
 
-    Ok(RoutingTree::from_edges(n, s, edges)?)
+    let tree = RoutingTree::from_edges(n, s, edges)?;
+    crate::audit::debug_audit(net, &tree, Some(&constraint));
+    Ok(tree)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{bkrus, mst_tree};
     use bmst_geom::Point;
@@ -115,7 +124,10 @@ mod tests {
         // Source far to the left; a tight cluster of sinks on the right.
         let mut pts = vec![Point::new(0.0, 0.0)];
         for i in 0..6 {
-            pts.push(Point::new(20.0 + 0.2 * (i % 3) as f64, 0.2 * (i / 3) as f64));
+            pts.push(Point::new(
+                20.0 + 0.2 * (i % 3) as f64,
+                0.2 * (i / 3) as f64,
+            ));
         }
         Net::with_source_first(pts).unwrap()
     }
@@ -150,9 +162,7 @@ mod tests {
             for seed in 0..20 {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let pts = (0..10)
-                    .map(|_| {
-                        Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))
-                    })
+                    .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
                     .collect();
                 let net = Net::with_source_first(pts).unwrap();
                 pb_total += bprim(&net, eps).unwrap().cost();
@@ -193,8 +203,7 @@ mod tests {
     fn trivial_nets() {
         let net = Net::with_source_first(vec![Point::new(0.0, 0.0)]).unwrap();
         assert_eq!(bprim(&net, 0.0).unwrap().cost(), 0.0);
-        let net =
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap();
         assert_eq!(bprim(&net, 0.0).unwrap().cost(), 2.0);
     }
 

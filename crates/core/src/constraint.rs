@@ -52,7 +52,10 @@ impl PathConstraint {
         if eps.is_nan() || eps < 0.0 {
             return Err(BmstError::InvalidEpsilon { eps });
         }
-        Ok(PathConstraint { lower: 0.0, upper: net.path_bound(eps) })
+        Ok(PathConstraint {
+            lower: 0.0,
+            upper: net.path_bound(eps),
+        })
     }
 
     /// Two-sided window: `eps1 * R <= path(S, x) <= (1 + eps2) * R`
@@ -114,12 +117,15 @@ impl PathConstraint {
         tree: &RoutingTree,
         sinks: impl IntoIterator<Item = usize>,
     ) -> bool {
-        sinks.into_iter().all(|v| self.admits(tree.dist_from_root(v)))
+        sinks
+            .into_iter()
+            .all(|v| self.admits(tree.dist_from_root(v)))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_geom::Point;
     use bmst_graph::Edge;
@@ -189,12 +195,8 @@ mod tests {
     #[test]
     fn is_satisfied_by_checks_sinks_only() {
         let net = net();
-        let star = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 10.0), Edge::new(0, 2, 4.0)],
-        )
-        .unwrap();
+        let star = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 10.0), Edge::new(0, 2, 4.0)])
+            .unwrap();
         let c = PathConstraint::from_eps(&net, 0.0).unwrap();
         assert!(c.is_satisfied_by(&star, net.sinks()));
         let lub = PathConstraint::explicit(5.0, 10.0).unwrap();

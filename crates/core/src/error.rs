@@ -63,7 +63,10 @@ impl fmt::Display for BmstError {
                 "no feasible tree: connected {connected} of {total} nodes under the path bounds"
             ),
             BmstError::TreeLimitExceeded { limit } => {
-                write!(f, "spanning tree enumeration exceeded the budget of {limit} trees")
+                write!(
+                    f,
+                    "spanning tree enumeration exceeded the budget of {limit} trees"
+                )
             }
             BmstError::InvalidEpsilon { eps } => {
                 write!(f, "epsilon must be non-negative (or +inf), got {eps}")
@@ -112,16 +115,29 @@ impl From<TreeError> for BmstError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]
     fn displays_are_informative() {
-        assert!(BmstError::Infeasible { connected: 3, total: 5 }.to_string().contains("3 of 5"));
-        assert!(BmstError::TreeLimitExceeded { limit: 10 }.to_string().contains("10"));
-        assert!(BmstError::InvalidEpsilon { eps: -1.0 }.to_string().contains("-1"));
-        assert!(BmstError::EmptyBoundWindow { lower: 2.0, upper: 1.0 }
+        assert!(BmstError::Infeasible {
+            connected: 3,
+            total: 5
+        }
+        .to_string()
+        .contains("3 of 5"));
+        assert!(BmstError::TreeLimitExceeded { limit: 10 }
             .to_string()
-            .contains("exceeds"));
+            .contains("10"));
+        assert!(BmstError::InvalidEpsilon { eps: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(BmstError::EmptyBoundWindow {
+            lower: 2.0,
+            upper: 1.0
+        }
+        .to_string()
+        .contains("exceeds"));
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl KruskalForest {
     /// Panics if `u` and `v` are already in the same component (the caller
     /// must have rejected cycle edges) or if `w` is negative/non-finite.
     pub fn merge(&mut self, u: usize, v: usize, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "edge length must be finite non-negative, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge length must be finite non-negative, got {w}"
+        );
         let root_u = self.dsu.find(u);
         let root_v = self.dsu.find(v);
         assert!(root_u != root_v, "merge({u}, {v}) would create a cycle");
@@ -253,6 +256,7 @@ impl KruskalForest {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     /// Reproduces the paper's Figure 3 worked example:
@@ -290,7 +294,7 @@ mod tests {
     fn figure3_after_merge() {
         let mut f = figure3_forest();
         f.merge(2, 4, 5.0); // edge (c, e) weight 5
-        // "After Merge" matrix entries.
+                            // "After Merge" matrix entries.
         assert_eq!(f.path(0, 4), 11.0); // P[a][e] = P[a][c] + 5 + P[e][e]
         assert_eq!(f.path(0, 5), 13.0); // P[a][f]
         assert_eq!(f.path(1, 4), 9.0);

@@ -36,7 +36,10 @@ pub struct GabowConfig {
 
 impl Default for GabowConfig {
     fn default() -> Self {
-        GabowConfig { max_trees: 2_000_000, use_pruning: true }
+        GabowConfig {
+            max_trees: 2_000_000,
+            use_pruning: true,
+        }
     }
 }
 
@@ -123,10 +126,7 @@ pub fn preprocess_edges(net: &Net, constraint: PathConstraint) -> (Vec<Edge>, Ve
                 .filter(|&x| x != a && x != s)
                 .all(|x| d[(s, x)] + d[(x, a)] > upper + bmst_geom::EPS_TOL);
             if all_indirect_violate {
-                if let Some(&e) = kept
-                    .iter()
-                    .find(|e| e.connects(s) && e.connects(a))
-                {
+                if let Some(&e) = kept.iter().find(|e| e.connects(s) && e.connects(a)) {
                     forced.push(e);
                 }
                 // If the direct edge was eliminated by Lemma 6.1 the
@@ -187,7 +187,11 @@ pub fn gabow_bmst_with(
     let s = net.source();
     if n == 1 {
         let tree = RoutingTree::from_edges(1, s, [])?;
-        return Ok(GabowOutcome { tree, trees_examined: 1 });
+        crate::audit::debug_audit(net, &tree, Some(&constraint));
+        return Ok(GabowOutcome {
+            tree,
+            trees_examined: 1,
+        });
     }
 
     let (edges, forced_edges) = if config.use_pruning {
@@ -195,8 +199,7 @@ pub fn gabow_bmst_with(
     } else {
         (complete_edges(&net.distance_matrix()), Vec::new())
     };
-    let forced_pairs: Vec<(usize, usize)> =
-        forced_edges.iter().map(Edge::endpoints).collect();
+    let forced_pairs: Vec<(usize, usize)> = forced_edges.iter().map(Edge::endpoints).collect();
 
     let sinks: Vec<usize> = net.sinks().collect();
     let enumerator = SpanningTreeEnumerator::with_forced(n, edges, &forced_pairs);
@@ -204,19 +207,29 @@ pub fn gabow_bmst_with(
     for candidate in enumerator {
         examined += 1;
         if examined > config.max_trees {
-            return Err(BmstError::TreeLimitExceeded { limit: config.max_trees });
+            return Err(BmstError::TreeLimitExceeded {
+                limit: config.max_trees,
+            });
         }
         let tree = RoutingTree::from_edges(n, s, candidate.edges)?;
         if constraint.is_satisfied_by(&tree, sinks.iter().copied()) {
-            return Ok(GabowOutcome { tree, trees_examined: examined });
+            crate::audit::debug_audit(net, &tree, Some(&constraint));
+            return Ok(GabowOutcome {
+                tree,
+                trees_examined: examined,
+            });
         }
     }
 
-    Err(BmstError::Infeasible { connected: 1, total: n })
+    Err(BmstError::Infeasible {
+        connected: 1,
+        total: n,
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{bkrus, mst_tree, spt_tree};
     use bmst_geom::Point;
@@ -244,12 +257,12 @@ mod tests {
             if mask.count_ones() as usize != n - 1 {
                 continue;
             }
-            let chosen: Vec<Edge> =
-                (0..m).filter(|&i| mask & (1 << i) != 0).map(|i| all[i]).collect();
+            let chosen: Vec<Edge> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| all[i])
+                .collect();
             if let Ok(t) = RoutingTree::from_edges(n, net.source(), chosen) {
-                if t.is_spanning()
-                    && t.satisfies_upper_bound(bound, net.sinks())
-                {
+                if t.is_spanning() && t.satisfies_upper_bound(bound, net.sinks()) {
                     let c = t.cost();
                     best = Some(best.map_or(c, |b: f64| b.min(c)));
                 }
@@ -318,12 +331,29 @@ mod tests {
         // A bound so tight relative to an adversarial layout that many trees
         // must be enumerated; with budget 1, only the MST is examined and it
         // is infeasible.
-        let net = random_net(5, 8);
+        // Seed chosen so the (pruned) constrained MST is infeasible at
+        // eps = 0: the enumeration must request a second tree and trip the
+        // budget. (On some seeds pruning alone already yields a feasible
+        // first tree, which returns Ok without touching the limit.)
+        let net = random_net(6, 8);
         let c = PathConstraint::from_eps(&net, 0.0).unwrap();
         let mst_radius = mst_tree(&net).source_radius();
-        assert!(mst_radius > net.source_radius() + 1e-9, "need a non-star MST");
-        let res = gabow_bmst_with(&net, c, GabowConfig { max_trees: 1, ..GabowConfig::default() });
-        assert!(matches!(res, Err(BmstError::TreeLimitExceeded { limit: 1 })));
+        assert!(
+            mst_radius > net.source_radius() + 1e-9,
+            "need a non-star MST"
+        );
+        let res = gabow_bmst_with(
+            &net,
+            c,
+            GabowConfig {
+                max_trees: 1,
+                ..GabowConfig::default()
+            },
+        );
+        assert!(matches!(
+            res,
+            Err(BmstError::TreeLimitExceeded { limit: 1 })
+        ));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod ahhk;
+mod audit;
 mod baselines;
 mod bkex;
 mod bkh2;
@@ -61,12 +62,15 @@ mod brbc;
 mod constraint;
 mod elmore_bkrus;
 mod error;
+/// Bounded-radius forest partition (§3.1): the cluster structure BKRUS
+/// merges into a single bounded tree.
 pub mod forest;
 mod gabow;
 mod lub;
 mod stats;
 
 pub use ahhk::prim_dijkstra;
+pub use audit::audit_construction;
 pub use baselines::{maximal_spanning_tree, mst_tree, spt_tree};
 pub use bkex::{bkex, bkex_from, bkex_from_with, BkexConfig};
 pub use bkh2::{bkh2, bkh2_elmore, bkh2_from};

@@ -65,12 +65,16 @@ pub fn lub_bkrus(net: &Net, eps1: f64, eps2: f64) -> Result<RoutingTree, BmstErr
     if constraint.is_satisfied_by(&tree, net.sinks()) {
         Ok(tree)
     } else {
-        Err(BmstError::Infeasible { connected: net.len(), total: net.len() })
+        Err(BmstError::Infeasible {
+            connected: net.len(),
+            total: net.len(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{bkrus, mst_tree};
     use bmst_geom::Point;
@@ -95,7 +99,11 @@ mod tests {
                 feasible += 1;
                 for v in net.sinks() {
                     let p = t.dist_from_root(v);
-                    assert!(p >= 0.3 * r - 1e-9, "seed {seed} node {v}: {p} < {}", 0.3 * r);
+                    assert!(
+                        p >= 0.3 * r - 1e-9,
+                        "seed {seed} node {v}: {p} < {}",
+                        0.3 * r
+                    );
                     assert!(p <= 2.0 * r + 1e-9, "seed {seed} node {v}");
                 }
             }

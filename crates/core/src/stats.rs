@@ -53,25 +53,25 @@ impl TreeReport {
 
     /// Computes the report against precomputed baselines
     /// (`mst_cost = cost(MST)`, `spt_radius = R`).
-    pub fn with_baselines(
-        net: &Net,
-        tree: &RoutingTree,
-        mst_cost: f64,
-        spt_radius: f64,
-    ) -> Self {
+    pub fn with_baselines(net: &Net, tree: &RoutingTree, mst_cost: f64, spt_radius: f64) -> Self {
         let cost = tree.cost();
         let longest_path = tree.max_dist_from_root(net.sinks());
         TreeReport {
             cost,
             longest_path,
             perf_ratio: if mst_cost > 0.0 { cost / mst_cost } else { 1.0 },
-            path_ratio: if spt_radius > 0.0 { longest_path / spt_radius } else { 1.0 },
+            path_ratio: if spt_radius > 0.0 {
+                longest_path / spt_radius
+            } else {
+                1.0
+            },
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{bkrus, spt_tree};
     use bmst_geom::Point;

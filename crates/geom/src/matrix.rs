@@ -37,7 +37,10 @@ impl DistanceMatrix {
     /// This is the initial state of the paper's `P` path-length matrix
     /// (BKRUS line 5-7).
     pub fn zeros(n: usize) -> Self {
-        DistanceMatrix { n, data: vec![0.0; n * n] }
+        DistanceMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Computes the full pairwise distance matrix of `points` under `metric`.
@@ -80,7 +83,12 @@ impl DistanceMatrix {
     ///
     /// Panics if `new_n < self.len()`; the matrix never shrinks.
     pub fn grow(&mut self, new_n: usize) {
-        assert!(new_n >= self.n, "DistanceMatrix::grow cannot shrink: {} -> {}", self.n, new_n);
+        assert!(
+            new_n >= self.n,
+            "DistanceMatrix::grow cannot shrink: {} -> {}",
+            self.n,
+            new_n
+        );
         if new_n == self.n {
             return;
         }
@@ -151,6 +159,7 @@ impl fmt::Debug for DistanceMatrix {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn square_corners() -> Vec<Point> {

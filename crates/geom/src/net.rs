@@ -91,12 +91,19 @@ impl Net {
             return Err(GeomError::EmptyNet);
         }
         if source >= points.len() {
-            return Err(GeomError::SourceOutOfBounds { source, len: points.len() });
+            return Err(GeomError::SourceOutOfBounds {
+                source,
+                len: points.len(),
+            });
         }
         if let Some(index) = points.iter().position(|p| !p.is_finite()) {
             return Err(GeomError::NonFinitePoint { index });
         }
-        Ok(Net { points, source, metric })
+        Ok(Net {
+            points,
+            source,
+            metric,
+        })
     }
 
     /// Convenience constructor: terminal 0 is the source, Manhattan metric.
@@ -175,15 +182,22 @@ impl Net {
     /// This is the paper's `R`, the radius of the shortest path tree and the
     /// reference length for the bound `(1 + eps) * R`.
     pub fn source_radius(&self) -> f64 {
-        self.sinks().map(|i| self.dist(self.source, i)).fold(0.0, f64::max)
+        self.sinks()
+            .map(|i| self.dist(self.source, i))
+            .fold(0.0, f64::max)
     }
 
     /// `r`: direct distance from the source to the nearest sink
     /// (0 for a net with no sinks).
     pub fn source_nearest(&self) -> f64 {
-        self.sinks().map(|i| self.dist(self.source, i)).fold(f64::INFINITY, f64::min).min(
-            if self.num_sinks() == 0 { 0.0 } else { f64::INFINITY },
-        )
+        self.sinks()
+            .map(|i| self.dist(self.source, i))
+            .fold(f64::INFINITY, f64::min)
+            .min(if self.num_sinks() == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            })
     }
 
     /// The upper path-length bound `(1 + eps) * R`.
@@ -209,7 +223,9 @@ impl Net {
     /// # Panics
     ///
     /// Never panics for a constructed `Net` (nets are non-empty).
+    #[allow(clippy::expect_used)] // non-emptiness invariant, justified inline
     pub fn bounding_box(&self) -> BoundingBox {
+        // lint: allow(no-panic) — Net constructors reject empty point sets
         BoundingBox::of(self.points.iter().copied()).expect("nets are non-empty")
     }
 
@@ -223,6 +239,7 @@ impl Net {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn tri_net() -> Net {
@@ -301,10 +318,8 @@ mod tests {
     #[test]
     fn complete_edge_count_formula() {
         assert_eq!(tri_net().complete_edge_count(), 3);
-        let net6 = Net::with_source_first(
-            (0..6).map(|i| Point::new(i as f64, 0.0)).collect(),
-        )
-        .unwrap();
+        let net6 =
+            Net::with_source_first((0..6).map(|i| Point::new(i as f64, 0.0)).collect()).unwrap();
         assert_eq!(net6.complete_edge_count(), 15); // matches paper's p1 row
     }
 
@@ -314,6 +329,8 @@ mod tests {
         assert!(GeomError::SourceOutOfBounds { source: 3, len: 2 }
             .to_string()
             .contains("out of bounds"));
-        assert!(GeomError::NonFinitePoint { index: 0 }.to_string().contains("non-finite"));
+        assert!(GeomError::NonFinitePoint { index: 0 }
+            .to_string()
+            .contains("non-finite"));
     }
 }

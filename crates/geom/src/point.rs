@@ -137,7 +137,10 @@ impl BoundingBox {
     pub fn of<I: IntoIterator<Item = Point>>(points: I) -> Option<BoundingBox> {
         let mut it = points.into_iter();
         let first = it.next()?;
-        let mut bb = BoundingBox { lo: first, hi: first };
+        let mut bb = BoundingBox {
+            lo: first,
+            hi: first,
+        };
         for p in it {
             bb.lo = bb.lo.min(p);
             bb.hi = bb.hi.max(p);
@@ -173,6 +176,7 @@ impl BoundingBox {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

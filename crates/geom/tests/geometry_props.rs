@@ -1,5 +1,7 @@
 //! Property tests for the geometric primitives.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_geom::{BoundingBox, DistanceMatrix, Metric, Net, Point};
 use proptest::prelude::*;
 

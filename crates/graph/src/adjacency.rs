@@ -25,7 +25,9 @@ pub struct AdjacencyList {
 impl AdjacencyList {
     /// Creates an empty graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        AdjacencyList { adj: vec![Vec::new(); n] }
+        AdjacencyList {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -61,7 +63,10 @@ impl AdjacencyList {
     /// Panics if `u` or `v` is out of bounds, or if `u == v`.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
         assert!(u != v, "self-loop ({u}, {v})");
-        assert!(u < self.len() && v < self.len(), "edge ({u}, {v}) out of bounds");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge ({u}, {v}) out of bounds"
+        );
         self.adj[u].push((v, weight));
         self.adj[v].push((u, weight));
     }
@@ -91,6 +96,7 @@ impl AdjacencyList {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

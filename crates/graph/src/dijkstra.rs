@@ -27,7 +27,11 @@ impl ShortestPaths {
     /// The radius of the shortest path tree: the largest finite distance
     /// (0.0 for a single-node graph). Unreachable nodes are ignored.
     pub fn radius(&self) -> f64 {
-        self.dist.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
     }
 
     /// Nodes on the path from the source to `v`, source first.
@@ -70,12 +74,11 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smallest distance pops first. Distances are finite
-        // (weights validated by Edge) so partial_cmp never fails; ties break
-        // on node index for determinism.
+        // (weights validated by Edge); `total_cmp` keeps the order total
+        // regardless. Ties break on node index for determinism.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are finite")
+            .total_cmp(&self.dist)
             .then(other.node.cmp(&self.node))
     }
 }
@@ -108,7 +111,10 @@ pub fn dijkstra(graph: &AdjacencyList, source: usize) -> ShortestPaths {
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
         if done[u] {
@@ -126,11 +132,16 @@ pub fn dijkstra(graph: &AdjacencyList, source: usize) -> ShortestPaths {
         }
     }
 
-    ShortestPaths { dist, parent, source }
+    ShortestPaths {
+        dist,
+        parent,
+        source,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::Edge;
 

@@ -31,7 +31,11 @@ impl DisjointSets {
     /// Creates `n` singleton sets `{0}, {1}, ..., {n-1}`
     /// (the paper's `MAKE_SET` loop).
     pub fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], num_sets: n }
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
     }
 
     /// Number of elements across all sets.
@@ -98,7 +102,11 @@ impl DisjointSets {
         if rx == ry {
             return false;
         }
-        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
         self.parent[lo] = hi;
         if self.rank[rx] == self.rank[ry] {
             self.rank[hi] += 1;
@@ -119,6 +127,7 @@ impl DisjointSets {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

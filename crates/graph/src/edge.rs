@@ -42,7 +42,10 @@ impl Edge {
     #[inline]
     pub fn new(a: usize, b: usize, weight: f64) -> Self {
         assert!(a != b, "self-loop edge ({a}, {b})");
-        assert!(weight.is_finite(), "edge weight must be finite, got {weight}");
+        assert!(
+            weight.is_finite(),
+            "edge weight must be finite, got {weight}"
+        );
         let (u, v) = if a <= b { (a, b) } else { (b, a) };
         Edge { u, v, weight }
     }
@@ -65,7 +68,11 @@ impl Edge {
         } else if node == self.v {
             self.u
         } else {
-            panic!("node {node} is not an endpoint of edge ({}, {})", self.u, self.v)
+            // lint: allow(no-panic) — misuse of a documented `# Panics` contract
+            panic!(
+                "node {node} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -77,12 +84,12 @@ impl Edge {
 
     /// Canonical total order: by weight, then `u`, then `v`.
     ///
-    /// Weights are finite by construction, so the comparison never sees NaN.
+    /// Weights are finite by construction; `total_cmp` keeps the order
+    /// total without a panicking unwrap even if that invariant breaks.
     #[inline]
     pub fn canonical_cmp(&self, other: &Edge) -> Ordering {
         self.weight
-            .partial_cmp(&other.weight)
-            .expect("edge weights are finite")
+            .total_cmp(&other.weight)
             .then(self.u.cmp(&other.u))
             .then(self.v.cmp(&other.v))
     }
@@ -137,6 +144,7 @@ pub fn tree_cost(edges: &[Edge]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_geom::{Metric, Point};
 
@@ -173,8 +181,11 @@ mod tests {
 
     #[test]
     fn canonical_order_breaks_ties_by_indices() {
-        let mut edges =
-            vec![Edge::new(2, 3, 1.0), Edge::new(0, 5, 1.0), Edge::new(0, 1, 0.5)];
+        let mut edges = vec![
+            Edge::new(2, 3, 1.0),
+            Edge::new(0, 5, 1.0),
+            Edge::new(0, 1, 0.5),
+        ];
         sort_edges(&mut edges);
         assert_eq!(edges[0].endpoints(), (0, 1));
         assert_eq!(edges[1].endpoints(), (0, 5));

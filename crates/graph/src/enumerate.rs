@@ -69,11 +69,11 @@ impl PartialOrd for Partition {
 impl Ord for Partition {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed so the cheapest pops first; sequence breaks ties
-        // deterministically.
+        // deterministically. Costs are finite sums of finite weights;
+        // `total_cmp` keeps the order total regardless.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("tree costs are finite")
+            .total_cmp(&self.cost)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -135,10 +135,21 @@ impl SpanningTreeEnumerator {
         let banned = vec![false; edges.len()];
         if n > 0 {
             if let Some((tree, cost)) = constrained_mst(n, &edges, &forced_idx, &banned) {
-                heap.push(Partition { forced: forced_idx, banned, tree, cost, seq: 0 });
+                heap.push(Partition {
+                    forced: forced_idx,
+                    banned,
+                    tree,
+                    cost,
+                    seq: 0,
+                });
             }
         }
-        SpanningTreeEnumerator { n, edges, heap, seq: 1 }
+        SpanningTreeEnumerator {
+            n,
+            edges,
+            heap,
+            seq: 1,
+        }
     }
 }
 
@@ -151,15 +162,17 @@ impl Iterator for SpanningTreeEnumerator {
         // Branch on the free edges of the popped tree: child i bans free
         // edge i and forces free edges 0..i, partitioning the remaining
         // trees of this subproblem.
-        let free: Vec<usize> =
-            part.tree.iter().copied().filter(|i| !part.forced.contains(i)).collect();
+        let free: Vec<usize> = part
+            .tree
+            .iter()
+            .copied()
+            .filter(|i| !part.forced.contains(i))
+            .collect();
         let mut forced_acc = part.forced.clone();
         for &ban in &free {
             let mut banned = part.banned.clone();
             banned[ban] = true;
-            if let Some((tree, cost)) =
-                constrained_mst(self.n, &self.edges, &forced_acc, &banned)
-            {
+            if let Some((tree, cost)) = constrained_mst(self.n, &self.edges, &forced_acc, &banned) {
                 self.heap.push(Partition {
                     forced: forced_acc.clone(),
                     banned,
@@ -181,6 +194,7 @@ impl Iterator for SpanningTreeEnumerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::complete_edges;
     use bmst_geom::{DistanceMatrix, Metric, Point};
@@ -198,7 +212,7 @@ mod tests {
         // Number of spanning trees of K_n is n^(n-2).
         for n in [2usize, 3, 4, 5] {
             let count = SpanningTreeEnumerator::new(n, complete(n)).count();
-            assert_eq!(count, n.pow(n as u32 - 2), "K_{n}");
+            assert_eq!(count, n.pow(u32::try_from(n).unwrap() - 2), "K_{n}");
         }
     }
 
@@ -207,8 +221,9 @@ mod tests {
         let edges = complete(5);
         let mst = crate::kruskal_mst(5, &edges).unwrap();
         let mst_cost: f64 = mst.iter().map(|e| e.weight).sum();
-        let costs: Vec<f64> =
-            SpanningTreeEnumerator::new(5, edges).map(|t| t.cost).collect();
+        let costs: Vec<f64> = SpanningTreeEnumerator::new(5, edges)
+            .map(|t| t.cost)
+            .collect();
         assert!((costs[0] - mst_cost).abs() < 1e-9);
         for w in costs.windows(2) {
             assert!(w[0] <= w[1] + 1e-9);
@@ -217,15 +232,13 @@ mod tests {
 
     #[test]
     fn trees_are_distinct() {
-        let trees: Vec<Vec<(usize, usize)>> =
-            SpanningTreeEnumerator::new(4, complete(4))
-                .map(|t| {
-                    let mut ids: Vec<(usize, usize)> =
-                        t.edges.iter().map(Edge::endpoints).collect();
-                    ids.sort_unstable();
-                    ids
-                })
-                .collect();
+        let trees: Vec<Vec<(usize, usize)>> = SpanningTreeEnumerator::new(4, complete(4))
+            .map(|t| {
+                let mut ids: Vec<(usize, usize)> = t.edges.iter().map(Edge::endpoints).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
         let mut uniq = trees.clone();
         uniq.sort();
         uniq.dedup();

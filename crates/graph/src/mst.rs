@@ -76,7 +76,9 @@ pub fn kruskal_mst(n: usize, edges: &[Edge]) -> Result<Vec<Edge>, GraphError> {
         }
     }
     if tree.len() + 1 != n {
-        return Err(GraphError::Disconnected { components: dsu.num_sets() });
+        return Err(GraphError::Disconnected {
+            components: dsu.num_sets(),
+        });
     }
     Ok(tree)
 }
@@ -154,6 +156,7 @@ pub fn mst_cost(d: &DistanceMatrix) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::{complete_edges, tree_cost};
     use bmst_geom::{Metric, Point};
@@ -164,8 +167,11 @@ mod tests {
 
     #[test]
     fn kruskal_on_triangle_drops_heaviest() {
-        let edges =
-            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(0, 2, 3.0)];
+        let edges = [
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+        ];
         let mst = kruskal_mst(3, &edges).unwrap();
         assert_eq!(tree_cost(&mst), 3.0);
         assert!(!mst.iter().any(|e| e.endpoints() == (0, 2)));

@@ -57,6 +57,7 @@ impl fmt::Display for InstanceStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_geom::Point;
 

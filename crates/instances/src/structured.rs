@@ -21,13 +21,12 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `clusters == 0` or `sinks_per_cluster == 0`, or if `side` is
 /// not positive and finite.
-pub fn clustered_net(
-    clusters: usize,
-    sinks_per_cluster: usize,
-    side: f64,
-    seed: u64,
-) -> Net {
-    assert!(clusters > 0 && sinks_per_cluster > 0, "need at least one sink");
+#[allow(clippy::expect_used)] // finite-coordinate invariant, justified inline
+pub fn clustered_net(clusters: usize, sinks_per_cluster: usize, side: f64, seed: u64) -> Net {
+    assert!(
+        clusters > 0 && sinks_per_cluster > 0,
+        "need at least one sink"
+    );
     assert!(side.is_finite() && side > 0.0, "die side must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let spread = side / (clusters as f64).sqrt() / 12.0;
@@ -46,6 +45,7 @@ pub fn clustered_net(
             ));
         }
     }
+    // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
     Net::with_source_first(pts).expect("generated points are finite")
 }
 
@@ -59,6 +59,7 @@ pub fn clustered_net(
 /// # Panics
 ///
 /// Panics if `rows == 0` or `sinks == 0`, or `side` is not positive/finite.
+#[allow(clippy::expect_used)] // finite-coordinate invariant, justified inline
 pub fn row_net(rows: usize, sinks: usize, side: f64, seed: u64) -> Net {
     assert!(rows > 0 && sinks > 0, "need rows and sinks");
     assert!(side.is_finite() && side > 0.0, "die side must be positive");
@@ -68,11 +69,9 @@ pub fn row_net(rows: usize, sinks: usize, side: f64, seed: u64) -> Net {
     let mut pts = vec![Point::new(0.0, mid_row_y)];
     for _ in 0..sinks {
         let row = rng.gen_range(0..rows);
-        pts.push(Point::new(
-            rng.gen_range(0.0..side),
-            row as f64 * row_pitch,
-        ));
+        pts.push(Point::new(rng.gen_range(0.0..side), row as f64 * row_pitch));
     }
+    // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
     Net::with_source_first(pts).expect("generated points are finite")
 }
 
@@ -82,9 +81,13 @@ pub fn row_net(rows: usize, sinks: usize, side: f64, seed: u64) -> Net {
 /// # Panics
 ///
 /// Panics if `sinks == 0` or `radius` is not positive/finite.
+#[allow(clippy::expect_used)] // finite-coordinate invariant, justified inline
 pub fn ring_net(sinks: usize, radius: f64, jitter: f64, seed: u64) -> Net {
     assert!(sinks > 0, "need sinks");
-    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive"
+    );
     assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pts = vec![Point::new(0.0, 0.0)];
@@ -93,11 +96,13 @@ pub fn ring_net(sinks: usize, radius: f64, jitter: f64, seed: u64) -> Net {
         let r = radius * (1.0 + jitter * rng.gen_range(-1.0..1.0));
         pts.push(Point::new(r * ang.cos(), r * ang.sin()));
     }
+    // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
     Net::with_source_first(pts).expect("generated points are finite")
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

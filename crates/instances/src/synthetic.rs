@@ -16,15 +16,26 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 ///
 /// Panics if `side` is not positive and finite.
+#[allow(clippy::expect_used)] // finite-coordinate invariant, justified inline
 pub fn uniform_cloud(num_sinks: usize, side: f64, seed: u64) -> Net {
-    assert!(side.is_finite() && side > 0.0, "die side must be positive, got {side}");
+    assert!(
+        side.is_finite() && side > 0.0,
+        "die side must be positive, got {side}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pts = Vec::with_capacity(num_sinks + 1);
     // Source first (node 0).
-    pts.push(Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)));
+    pts.push(Point::new(
+        rng.gen_range(0.0..side),
+        rng.gen_range(0.0..side),
+    ));
     for _ in 0..num_sinks {
-        pts.push(Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)));
+        pts.push(Point::new(
+            rng.gen_range(0.0..side),
+            rng.gen_range(0.0..side),
+        ));
     }
+    // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
     Net::with_source_first(pts).expect("generated points are finite")
 }
 
@@ -40,11 +51,14 @@ pub fn random_net(num_sinks: usize, seed: u64) -> Net {
 /// Seeds are derived as `base_seed + index`, so suites are reproducible and
 /// non-overlapping across sizes when `base_seed` differs.
 pub fn random_suite(num_sinks: usize, count: usize, base_seed: u64) -> Vec<Net> {
-    (0..count).map(|i| random_net(num_sinks, base_seed + i as u64)).collect()
+    (0..count)
+        .map(|i| random_net(num_sinks, base_seed + i as u64))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]

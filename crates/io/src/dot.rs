@@ -35,7 +35,12 @@ use bmst_tree::RoutingTree;
 pub fn render_tree(tree: &RoutingTree) -> String {
     let mut out = String::from("graph routing_tree {\n");
     let _ = writeln!(out, "  node [shape=circle fontsize=10];");
-    let _ = writeln!(out, "  {} [shape=doublecircle label=\"S{}\"];", tree.root(), tree.root());
+    let _ = writeln!(
+        out,
+        "  {} [shape=doublecircle label=\"S{}\"];",
+        tree.root(),
+        tree.root()
+    );
     for v in tree.covered_nodes() {
         if v != tree.root() {
             let _ = writeln!(out, "  {v};");
@@ -59,6 +64,7 @@ pub fn write_tree(path: impl AsRef<Path>, tree: &RoutingTree) -> std::io::Result
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_graph::Edge;
 
@@ -66,7 +72,11 @@ mod tests {
         RoutingTree::from_edges(
             4,
             1,
-            vec![Edge::new(1, 0, 2.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 4.0)],
+            vec![
+                Edge::new(1, 0, 2.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 4.0),
+            ],
         )
         .unwrap()
     }
@@ -108,6 +118,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tree.dot");
         write_tree(&path, &sample()).unwrap();
-        assert!(std::fs::read_to_string(&path).unwrap().contains("routing_tree"));
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("routing_tree"));
     }
 }

@@ -98,14 +98,19 @@ pub fn from_str(text: &str) -> Result<Net, ParseNetError> {
         }
         let mut it = content.split_whitespace();
         let (Some(xs), Some(ys), None) = (it.next(), it.next(), it.next()) else {
-            return Err(ParseNetError::BadLine { line, content: content.to_owned() });
+            return Err(ParseNetError::BadLine {
+                line,
+                content: content.to_owned(),
+            });
         };
-        let x: f64 = xs
-            .parse()
-            .map_err(|_| ParseNetError::BadNumber { line, token: xs.to_owned() })?;
-        let y: f64 = ys
-            .parse()
-            .map_err(|_| ParseNetError::BadNumber { line, token: ys.to_owned() })?;
+        let x: f64 = xs.parse().map_err(|_| ParseNetError::BadNumber {
+            line,
+            token: xs.to_owned(),
+        })?;
+        let y: f64 = ys.parse().map_err(|_| ParseNetError::BadNumber {
+            line,
+            token: ys.to_owned(),
+        })?;
         points.push(Point::new(x, y));
     }
     Ok(Net::with_source_first(points)?)
@@ -152,6 +157,7 @@ pub fn write(path: impl AsRef<Path>, net: &Net) -> std::io::Result<()> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]
@@ -173,7 +179,10 @@ mod tests {
         let err = from_str("0 0\n1 2 3\n").unwrap_err();
         assert_eq!(
             err,
-            ParseNetError::BadLine { line: 2, content: "1 2 3".into() }
+            ParseNetError::BadLine {
+                line: 2,
+                content: "1 2 3".into()
+            }
         );
         let err = from_str("0 0\nxyz\n").unwrap_err();
         assert!(matches!(err, ParseNetError::BadLine { line: 2, .. }));
@@ -182,17 +191,29 @@ mod tests {
     #[test]
     fn bad_number_reported() {
         let err = from_str("0 zero\n").unwrap_err();
-        assert_eq!(err, ParseNetError::BadNumber { line: 1, token: "zero".into() });
+        assert_eq!(
+            err,
+            ParseNetError::BadNumber {
+                line: 1,
+                token: "zero".into()
+            }
+        );
     }
 
     #[test]
     fn empty_file_rejected() {
-        assert!(matches!(from_str("# nothing\n"), Err(ParseNetError::Geom(_))));
+        assert!(matches!(
+            from_str("# nothing\n"),
+            Err(ParseNetError::Geom(_))
+        ));
     }
 
     #[test]
     fn non_finite_rejected() {
-        assert!(matches!(from_str("0 0\nNaN 3\n"), Err(ParseNetError::Geom(_))));
+        assert!(matches!(
+            from_str("0 0\nNaN 3\n"),
+            Err(ParseNetError::Geom(_))
+        ));
     }
 
     #[test]
@@ -229,6 +250,9 @@ mod tests {
         write(&path, &net).unwrap();
         assert_eq!(read(&path).unwrap(), net);
         let missing = read(dir.join("missing.txt"));
-        assert!(matches!(missing, Err(ParseNetError::BadLine { line: 0, .. })));
+        assert!(matches!(
+            missing,
+            Err(ParseNetError::BadLine { line: 0, .. })
+        ));
     }
 }

@@ -28,7 +28,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 480.0, margin: 0.08, terminals: usize::MAX, labels: false }
+        SvgOptions {
+            width: 480.0,
+            margin: 0.08,
+            terminals: usize::MAX,
+            labels: false,
+        }
     }
 }
 
@@ -56,6 +61,7 @@ impl Default for SvgOptions {
 /// assert!(doc.contains("<line"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[allow(clippy::expect_used)] // coverage invariant, justified inline
 pub fn render_tree(points: &[Point], tree: &RoutingTree, opts: &SvgOptions) -> String {
     assert!(
         points.len() >= tree.universe(),
@@ -65,6 +71,7 @@ pub fn render_tree(points: &[Point], tree: &RoutingTree, opts: &SvgOptions) -> S
     );
     let covered: Vec<usize> = tree.covered_nodes().collect();
     let bb = BoundingBox::of(covered.iter().map(|&v| points[v]))
+        // lint: allow(no-panic) — covered_nodes() always yields at least the root
         .expect("trees cover at least the root");
 
     // Map plane -> pixels. Guard degenerate (single point / collinear) boxes.
@@ -151,6 +158,7 @@ pub fn write_tree(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_graph::Edge;
 
@@ -160,12 +168,8 @@ mod tests {
             Point::new(10.0, 0.0),
             Point::new(10.0, 8.0),
         ];
-        let tree = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 10.0), Edge::new(1, 2, 8.0)],
-        )
-        .unwrap();
+        let tree = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 10.0), Edge::new(1, 2, 8.0)])
+            .unwrap();
         (pts, tree)
     }
 
@@ -182,7 +186,10 @@ mod tests {
     #[test]
     fn steiner_points_marked() {
         let (pts, tree) = sample();
-        let opts = SvgOptions { terminals: 2, ..SvgOptions::default() };
+        let opts = SvgOptions {
+            terminals: 2,
+            ..SvgOptions::default()
+        };
         let doc = render_tree(&pts, &tree, &opts);
         assert!(doc.contains("steiner 2"));
         assert!(doc.contains("sink 1"));
@@ -196,7 +203,10 @@ mod tests {
         let labeled = render_tree(
             &pts,
             &tree,
-            &SvgOptions { labels: true, ..SvgOptions::default() },
+            &SvgOptions {
+                labels: true,
+                ..SvgOptions::default()
+            },
         );
         assert_eq!(labeled.matches("<text").count(), 3);
     }
@@ -242,8 +252,7 @@ mod tests {
             Point::new(4.0, 0.0),
             Point::new(9.0, 9.0), // uncovered
         ];
-        let tree =
-            RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 4.0)]).unwrap();
+        let tree = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 4.0)]).unwrap();
         let doc = render_tree(&pts, &tree, &SvgOptions::default());
         assert!(!doc.contains("sink 2"));
         assert!(doc.contains("sink 1"));

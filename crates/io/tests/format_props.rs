@@ -1,5 +1,7 @@
 //! Property tests for the I/O formats.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_geom::{Net, Point};
 use bmst_io::{netfile, svg};
 use proptest::prelude::*;

@@ -61,7 +61,11 @@ pub struct NamedNet {
 impl NamedNet {
     /// Bundles a net with its name and criticality.
     pub fn new(name: impl Into<String>, net: Net, criticality: Criticality) -> Self {
-        NamedNet { name: name.into(), net, criticality }
+        NamedNet {
+            name: name.into(),
+            net,
+            criticality,
+        }
     }
 }
 
@@ -176,7 +180,10 @@ impl Netlist {
                 }
                 (Some((name, crit, pts, _)), ["end"]) => {
                     let net = Net::with_source_first(std::mem::take(pts)).map_err(|e| {
-                        ParseNetlistError::BadLine { line, reason: format!("net {name:?}: {e}") }
+                        ParseNetlistError::BadLine {
+                            line,
+                            reason: format!("net {name:?}: {e}"),
+                        }
                     })?;
                     nets.push(NamedNet::new(std::mem::take(name), net, *crit));
                     current = None;
@@ -211,8 +218,7 @@ impl Netlist {
         for n in &self.nets {
             out.push_str(&format!("net {} {}\n", n.name, n.criticality));
             let s = n.net.source();
-            let order =
-                std::iter::once(s).chain((0..n.net.len()).filter(move |&i| i != s));
+            let order = std::iter::once(s).chain((0..n.net.len()).filter(move |&i| i != s));
             for i in order {
                 let p = n.net.point(i);
                 out.push_str(&format!("{:?} {:?}\n", p.x, p.y));
@@ -225,6 +231,7 @@ impl Netlist {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     const SAMPLE: &str = "\
@@ -291,7 +298,11 @@ end
 
     #[test]
     fn criticality_names_round_trip() {
-        for c in [Criticality::Critical, Criticality::Normal, Criticality::Relaxed] {
+        for c in [
+            Criticality::Critical,
+            Criticality::Normal,
+            Criticality::Relaxed,
+        ] {
             assert_eq!(Criticality::from_name(c.name()), Some(c));
         }
         assert_eq!(Criticality::default(), Criticality::Normal);

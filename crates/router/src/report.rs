@@ -47,14 +47,17 @@ impl RouteReport {
     /// The smallest slack across all nets (`inf` for an empty report).
     /// Negative slack would mean a bound violation.
     pub fn worst_slack(&self) -> f64 {
-        self.nets.iter().map(RoutedNet::slack).fold(f64::INFINITY, f64::min)
+        self.nets
+            .iter()
+            .map(RoutedNet::slack)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The net with the smallest slack, if any.
     pub fn most_critical(&self) -> Option<&RoutedNet> {
         self.nets
             .iter()
-            .min_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("finite slack"))
+            .min_by(|a, b| a.slack().total_cmp(&b.slack()))
     }
 }
 
@@ -71,7 +74,11 @@ impl fmt::Display for RouteReport {
                 "{:<12} {:>9} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
                 n.name,
                 n.criticality.name(),
-                if n.eps.is_infinite() { "inf".into() } else { format!("{:.2}", n.eps) },
+                if n.eps.is_infinite() {
+                    "inf".into()
+                } else {
+                    format!("{:.2}", n.eps)
+                },
                 n.wirelength,
                 n.radius,
                 n.bound,
@@ -85,6 +92,7 @@ impl fmt::Display for RouteReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_graph::Edge;
 
@@ -124,7 +132,10 @@ mod tests {
 
     #[test]
     fn empty_report() {
-        let report = RouteReport { nets: vec![], total_wirelength: 0.0 };
+        let report = RouteReport {
+            nets: vec![],
+            total_wirelength: 0.0,
+        };
         assert!(report.most_critical().is_none());
         assert_eq!(report.worst_slack(), f64::INFINITY);
     }

@@ -116,12 +116,16 @@ impl Netlist {
                 tree,
             });
         }
-        Ok(RouteReport { nets, total_wirelength })
+        Ok(RouteReport {
+            nets,
+            total_wirelength,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::NamedNet;
     use bmst_geom::Point;
@@ -153,10 +157,15 @@ mod tests {
     #[test]
     fn routes_all_nets_within_bounds() {
         let nl = random_netlist(1, 9);
-        for algorithm in
-            [RouteAlgorithm::Bkrus, RouteAlgorithm::Bkh2, RouteAlgorithm::Steiner]
-        {
-            let cfg = RouterConfig { algorithm, ..RouterConfig::default() };
+        for algorithm in [
+            RouteAlgorithm::Bkrus,
+            RouteAlgorithm::Bkh2,
+            RouteAlgorithm::Steiner,
+        ] {
+            let cfg = RouterConfig {
+                algorithm,
+                ..RouterConfig::default()
+            };
             let report = nl.route(&cfg).unwrap();
             assert_eq!(report.nets.len(), 9);
             for rn in &report.nets {
@@ -184,10 +193,16 @@ mod tests {
     fn steiner_pass_is_cheapest() {
         let nl = random_netlist(2, 6);
         let spanning = nl
-            .route(&RouterConfig { algorithm: RouteAlgorithm::Bkrus, ..Default::default() })
+            .route(&RouterConfig {
+                algorithm: RouteAlgorithm::Bkrus,
+                ..Default::default()
+            })
             .unwrap();
         let steiner = nl
-            .route(&RouterConfig { algorithm: RouteAlgorithm::Steiner, ..Default::default() })
+            .route(&RouterConfig {
+                algorithm: RouteAlgorithm::Steiner,
+                ..Default::default()
+            })
             .unwrap();
         assert!(steiner.total_wirelength <= spanning.total_wirelength + 1e-9);
     }

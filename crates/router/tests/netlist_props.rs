@@ -1,5 +1,7 @@
 //! Property tests for the netlist format and the routing pass.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_geom::{Net, Point};
 use bmst_router::{Criticality, NamedNet, Netlist, RouterConfig};
 use proptest::prelude::*;
@@ -20,7 +22,11 @@ fn arb_named_net() -> impl Strategy<Value = NamedNet> {
                 1 => Criticality::Normal,
                 _ => Criticality::Relaxed,
             };
-            NamedNet::new(name, Net::with_source_first(pts).expect("finite"), criticality)
+            NamedNet::new(
+                name,
+                Net::with_source_first(pts).expect("finite"),
+                criticality,
+            )
         })
 }
 

@@ -1,0 +1,219 @@
+//! Offline shim for the slice of `criterion` 0.5 this workspace's benches
+//! use.
+//!
+//! The build container has no network access, so the workspace supplies
+//! this path dependency instead of crates.io `criterion`. Bench sources
+//! compile unchanged; running them performs a small fixed number of timed
+//! iterations per benchmark and prints `name: median_ns` lines — enough to
+//! eyeball trends and keep the benches honest (they execute the real
+//! algorithm code), without upstream criterion's statistics, HTML reports,
+//! or baseline comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How to batch per-iteration setup in [`Bencher::iter_batched`].
+/// Variants mirror upstream; the shim treats them identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Per-benchmark timing driver handed to the measurement closures.
+pub struct Bencher {
+    samples: u32,
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` for a fixed number of samples and record the median.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+    }
+
+    /// Time `routine` with a fresh `setup()` value per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// Top-level benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: u32 = 10;
+
+fn run_one(label: &str, samples: u32, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        median_ns: 0,
+    };
+    f(&mut b);
+    println!("{label}: {} ns/iter (median of {})", b.median_ns, b.samples);
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream requires >= 10; the shim just clamps to >= 1.
+        self.samples = (n as u32).max(1);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, f);
+        self
+    }
+
+    /// Run a benchmark that borrows a shared input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(12);
+        group.bench_with_input(BenchmarkId::new("sum_to", 100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u32).sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn shim_api_drives_benches() {
+        benches();
+    }
+}

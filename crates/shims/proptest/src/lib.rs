@@ -1,0 +1,729 @@
+//! Offline shim for the slice of `proptest` 1.x this workspace uses.
+//!
+//! The build container has no network access, so the workspace supplies
+//! this path dependency instead of crates.io `proptest`. It keeps the same
+//! surface syntax — the [`proptest!`] macro with an optional
+//! `#![proptest_config(..)]` header, [`Strategy`] combinators
+//! (`prop_map`, `prop_filter`, `prop_filter_map`, `prop_flat_map`),
+//! [`collection::vec`], [`prop_oneof!`], [`Just`], `prop_assert!`,
+//! `prop_assert_eq!` — but generates cases from a fixed-seed deterministic
+//! RNG and performs **no shrinking**: a failing case panics with the
+//! assertion message directly. That trade keeps the property tests
+//! meaningful (they still sweep hundreds of random structures) while
+//! remaining buildable offline.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Configuration for a [`proptest!`] block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Upper bound on generate-then-reject attempts, as a multiple of
+    /// `cases`, before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a property case did not pass, mirroring
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. by `prop_assume!`); it does not count
+    /// toward the accepted-case total.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Result type of a property body, mirroring
+/// `proptest::test_runner::TestCaseResult`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// directly produces a value (or `None` when a filter rejects the draw).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value, or `None` if this draw was rejected by a filter.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `true`.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Map-and-filter in one step: `None` rejects the draw.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Generate a value, then generate from the strategy it maps to.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T>(Box<dyn ObjectSafeStrategy<Value = T>>);
+
+/// Object-safe core of [`Strategy`] used by [`BoxedStrategy`].
+trait ObjectSafeStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut StdRng) -> Option<Self::Value>;
+}
+
+impl<S: Strategy> ObjectSafeStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<T::Value> {
+        let outer = self.inner.generate(rng)?;
+        (self.f)(outer).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// String-literal strategies: upstream proptest interprets `&str` values
+/// as regexes. The shim supports the shapes this workspace uses — a
+/// sequence of atoms, each a character class `[...]` or a literal
+/// character, with an optional bounded quantifier `{lo,hi}` or `{n}`.
+/// Classes hold literal characters, `a-z` ranges, and the escapes `\n`,
+/// `\t`, `\r`, `\\`. Anything fancier (alternation, `*`/`+`, groups)
+/// panics loudly rather than silently mis-generating.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<String> {
+        let atoms = parse_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "proptest shim: unsupported string strategy pattern {self:?}; \
+                 only sequences of [class]/literal atoms with {{lo,hi}} \
+                 quantifiers are implemented"
+            )
+        });
+        let mut out = String::new();
+        for atom in &atoms {
+            let len = if atom.lo == atom.hi {
+                atom.lo
+            } else {
+                rng.gen_range(atom.lo..atom.hi + 1)
+            };
+            for _ in 0..len {
+                out.push(atom.alphabet[rng.gen_range(0usize..atom.alphabet.len())]);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// One pattern atom: an alphabet repeated between `lo` and `hi` times.
+struct PatternAtom {
+    alphabet: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+/// Parse the supported regex subset; `None` on anything unsupported.
+fn parse_pattern(pattern: &str) -> Option<Vec<PatternAtom>> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut class = String::new();
+                for inner in chars.by_ref() {
+                    if inner == ']' {
+                        break;
+                    }
+                    class.push(inner);
+                }
+                parse_class(&class)?
+            }
+            // Regex features the shim deliberately does not implement.
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => return None,
+            '\\' => vec![unescape(chars.next()?)],
+            literal => vec![literal],
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for inner in chars.by_ref() {
+                if inner == '}' {
+                    break;
+                }
+                spec.push(inner);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = spec.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if lo > hi || alphabet.is_empty() {
+            return None;
+        }
+        atoms.push(PatternAtom { alphabet, lo, hi });
+    }
+    Some(atoms)
+}
+
+/// Expand a character class body (between `[` and `]`) into its alphabet.
+fn parse_class(class: &str) -> Option<Vec<char>> {
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let c = if c == '\\' {
+            unescape(chars.next()?)
+        } else {
+            c
+        };
+        if chars.peek() == Some(&'-') {
+            let mut look = chars.clone();
+            look.next(); // consume '-'
+            if let Some(end) = look.next() {
+                // `a-z` range (a trailing '-' is a literal).
+                chars = look;
+                for code in (c as u32)..=(end as u32) {
+                    alphabet.push(char::from_u32(code)?);
+                }
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    Some(alphabet)
+}
+
+/// Resolve a backslash escape to its character.
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)*) = self;
+                Some(($($name.generate(rng)?,)*))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Rng, SizeRange, StdRng, Strategy};
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.lo >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Length specification for [`collection::vec`]: built from `usize`,
+/// `Range<usize>`, or `RangeInclusive<usize>`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> Option<bool> {
+            Some(rng.gen_range(0u32..2) == 1)
+        }
+    }
+}
+
+/// Numeric strategies, mirroring the subset of `proptest::num` used here.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use super::super::{Rng, StdRng, Strategy};
+
+        /// Normal (finite, non-NaN, non-subnormal magnitude) `f64` values,
+        /// mirroring `proptest::num::f64::NORMAL`'s contract of producing
+        /// well-behaved floats across many magnitudes.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// The canonical normal-float strategy instance.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+                // Sign * mantissa in [1, 2) * 2^exp with exponent swept over
+                // a wide but safely-finite band.
+                let sign = if rng.gen_range(0u32..2) == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                let mantissa = rng.gen_range(1.0..2.0);
+                let exp = rng.gen_range(-64i32..64);
+                Some(sign * mantissa * (exp as f64).exp2())
+            }
+        }
+    }
+}
+
+/// Union of same-typed strategies with uniform choice, the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union from boxed alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! requires at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        let idx = rng.gen_range(0usize..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Choose uniformly among several same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert a condition inside a property; panics (fails the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests.
+///
+/// Supports the same surface syntax as upstream `proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0i32..100, v in proptest::collection::vec(0u32..9, 1..5)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&config, stringify!($name), |__proptest_rng| {
+                $(
+                    let $pat = match $crate::Strategy::generate(&($strat), __proptest_rng) {
+                        Some(v) => v,
+                        None => return false,
+                    };
+                )+
+                let __proptest_result: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match __proptest_result {
+                    Ok(()) => true,
+                    Err($crate::TestCaseError::Reject(_)) => false,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed: {msg}", stringify!($name))
+                    }
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Drive one property: call `case` until `config.cases` draws are accepted
+/// (return value `true`), with a global reject budget. Used by the
+/// [`proptest!`] expansion; not intended to be called directly.
+pub fn run_property(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> bool,
+) {
+    // Stable per-property seed: deterministic across runs and between
+    // properties of the same file, like a fixed PROPTEST_RNG_SEED.
+    let seed = name.bytes().fold(0xBadD_EC0D_u64, |h, b| {
+        h.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(b))
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= config.max_global_rejects,
+            "property `{name}`: too many rejected draws ({attempts}); \
+             filter is too strict"
+        );
+        if case(&mut rng) {
+            accepted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = i32> {
+        (0i32..100).prop_filter("even", |x| x % 2 == 0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn filters_apply(x in small_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0usize..10, 0.0..1.0), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            for (i, x) in &v {
+                prop_assert!(*i < 10);
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn string_class_repetition(s in "[ -~\n]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn string_identifier_shape(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(x in prop_oneof![Just(1i32), Just(2), Just(3)], n in (1usize..4).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..5, n)))) {
+            prop_assert!((1..=3).contains(&x));
+            let (len, v) = n;
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected draws")]
+    fn impossible_filter_errors_out() {
+        let config = ProptestConfig {
+            cases: 1,
+            max_global_rejects: 10,
+        };
+        super::run_property(&config, "impossible", |_| false);
+    }
+}

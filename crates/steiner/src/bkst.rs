@@ -41,9 +41,8 @@ impl SteinerTree {
 
     /// The longest source-to-terminal path length.
     pub fn terminal_radius(&self) -> f64 {
-        self.tree.max_dist_from_root(
-            (0..self.num_terminals).filter(|&v| v != self.tree.root()),
-        )
+        self.tree
+            .max_dist_from_root((0..self.num_terminals).filter(|&v| v != self.tree.root()))
     }
 }
 
@@ -64,11 +63,11 @@ impl PartialOrd for Cand {
 }
 impl Ord for Cand {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed (min-heap) with deterministic index tie-breaks.
+        // Reversed (min-heap) with deterministic index tie-breaks;
+        // `total_cmp` keeps the order total without unwrapping.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are finite")
+            .total_cmp(&self.dist)
             .then(other.a.cmp(&self.a))
             .then(other.b.cmp(&self.b))
     }
@@ -163,9 +162,12 @@ pub fn bkst(net: &Net, eps: f64) -> Result<SteinerTree, BmstError> {
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[allow(clippy::expect_used)] // Hanan-grid invariant, justified inline
 pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, BmstError> {
     if net.metric() != Metric::L1 {
-        return Err(BmstError::UnsupportedMetric { metric: net.metric() });
+        return Err(BmstError::UnsupportedMetric {
+            metric: net.metric(),
+        });
     }
     let nt = net.len();
     let source = net.source();
@@ -184,7 +186,10 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
     let mut dist_s: Vec<f64> = points.iter().map(|p| p.manhattan(src_pt)).collect();
     let mut node_of: HashMap<(usize, usize), usize> = HashMap::new();
     for (id, &p) in points.iter().enumerate() {
-        let key = grid.locate(p).expect("terminals lie on their own Hanan grid");
+        let key = grid
+            .locate(p)
+            // lint: allow(no-panic) — the grid's ladders contain every terminal coordinate by construction
+            .expect("terminals lie on their own Hanan grid");
         // Coincident terminals map to the same grid node; keep the first id,
         // the duplicates connect through a zero-length candidate.
         node_of.entry(key).or_insert(id);
@@ -194,7 +199,11 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
     let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
     for a in 0..nt {
         for b in (a + 1)..nt {
-            heap.push(Cand { dist: points[a].manhattan(points[b]), a, b });
+            heap.push(Cand {
+                dist: points[a].manhattan(points[b]),
+                a,
+                b,
+            });
         }
     }
 
@@ -243,7 +252,10 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
             // Re-offer exactly those pairs.
             if edges_at_last_fallback == edges.len() {
                 let connected = terminals_connected(&mut forest);
-                return Err(BmstError::Infeasible { connected, total: nt });
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: nt,
+                });
             }
             edges_at_last_fallback = edges.len();
             let mut offered = false;
@@ -251,13 +263,20 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
                 if !forest.contains_source(x)
                     && bmst_geom::le_tol(dsx + forest.radius(x), constraint.upper)
                 {
-                    heap.push(Cand { dist: dsx, a: source, b: x });
+                    heap.push(Cand {
+                        dist: dsx,
+                        a: source,
+                        b: x,
+                    });
                     offered = true;
                 }
             }
             if !offered {
                 let connected = terminals_connected(&mut forest);
-                return Err(BmstError::Infeasible { connected, total: nt });
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: nt,
+                });
             }
             continue;
         };
@@ -275,7 +294,11 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
         let (pa, pb) = (points[a], points[b]);
         let c1 = Point::new(pa.x, pb.y);
         let c2 = Point::new(pb.x, pa.y);
-        let corner = if c1.manhattan(src_pt) <= c2.manhattan(src_pt) { c1 } else { c2 };
+        let corner = if c1.manhattan(src_pt) <= c2.manhattan(src_pt) {
+            c1
+        } else {
+            c2
+        };
         let walk = grid.l_path(pa, corner, pb);
 
         let mut new_on_path: Vec<usize> = vec![a];
@@ -379,13 +402,21 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
     // Path sharing can lengthen a routed connection beyond its heap
     // distance; re-validate the full window over the terminals.
     if !constraint.is_satisfied_by(&tree, net.sinks()) {
-        return Err(BmstError::Infeasible { connected: nt, total: nt });
+        return Err(BmstError::Infeasible {
+            connected: nt,
+            total: nt,
+        });
     }
-    Ok(SteinerTree { tree, points, num_terminals: nt })
+    Ok(SteinerTree {
+        tree,
+        points,
+        num_terminals: nt,
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_core::{bkrus, mst_tree};
     use rand::rngs::StdRng;
@@ -410,7 +441,11 @@ mod tests {
         ])
         .unwrap();
         let st = bkst(&net, 1.0).unwrap();
-        assert!(st.wirelength() <= 14.0 + 1e-9, "wirelength {}", st.wirelength());
+        assert!(
+            st.wirelength() <= 14.0 + 1e-9,
+            "wirelength {}",
+            st.wirelength()
+        );
         assert!(st.wirelength() < mst_tree(&net).cost() - 1e-9);
         assert!(st.steiner_nodes().count() >= 1);
     }
@@ -483,7 +518,10 @@ mod tests {
     #[test]
     fn negative_eps_rejected() {
         let net = random_net(0, 4);
-        assert!(matches!(bkst(&net, -0.1), Err(BmstError::InvalidEpsilon { .. })));
+        assert!(matches!(
+            bkst(&net, -0.1),
+            Err(BmstError::InvalidEpsilon { .. })
+        ));
     }
 
     #[test]
@@ -492,8 +530,7 @@ mod tests {
         let st = bkst(&net, 0.0).unwrap();
         assert_eq!(st.wirelength(), 0.0);
 
-        let net =
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap();
+        let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap();
         let st = bkst(&net, 0.0).unwrap();
         assert!((st.wirelength() - 7.0).abs() < 1e-9);
         assert!((st.terminal_radius() - 7.0).abs() < 1e-9);

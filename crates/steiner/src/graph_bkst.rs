@@ -36,8 +36,7 @@ impl Ord for Cand {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are finite")
+            .total_cmp(&self.dist)
             .then(other.a.cmp(&self.a))
             .then(other.b.cmp(&self.b))
     }
@@ -92,11 +91,18 @@ pub fn bkst_on_graph(
     let mut r = 0.0f64;
     for &t in sinks {
         if !sp.dist[t].is_finite() {
-            return Err(BmstError::Infeasible { connected: 1, total: sinks.len() + 1 });
+            return Err(BmstError::Infeasible {
+                connected: 1,
+                total: sinks.len() + 1,
+            });
         }
         r = r.max(sp.dist[t]);
     }
-    let upper = if eps.is_infinite() { f64::INFINITY } else { (1.0 + eps) * r };
+    let upper = if eps.is_infinite() {
+        f64::INFINITY
+    } else {
+        (1.0 + eps) * r
+    };
     let constraint = PathConstraint::explicit(0.0, upper)?;
     bkst_on_graph_with(graph, source, sinks, constraint)
 }
@@ -147,7 +153,10 @@ pub fn bkst_on_graph_with(
     let sp_source = graph.shortest_paths(source);
     let mut dist_s: Vec<f64> = graph_of.iter().map(|&g| sp_source.dist[g]).collect();
     if dist_s.iter().any(|d| !d.is_finite()) {
-        return Err(BmstError::Infeasible { connected: 1, total: nt });
+        return Err(BmstError::Infeasible {
+            connected: 1,
+            total: nt,
+        });
     }
 
     // Initial candidates: all terminal pairs at graph distance.
@@ -157,7 +166,11 @@ pub fn bkst_on_graph_with(
         for (fb, &gb) in graph_of.iter().enumerate().skip(fa + 1) {
             let d = spa.dist[gb];
             if d.is_finite() {
-                heap.push(Cand { dist: d, a: fa, b: fb });
+                heap.push(Cand {
+                    dist: d,
+                    a: fa,
+                    b: fb,
+                });
             }
         }
     }
@@ -196,7 +209,10 @@ pub fn bkst_on_graph_with(
             // route from the source is segment-wise feasible.
             if edges_at_last_fallback == edges.len() {
                 let connected = terminals_connected(&mut forest);
-                return Err(BmstError::Infeasible { connected, total: nt });
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: nt,
+                });
             }
             edges_at_last_fallback = edges.len();
             let mut offered = false;
@@ -204,13 +220,20 @@ pub fn bkst_on_graph_with(
                 if !forest.contains_source(x)
                     && bmst_geom::le_tol(dsx + forest.radius(x), constraint.upper)
                 {
-                    heap.push(Cand { dist: dsx, a: 0, b: x });
+                    heap.push(Cand {
+                        dist: dsx,
+                        a: 0,
+                        b: x,
+                    });
                     offered = true;
                 }
             }
             if !offered {
                 let connected = terminals_connected(&mut forest);
-                return Err(BmstError::Infeasible { connected, total: nt });
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: nt,
+                });
             }
             continue;
         };
@@ -284,7 +307,11 @@ pub fn bkst_on_graph_with(
                         // Manhattan is a lower bound on the graph distance;
                         // using it as the heap key only reorders candidates,
                         // feasibility is re-checked on the actual route.
-                        heap.push(Cand { dist: d, a: p, b: q });
+                        heap.push(Cand {
+                            dist: d,
+                            a: p,
+                            b: q,
+                        });
                     }
                 }
             }
@@ -293,13 +320,21 @@ pub fn bkst_on_graph_with(
 
     let tree = RoutingTree::from_edges(points.len(), 0, edges)?;
     if !constraint.is_satisfied_by(&tree, 1..nt) {
-        return Err(BmstError::Infeasible { connected: nt, total: nt });
+        return Err(BmstError::Infeasible {
+            connected: nt,
+            total: nt,
+        });
     }
-    Ok(SteinerTree { tree, points, num_terminals: nt })
+    Ok(SteinerTree {
+        tree,
+        points,
+        num_terminals: nt,
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_geom::{BoundingBox, Point};
 
@@ -309,7 +344,10 @@ mod tests {
             Point::new(4.0, 0.0),
             Point::new(4.0, 2.0),
         ];
-        let wall = BoundingBox { lo: Point::new(1.0, -3.0), hi: Point::new(3.0, 1.0) };
+        let wall = BoundingBox {
+            lo: Point::new(1.0, -3.0),
+            hi: Point::new(3.0, 1.0),
+        };
         let g = RoutingGraph::with_obstacles(&terminals, &[wall]);
         let s = g.locate(terminals[0]).unwrap();
         let t1 = g.locate(terminals[1]).unwrap();
@@ -370,17 +408,33 @@ mod tests {
         let s = g.locate(pts[0]).unwrap();
         let sinks: Vec<usize> = pts[1..].iter().map(|&p| g.locate(p).unwrap()).collect();
         let st = bkst_on_graph(&g, s, &sinks, 1.0).unwrap();
-        assert!(st.wirelength() <= 14.0 + 1e-9, "wirelength {}", st.wirelength());
+        assert!(
+            st.wirelength() <= 14.0 + 1e-9,
+            "wirelength {}",
+            st.wirelength()
+        );
     }
 
     #[test]
     fn unreachable_sink_is_infeasible() {
         let terminals = [Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
         let ring = [
-            BoundingBox { lo: Point::new(8.0, 8.0), hi: Point::new(12.0, 9.0) },
-            BoundingBox { lo: Point::new(8.0, 11.0), hi: Point::new(12.0, 12.0) },
-            BoundingBox { lo: Point::new(8.0, 8.5), hi: Point::new(9.0, 11.5) },
-            BoundingBox { lo: Point::new(11.0, 8.5), hi: Point::new(12.0, 11.5) },
+            BoundingBox {
+                lo: Point::new(8.0, 8.0),
+                hi: Point::new(12.0, 9.0),
+            },
+            BoundingBox {
+                lo: Point::new(8.0, 11.0),
+                hi: Point::new(12.0, 12.0),
+            },
+            BoundingBox {
+                lo: Point::new(8.0, 8.5),
+                hi: Point::new(9.0, 11.5),
+            },
+            BoundingBox {
+                lo: Point::new(11.0, 8.5),
+                hi: Point::new(12.0, 11.5),
+            },
         ];
         let g = RoutingGraph::with_obstacles(&terminals, &ring);
         let s = g.locate(terminals[0]).unwrap();
@@ -420,10 +474,16 @@ mod tests {
             Point::new(6.0, -3.0),
             Point::new(8.0, 0.0),
         ];
-        let wall = BoundingBox { lo: Point::new(2.0, -1.0), hi: Point::new(4.0, 1.0) };
+        let wall = BoundingBox {
+            lo: Point::new(2.0, -1.0),
+            hi: Point::new(4.0, 1.0),
+        };
         let g = RoutingGraph::with_obstacles(&terminals, &[wall]);
         let s = g.locate(terminals[0]).unwrap();
-        let sinks: Vec<usize> = terminals[1..].iter().map(|&p| g.locate(p).unwrap()).collect();
+        let sinks: Vec<usize> = terminals[1..]
+            .iter()
+            .map(|&p| g.locate(p).unwrap())
+            .collect();
         let tight = bkst_on_graph(&g, s, &sinks, 0.0).unwrap().wirelength();
         let loose = bkst_on_graph(&g, s, &sinks, 2.0).unwrap().wirelength();
         assert!(loose <= tight + 1e-9, "loose {loose} > tight {tight}");

@@ -45,12 +45,15 @@ impl HananGrid {
     /// Panics if `points` is empty or contains non-finite coordinates.
     pub fn new(points: &[Point]) -> Self {
         assert!(!points.is_empty(), "Hanan grid of an empty point set");
-        assert!(points.iter().all(|p| p.is_finite()), "non-finite terminal coordinate");
+        assert!(
+            points.iter().all(|p| p.is_finite()),
+            "non-finite terminal coordinate"
+        );
         let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
         let mut ys: Vec<f64> = points.iter().map(|p| p.y).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
-        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ys.sort_by(f64::total_cmp);
         ys.dedup();
         HananGrid { xs, ys }
     }
@@ -99,8 +102,17 @@ impl HananGrid {
     ///
     /// Returns `None` for a point off the grid.
     pub fn locate(&self, p: Point) -> Option<(usize, usize)> {
-        let xi = self.xs.binary_search_by(|x| x.partial_cmp(&p.x).expect("finite")).ok()?;
-        let yi = self.ys.binary_search_by(|y| y.partial_cmp(&p.y).expect("finite")).ok()?;
+        // Ladder entries are finite by construction; a NaN query compares
+        // as "off the grid" instead of panicking.
+        use std::cmp::Ordering;
+        let xi = self
+            .xs
+            .binary_search_by(|x| x.partial_cmp(&p.x).unwrap_or(Ordering::Greater))
+            .ok()?;
+        let yi = self
+            .ys
+            .binary_search_by(|y| y.partial_cmp(&p.y).unwrap_or(Ordering::Greater))
+            .ok()?;
         Some((xi, yi))
     }
 
@@ -114,9 +126,13 @@ impl HananGrid {
     ///
     /// Panics if any of the three points is off the grid or the corner does
     /// not join the two legs.
+    #[allow(clippy::expect_used)] // documented `# Panics` contract
     pub fn l_path(&self, a: Point, corner: Point, b: Point) -> Vec<(usize, usize)> {
+        // lint: allow(no-panic) — off-grid inputs are a documented `# Panics` contract violation
         let (axi, ayi) = self.locate(a).expect("a on grid");
+        // lint: allow(no-panic) — off-grid inputs are a documented `# Panics` contract violation
         let (cxi, cyi) = self.locate(corner).expect("corner on grid");
+        // lint: allow(no-panic) — off-grid inputs are a documented `# Panics` contract violation
         let (bxi, byi) = self.locate(b).expect("b on grid");
         assert!(
             (axi == cxi || ayi == cyi) && (bxi == cxi || byi == cyi),
@@ -134,11 +150,7 @@ impl HananGrid {
 
 /// Appends the grid nodes strictly after `from` through `to` along an
 /// axis-aligned segment.
-fn append_straight(
-    path: &mut Vec<(usize, usize)>,
-    from: (usize, usize),
-    to: (usize, usize),
-) {
+fn append_straight(path: &mut Vec<(usize, usize)>, from: (usize, usize), to: (usize, usize)) {
     let (fx, fy) = from;
     let (tx, ty) = to;
     debug_assert!(fx == tx || fy == ty, "segment is not axis-aligned");
@@ -159,6 +171,7 @@ fn append_straight(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     fn sample_grid() -> HananGrid {

@@ -196,6 +196,7 @@ fn segment_free(a: Point, b: Point, obstacles: &[BoundingBox]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]
@@ -212,7 +213,11 @@ mod tests {
 
     #[test]
     fn grid_shortest_path_is_manhattan() {
-        let pts = [Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(2.0, 4.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(2.0, 4.0),
+        ];
         let g = RoutingGraph::grid(&pts);
         let s = g.locate(pts[0]).unwrap();
         let sp = g.shortest_paths(s);
@@ -225,7 +230,10 @@ mod tests {
     #[test]
     fn obstacle_blocks_straight_route() {
         let terminals = [Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
-        let wall = BoundingBox { lo: Point::new(1.0, -3.0), hi: Point::new(3.0, 1.0) };
+        let wall = BoundingBox {
+            lo: Point::new(1.0, -3.0),
+            hi: Point::new(3.0, 1.0),
+        };
         let g = RoutingGraph::with_obstacles(&terminals, &[wall]);
         let s = g.locate(terminals[0]).unwrap();
         let t = g.locate(terminals[1]).unwrap();
@@ -237,9 +245,16 @@ mod tests {
 
     #[test]
     fn nodes_inside_obstacles_removed() {
-        let terminals = [Point::new(0.0, 0.0), Point::new(4.0, 4.0), Point::new(2.0, 2.0)];
+        let terminals = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(2.0, 2.0),
+        ];
         // Note: (2, 2) is a terminal, so it must NOT be inside the obstacle.
-        let o = BoundingBox { lo: Point::new(2.5, 2.5), hi: Point::new(3.5, 3.5) };
+        let o = BoundingBox {
+            lo: Point::new(2.5, 2.5),
+            hi: Point::new(3.5, 3.5),
+        };
         let g = RoutingGraph::with_obstacles(&terminals, &[o]);
         // The obstacle centre (3, 3) exists as a grid coordinate? The grid
         // includes 2.5 and 3.5 ladders; any node strictly between them is
@@ -252,7 +267,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inside an obstacle")]
     fn terminal_inside_obstacle_panics() {
-        let o = BoundingBox { lo: Point::new(-1.0, -1.0), hi: Point::new(1.0, 1.0) };
+        let o = BoundingBox {
+            lo: Point::new(-1.0, -1.0),
+            hi: Point::new(1.0, 1.0),
+        };
         RoutingGraph::with_obstacles(&[Point::new(0.0, 0.0)], &[o]);
     }
 
@@ -263,10 +281,22 @@ mod tests {
         // forming a solid ring with no gap.
         let terminals = [Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
         let ring = [
-            BoundingBox { lo: Point::new(8.0, 8.0), hi: Point::new(12.0, 9.0) },
-            BoundingBox { lo: Point::new(8.0, 11.0), hi: Point::new(12.0, 12.0) },
-            BoundingBox { lo: Point::new(8.0, 8.5), hi: Point::new(9.0, 11.5) },
-            BoundingBox { lo: Point::new(11.0, 8.5), hi: Point::new(12.0, 11.5) },
+            BoundingBox {
+                lo: Point::new(8.0, 8.0),
+                hi: Point::new(12.0, 9.0),
+            },
+            BoundingBox {
+                lo: Point::new(8.0, 11.0),
+                hi: Point::new(12.0, 12.0),
+            },
+            BoundingBox {
+                lo: Point::new(8.0, 8.5),
+                hi: Point::new(9.0, 11.5),
+            },
+            BoundingBox {
+                lo: Point::new(11.0, 8.5),
+                hi: Point::new(12.0, 11.5),
+            },
         ];
         let g = RoutingGraph::with_obstacles(&terminals, &ring);
         let s = g.locate(terminals[0]).unwrap();

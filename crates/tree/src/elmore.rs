@@ -75,11 +75,20 @@ impl ElmoreParams {
             ("driver_cap", driver_cap),
             ("sink_load", sink_load),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
         }
         let mut load_cap = vec![sink_load; n];
         load_cap[source] = 0.0;
-        ElmoreParams { unit_res, unit_cap, driver_res, driver_cap, load_cap }
+        ElmoreParams {
+            unit_res,
+            unit_cap,
+            driver_res,
+            driver_cap,
+            load_cap,
+        }
     }
 
     /// Grows the load vector to cover `n` nodes, new nodes getting zero load
@@ -131,8 +140,10 @@ impl ElmoreDelays {
     /// # Panics
     ///
     /// Panics if `params.load_cap.len() < tree.universe()`.
+    #[allow(clippy::expect_used)] // coverage invariant, justified inline
     pub fn from_source(tree: &RoutingTree, params: &ElmoreParams) -> Self {
         Self::compute(tree, tree.root(), params, true)
+            // lint: allow(no-panic) — the root is covered in every RoutingTree
             .expect("tree root is always covered")
     }
 
@@ -163,9 +174,12 @@ impl ElmoreDelays {
         seen[from] = true;
         while let Some(u) = stack.pop() {
             order.push(u);
-            let push = |v: usize, w: f64, parent_arr: &mut Vec<usize>,
-                            len_arr: &mut Vec<f64>, seen: &mut Vec<bool>,
-                            stack: &mut Vec<usize>| {
+            let push = |v: usize,
+                        w: f64,
+                        parent_arr: &mut Vec<usize>,
+                        len_arr: &mut Vec<f64>,
+                        seen: &mut Vec<bool>,
+                        stack: &mut Vec<usize>| {
                 if !seen[v] {
                     seen[v] = true;
                     parent_arr[v] = u;
@@ -174,10 +188,24 @@ impl ElmoreDelays {
                 }
             };
             if let Some(p) = tree.parent(u) {
-                push(p, tree.parent_edge_weight(u), &mut parent, &mut edge_len, &mut seen, &mut stack);
+                push(
+                    p,
+                    tree.parent_edge_weight(u),
+                    &mut parent,
+                    &mut edge_len,
+                    &mut seen,
+                    &mut stack,
+                );
             }
             for &c in tree.children(u) {
-                push(c, tree.parent_edge_weight(c), &mut parent, &mut edge_len, &mut seen, &mut stack);
+                push(
+                    c,
+                    tree.parent_edge_weight(c),
+                    &mut parent,
+                    &mut edge_len,
+                    &mut seen,
+                    &mut stack,
+                );
             }
         }
 
@@ -192,16 +220,18 @@ impl ElmoreDelays {
 
         // Delay accumulation in preorder.
         let mut delay = vec![f64::INFINITY; n];
-        delay[from] =
-            if driver { params.driver_res * (params.driver_cap + cap[from]) } else { 0.0 };
+        delay[from] = if driver {
+            params.driver_res * (params.driver_cap + cap[from])
+        } else {
+            0.0
+        };
         for &k in &order {
             if k == from {
                 continue;
             }
             let p = parent[k];
             let len = edge_len[k];
-            delay[k] = delay[p]
-                + params.unit_res * len * (params.unit_cap / 2.0 * len + cap[k]);
+            delay[k] = delay[p] + params.unit_res * len * (params.unit_cap / 2.0 * len + cap[k]);
         }
 
         Ok(ElmoreDelays { from, delay })
@@ -209,7 +239,11 @@ impl ElmoreDelays {
 
     /// Largest finite delay (the Elmore radius of `from`).
     pub fn max_delay(&self) -> f64 {
-        self.delay.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max)
+        self.delay
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
     }
 
     /// Largest delay over a node subset.
@@ -240,11 +274,13 @@ impl ElmoreDelays {
 /// # Panics
 ///
 /// Panics if `params.load_cap.len() < tree.universe()`.
+#[allow(clippy::expect_used)] // coverage invariant, justified inline
 pub fn elmore_radii(tree: &RoutingTree, params: &ElmoreParams) -> Vec<f64> {
     let n = tree.universe();
     let mut radii = vec![f64::INFINITY; n];
     for u in tree.covered_nodes() {
         let d = ElmoreDelays::from_node(tree, u, params)
+            // lint: allow(no-panic) — from_node accepts exactly the covered nodes being iterated
             .expect("covered nodes are valid origins");
         radii[u] = d.max_delay();
     }
@@ -256,13 +292,18 @@ pub fn elmore_radii(tree: &RoutingTree, params: &ElmoreParams) -> Vec<f64> {
 /// Used by the Elmore feasibility condition (3-b), where a candidate direct
 /// source connection must drive the entire merged component.
 pub fn total_capacitance(tree: &RoutingTree, params: &ElmoreParams) -> f64 {
-    let wire: f64 = tree.edges().iter().map(|e| params.unit_cap * e.weight).sum();
+    let wire: f64 = tree
+        .edges()
+        .iter()
+        .map(|e| params.unit_cap * e.weight)
+        .sum();
     let loads: f64 = tree.covered_nodes().map(|v| params.load_cap[v]).sum();
     wire + loads
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use bmst_graph::Edge;
 
@@ -298,18 +339,10 @@ mod tests {
     fn delay_is_topology_dependent_not_just_length() {
         // Path 0-1-2 vs star 0-{1,2}: sink 1 at same path length, but in the
         // path topology sink 1's wire also drives sink 2's subtree.
-        let path = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 2.0)],
-        )
-        .unwrap();
-        let star = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 2.0), Edge::new(0, 2, 2.0)],
-        )
-        .unwrap();
+        let path = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 2.0)])
+            .unwrap();
+        let star = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 2.0), Edge::new(0, 2, 2.0)])
+            .unwrap();
         let p = params(3);
         let dp = ElmoreDelays::from_node(&path, 0, &p).unwrap();
         let ds = ElmoreDelays::from_node(&star, 0, &p).unwrap();
@@ -319,12 +352,8 @@ mod tests {
     #[test]
     fn reverse_delay_differs_from_forward() {
         // delay(u,v) != delay(v,u) in general: subtree caps differ.
-        let t = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 5.0)],
-        )
-        .unwrap();
+        let t = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 5.0)])
+            .unwrap();
         let p = params(3);
         let fwd = ElmoreDelays::from_node(&t, 0, &p).unwrap().delay[2];
         let rev = ElmoreDelays::from_node(&t, 2, &p).unwrap().delay[0];
@@ -336,7 +365,11 @@ mod tests {
         let t = RoutingTree::from_edges(
             4,
             0,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
         )
         .unwrap();
         let d = ElmoreDelays::from_source(&t, &params(4));
@@ -349,12 +382,8 @@ mod tests {
     #[test]
     fn radii_symmetric_tree() {
         // Symmetric star: both sinks equidistant; radii of sinks equal.
-        let t = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 3.0), Edge::new(0, 2, 3.0)],
-        )
-        .unwrap();
+        let t = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 3.0), Edge::new(0, 2, 3.0)])
+            .unwrap();
         let mut p = params(3);
         p.load_cap = vec![0.0, 2.0, 2.0];
         let r = elmore_radii(&t, &p);
@@ -381,12 +410,8 @@ mod tests {
 
     #[test]
     fn total_capacitance_sums_wires_and_loads() {
-        let t = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)],
-        )
-        .unwrap();
+        let t = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)])
+            .unwrap();
         let p = params(3);
         // wires: 0.2*(2+3) = 1.0; loads: 0 + 2 + 2 = 4.0
         assert!((total_capacitance(&t, &p) - 5.0).abs() < 1e-12);
@@ -416,12 +441,8 @@ mod tests {
 
     #[test]
     fn max_delay_over_subset() {
-        let t = RoutingTree::from_edges(
-            3,
-            0,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)],
-        )
-        .unwrap();
+        let t = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)])
+            .unwrap();
         let d = ElmoreDelays::from_source(&t, &params(3));
         assert_eq!(d.max_delay_over([1]), d.delay[1]);
         assert_eq!(d.max_delay_over([1, 2]), d.delay[2]);

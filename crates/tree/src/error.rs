@@ -61,7 +61,10 @@ impl fmt::Display for TreeError {
                 write!(f, "edge set contains a cycle through node {node}")
             }
             TreeError::Disconnected { unattached_edges } => {
-                write!(f, "{unattached_edges} edges are not reachable from the root")
+                write!(
+                    f,
+                    "{unattached_edges} edges are not reachable from the root"
+                )
             }
             TreeError::NodeNotCovered { node } => {
                 write!(f, "node {node} is not covered by the tree")
@@ -80,16 +83,29 @@ impl Error for TreeError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     #[test]
     fn displays_are_informative() {
-        assert!(TreeError::RootOutOfBounds { root: 9, n: 3 }.to_string().contains("root 9"));
+        assert!(TreeError::RootOutOfBounds { root: 9, n: 3 }
+            .to_string()
+            .contains("root 9"));
         assert!(TreeError::Cycle { node: 2 }.to_string().contains("cycle"));
-        assert!(TreeError::Disconnected { unattached_edges: 4 }.to_string().contains('4'));
-        assert!(TreeError::NodeNotCovered { node: 1 }.to_string().contains("not covered"));
-        assert!(TreeError::NotATreeEdge { u: 0, v: 1 }.to_string().contains("not a tree edge"));
+        assert!(TreeError::Disconnected {
+            unattached_edges: 4
+        }
+        .to_string()
+        .contains('4'));
+        assert!(TreeError::NodeNotCovered { node: 1 }
+            .to_string()
+            .contains("not covered"));
+        assert!(TreeError::NotATreeEdge { u: 0, v: 1 }
+            .to_string()
+            .contains("not a tree edge"));
         assert!(TreeError::InvalidExchange.to_string().contains("reconnect"));
-        assert!(TreeError::NodeOutOfBounds { node: 5, n: 2 }.to_string().contains('5'));
+        assert!(TreeError::NodeOutOfBounds { node: 5, n: 2 }
+            .to_string()
+            .contains('5'));
     }
 }

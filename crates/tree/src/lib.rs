@@ -32,10 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
+/// Elmore (RC) delay evaluation over routing trees (§6 of the paper).
 pub mod elmore;
 mod error;
 mod routing_tree;
 
+pub use audit::{AuditContext, AuditViolation};
 pub use elmore::{ElmoreDelays, ElmoreParams};
 pub use error::TreeError;
 pub use routing_tree::RoutingTree;

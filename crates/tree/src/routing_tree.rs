@@ -25,16 +25,18 @@ const NO_PARENT: usize = usize::MAX;
 /// backtracking search in BKEX trivially correct.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingTree {
-    n: usize,
-    root: usize,
-    parent: Vec<usize>,
-    parent_weight: Vec<f64>,
-    depth: Vec<usize>,
-    dist_root: Vec<f64>,
-    children: Vec<Vec<usize>>,
-    covered: Vec<bool>,
-    covered_count: usize,
-    cost: f64,
+    // Fields are crate-visible so the auditor (and its corruption tests)
+    // can inspect and fake every piece of derived state.
+    pub(crate) n: usize,
+    pub(crate) root: usize,
+    pub(crate) parent: Vec<usize>,
+    pub(crate) parent_weight: Vec<f64>,
+    pub(crate) depth: Vec<usize>,
+    pub(crate) dist_root: Vec<f64>,
+    pub(crate) children: Vec<Vec<usize>>,
+    pub(crate) covered: Vec<bool>,
+    pub(crate) covered_count: usize,
+    pub(crate) cost: f64,
 }
 
 impl RoutingTree {
@@ -112,7 +114,9 @@ impl RoutingTree {
 
         let attached = tree.covered_count - 1;
         if attached != edge_count {
-            return Err(TreeError::Disconnected { unattached_edges: edge_count - attached });
+            return Err(TreeError::Disconnected {
+                unattached_edges: edge_count - attached,
+            });
         }
         Ok(tree)
     }
@@ -185,7 +189,10 @@ impl RoutingTree {
     /// Panics if `v` is the root or uncovered.
     #[inline]
     pub fn parent_edge_weight(&self, v: usize) -> f64 {
-        assert!(self.covered[v] && v != self.root, "node {v} has no parent edge");
+        assert!(
+            self.covered[v] && v != self.root,
+            "node {v} has no parent edge"
+        );
         self.parent_weight[v]
     }
 
@@ -221,21 +228,29 @@ impl RoutingTree {
     /// The radius of the tree as seen from the root: `max_v path_T(S, v)`.
     /// This is the quantity bounded by `(1 + eps) * R`.
     pub fn source_radius(&self) -> f64 {
-        self.covered_nodes().map(|v| self.dist_root[v]).fold(0.0, f64::max)
+        self.covered_nodes()
+            .map(|v| self.dist_root[v])
+            .fold(0.0, f64::max)
     }
 
     /// The shortest source-to-node path length over a node subset (used for
     /// the lower bound of the LUB construction). Returns `f64::INFINITY`
     /// when the subset is empty.
     pub fn min_dist_from_root(&self, nodes: impl IntoIterator<Item = usize>) -> f64 {
-        nodes.into_iter().map(|v| self.dist_from_root(v)).fold(f64::INFINITY, f64::min)
+        nodes
+            .into_iter()
+            .map(|v| self.dist_from_root(v))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum source-to-node path length over a node subset (e.g. sinks
     /// only, excluding Steiner points). Returns `0.0` when the subset is
     /// empty.
     pub fn max_dist_from_root(&self, nodes: impl IntoIterator<Item = usize>) -> f64 {
-        nodes.into_iter().map(|v| self.dist_from_root(v)).fold(0.0, f64::max)
+        nodes
+            .into_iter()
+            .map(|v| self.dist_from_root(v))
+            .fold(0.0, f64::max)
     }
 
     /// Lowest common ancestor of two covered nodes.
@@ -333,7 +348,10 @@ impl RoutingTree {
     ///
     /// Panics if `v` is uncovered.
     pub fn radius_of(&self, v: usize) -> f64 {
-        self.dists_from(v).into_iter().filter(|d| d.is_finite()).fold(0.0, f64::max)
+        self.dists_from(v)
+            .into_iter()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
     }
 
     /// All covered nodes in the subtree rooted at `v` (including `v`).
@@ -367,7 +385,9 @@ impl RoutingTree {
         bound: f64,
         nodes: impl IntoIterator<Item = usize>,
     ) -> bool {
-        nodes.into_iter().all(|v| le_tol(self.dist_from_root(v), bound))
+        nodes
+            .into_iter()
+            .all(|v| le_tol(self.dist_from_root(v), bound))
     }
 
     /// Checks that every node in `nodes` satisfies
@@ -377,7 +397,9 @@ impl RoutingTree {
         bound: f64,
         nodes: impl IntoIterator<Item = usize>,
     ) -> bool {
-        nodes.into_iter().all(|v| le_tol(bound, self.dist_from_root(v)))
+        nodes
+            .into_iter()
+            .all(|v| le_tol(bound, self.dist_from_root(v)))
     }
 
     /// Applies a T-exchange: removes the tree edge from `remove_child` to its
@@ -440,6 +462,7 @@ impl RoutingTree {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
 
     /// A small fixed tree:
@@ -455,7 +478,11 @@ mod tests {
         RoutingTree::from_edges(
             4,
             0,
-            vec![Edge::new(0, 1, 2.0), Edge::new(0, 2, 1.0), Edge::new(1, 3, 4.0)],
+            vec![
+                Edge::new(0, 1, 2.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(1, 3, 4.0),
+            ],
         )
         .unwrap()
     }
@@ -505,8 +532,7 @@ mod tests {
     fn radius_of_matches_brute_force() {
         let t = sample();
         for v in 0..4 {
-            let brute =
-                (0..4).map(|u| t.path_length(v, u)).fold(0.0_f64, f64::max);
+            let brute = (0..4).map(|u| t.path_length(v, u)).fold(0.0_f64, f64::max);
             assert_eq!(t.radius_of(v), brute);
         }
         assert_eq!(t.radius_of(2), 7.0); // 2 -> 0 -> 1 -> 3
@@ -554,7 +580,11 @@ mod tests {
         let err = RoutingTree::from_edges(
             3,
             0,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(0, 2, 1.0),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, TreeError::Cycle { .. }));
@@ -562,13 +592,14 @@ mod tests {
 
     #[test]
     fn disconnected_edge_detected() {
-        let err = RoutingTree::from_edges(
-            4,
-            0,
-            vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)],
-        )
-        .unwrap_err();
-        assert_eq!(err, TreeError::Disconnected { unattached_edges: 1 });
+        let err = RoutingTree::from_edges(4, 0, vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TreeError::Disconnected {
+                unattached_edges: 1
+            }
+        );
     }
 
     #[test]
@@ -586,12 +617,8 @@ mod tests {
     #[test]
     fn steiner_tree_covers_subset() {
         // Universe of 5 nodes, tree only covers {0, 1, 2}.
-        let t = RoutingTree::from_edges(
-            5,
-            0,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)],
-        )
-        .unwrap();
+        let t = RoutingTree::from_edges(5, 0, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)])
+            .unwrap();
         assert!(!t.is_spanning());
         assert_eq!(t.covered_count(), 3);
         assert!(t.is_covered(2));
@@ -602,8 +629,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not covered")]
     fn query_uncovered_node_panics() {
-        let t =
-            RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 1.0)]).unwrap();
+        let t = RoutingTree::from_edges(3, 0, vec![Edge::new(0, 1, 1.0)]).unwrap();
         t.dist_from_root(2);
     }
 
@@ -678,8 +704,7 @@ mod tests {
     fn deep_chain_no_stack_overflow() {
         // Iterative traversals must handle path graphs of large depth.
         let n = 50_000;
-        let edges: Vec<Edge> =
-            (1..n).map(|v| Edge::new(v - 1, v, 1.0)).collect();
+        let edges: Vec<Edge> = (1..n).map(|v| Edge::new(v - 1, v, 1.0)).collect();
         let t = RoutingTree::from_edges(n, 0, edges).unwrap();
         assert_eq!(t.dist_from_root(n - 1), (n - 1) as f64);
         assert_eq!(t.radius_of(n - 1), (n - 1) as f64);

@@ -1,6 +1,8 @@
 //! Property-based tests of the Elmore delay evaluator against first
 //! principles.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_graph::Edge;
 use bmst_tree::{elmore, ElmoreDelays, ElmoreParams, RoutingTree};
 use proptest::prelude::*;

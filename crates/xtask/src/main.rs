@@ -1,0 +1,37 @@
+//! Workspace automation binary, invoked as `cargo xtask <command>`.
+//!
+//! The only command today is `lint`, the repo-specific static-analysis
+//! gate described in `DESIGN.md`: source-level rules that `clippy` cannot
+//! express (allow-marker conventions, per-crate rule scoping, doc-comment
+//! presence on public items of the algorithm crates).
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "Usage: cargo xtask <command>\n\
+         \n\
+         Commands:\n\
+         \x20 lint            run the repo-specific static-analysis gate\n\
+         \x20 lint --list     describe every lint rule and its scope\n\
+         \x20 help            show this message"
+    );
+}

@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release --example clock_skew`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{lub_bkrus, mst_tree, BmstError};
 use bmst_geom::{Net, Point};
 
@@ -21,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let r = net.source_radius();
     let mst_cost = mst_tree(&net).cost();
-    println!("clock net: {} sinks, R = {r}, cost(MST) = {mst_cost:.1}", net.num_sinks());
+    println!(
+        "clock net: {} sinks, R = {r}, cost(MST) = {mst_cost:.1}",
+        net.num_sinks()
+    );
     println!();
     println!(
         "{:>10} {:>12} {:>12} {:>10} {:>10}",
@@ -51,7 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(BmstError::Infeasible { .. }) => {
                 // Spanning trees route sink-to-sink; some windows only a
                 // Steiner topology could satisfy (the paper's Table 5 "-").
-                println!("[{:.1},{:.1}] {:>12} {:>12} {:>10} {:>10}", eps1, 1.0 + eps2, "-", "-", "-", "-");
+                println!(
+                    "[{:.1},{:.1}] {:>12} {:>12} {:>10} {:>10}",
+                    eps1,
+                    1.0 + eps2,
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                );
             }
             Err(e) => return Err(e.into()),
         }

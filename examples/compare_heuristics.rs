@@ -3,6 +3,13 @@
 //!
 //! Run: `cargo run --release --example compare_heuristics`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{
     bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, maximal_spanning_tree, mst_tree, spt_tree,
     BkexConfig,
@@ -27,9 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push((name, cost, radius));
     };
 
-    push("BKST (Steiner)", bkst(&net, eps)?.wirelength(), bkst(&net, eps)?.terminal_radius());
+    push(
+        "BKST (Steiner)",
+        bkst(&net, eps)?.wirelength(),
+        bkst(&net, eps)?.terminal_radius(),
+    );
     push("MST (unbounded)", mst.cost(), mst.source_radius());
-    push("BMST_G (exact)", gabow_bmst(&net, eps)?.cost(), gabow_bmst(&net, eps)?.source_radius());
+    push(
+        "BMST_G (exact)",
+        gabow_bmst(&net, eps)?.cost(),
+        gabow_bmst(&net, eps)?.source_radius(),
+    );
     let ex = bkex(&net, eps, BkexConfig::default())?;
     push("BKEX", ex.cost(), ex.source_radius());
     let h2 = bkh2(&net, eps)?;
@@ -46,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     push("MaxST (ceiling)", maxst.cost(), maxst.source_radius());
 
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-    println!("{:<18} {:>10} {:>10} {:>10}", "construction", "cost", "cost/MST", "radius");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "construction", "cost", "cost/MST", "radius"
+    );
     for (name, cost, radius) in rows {
         println!(
             "{name:<18} {cost:>10.2} {:>10.3} {:>10.2}",

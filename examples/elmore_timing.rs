@@ -4,6 +4,13 @@
 //!
 //! Run: `cargo run --release --example elmore_timing`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus, bkrus_elmore, elmore_spt_radius, mst_tree};
 use bmst_geom::{Net, Point};
 use bmst_tree::{ElmoreDelays, ElmoreParams};
@@ -41,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("eps = {eps}: delay bound = {bound:.1}");
     println!("                       cost     worst Elmore delay");
-    println!("geometric BKRUS    {:8.2} {geo_delay:>20.1}", geometric.cost());
-    println!("Elmore BKRUS       {:8.2} {ele_delay:>20.1}", electrical.cost());
+    println!(
+        "geometric BKRUS    {:8.2} {geo_delay:>20.1}",
+        geometric.cost()
+    );
+    println!(
+        "Elmore BKRUS       {:8.2} {ele_delay:>20.1}",
+        electrical.cost()
+    );
     println!(
         "MST (no bound)     {:8.2} {:>20.1}",
         mst_tree(&net).cost(),

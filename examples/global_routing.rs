@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release --example global_routing`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_geom::{Net, Point};
 use bmst_instances::random_net;
 use bmst_router::{Criticality, NamedNet, Netlist, RouteAlgorithm, RouterConfig};
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("BKH2 refined pass", RouteAlgorithm::Bkh2),
         ("BKST Steiner pass", RouteAlgorithm::Steiner),
     ] {
-        let report = netlist.route(&RouterConfig { algorithm, ..Default::default() })?;
+        let report = netlist.route(&RouterConfig {
+            algorithm,
+            ..Default::default()
+        })?;
         println!("== {label} ==");
         println!("{report}");
         println!();

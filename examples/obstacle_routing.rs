@@ -4,6 +4,13 @@
 //!
 //! Run: `cargo run --release --example obstacle_routing`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_geom::{BoundingBox, Point};
 use bmst_io::svg::{self, SvgOptions};
 use bmst_steiner::{bkst_on_graph, RoutingGraph};
@@ -11,15 +18,21 @@ use bmst_steiner::{bkst_on_graph, RoutingGraph};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A die with two macro blockages and a net crossing them.
     let terminals = [
-        Point::new(0.0, 5.0),   // source (left edge)
-        Point::new(20.0, 9.0),  // sinks on the far side
+        Point::new(0.0, 5.0),  // source (left edge)
+        Point::new(20.0, 9.0), // sinks on the far side
         Point::new(20.0, 1.0),
         Point::new(12.0, 5.0),
         Point::new(20.0, 5.0),
     ];
     let macros = [
-        BoundingBox { lo: Point::new(4.0, 2.0), hi: Point::new(9.0, 8.0) },
-        BoundingBox { lo: Point::new(14.0, 3.5), hi: Point::new(18.0, 10.0) },
+        BoundingBox {
+            lo: Point::new(4.0, 2.0),
+            hi: Point::new(9.0, 8.0),
+        },
+        BoundingBox {
+            lo: Point::new(14.0, 3.5),
+            hi: Point::new(18.0, 10.0),
+        },
     ];
 
     let graph = RoutingGraph::with_obstacles(&terminals, &macros);
@@ -31,8 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let source = graph.locate(terminals[0]).expect("terminal on grid");
-    let sinks: Vec<usize> =
-        terminals[1..].iter().map(|&p| graph.locate(p).expect("terminal on grid")).collect();
+    let sinks: Vec<usize> = terminals[1..]
+        .iter()
+        .map(|&p| graph.locate(p).expect("terminal on grid"))
+        .collect();
 
     // R in obstructed routing is the worst *graph* distance, not Manhattan.
     let sp = graph.shortest_paths(source);
@@ -44,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("R(graph) = {r_graph}, R(manhattan) = {r_manhattan}");
     println!();
 
-    println!("{:>5} {:>12} {:>12} {:>10}", "eps", "wirelength", "radius", "steiner#");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10}",
+        "eps", "wirelength", "radius", "steiner#"
+    );
     for eps in [0.0, 0.2, 0.5, 1.0] {
         let st = bkst_on_graph(&graph, source, &sinks, eps)?;
         let radius = st.tree.max_dist_from_root(1..=sinks.len());
@@ -56,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(radius <= (1.0 + eps) * r_graph + 1e-9);
         if eps == 0.5 {
-            let opts = SvgOptions { terminals: st.num_terminals, ..SvgOptions::default() };
+            let opts = SvgOptions {
+                terminals: st.num_terminals,
+                ..SvgOptions::default()
+            };
             svg::write_tree("obstacle_route.svg", &st.points, &st.tree, &opts)?;
         }
     }

@@ -3,6 +3,13 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus, mst_tree, spt_tree};
 use bmst_geom::{Net, Point};
 
@@ -30,18 +37,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The two classical extremes.
     let mst = mst_tree(&net);
     let spt = spt_tree(&net);
-    println!("MST: cost {:6.2}, radius {:6.2}  (cheapest, slowest)", mst.cost(), mst.source_radius());
-    println!("SPT: cost {:6.2}, radius {:6.2}  (fastest, priciest)", spt.cost(), spt.source_radius());
+    println!(
+        "MST: cost {:6.2}, radius {:6.2}  (cheapest, slowest)",
+        mst.cost(),
+        mst.source_radius()
+    );
+    println!(
+        "SPT: cost {:6.2}, radius {:6.2}  (fastest, priciest)",
+        spt.cost(),
+        spt.source_radius()
+    );
     println!();
 
     // BKRUS sweeps smoothly between them: radius <= (1 + eps) * R.
-    println!("{:>5} {:>10} {:>10} {:>14}", "eps", "cost", "radius", "radius bound");
+    println!(
+        "{:>5} {:>10} {:>10} {:>14}",
+        "eps", "cost", "radius", "radius bound"
+    );
     for eps in [0.0, 0.1, 0.25, 0.5, 1.0, f64::INFINITY] {
         let tree = bkrus(&net, eps)?;
         let bound = net.path_bound(eps);
         println!(
             "{:>5} {:>10.2} {:>10.2} {:>14.2}",
-            if eps.is_infinite() { "inf".into() } else { format!("{eps}") },
+            if eps.is_infinite() {
+                "inf".into()
+            } else {
+                format!("{eps}")
+            },
             tree.cost(),
             tree.source_radius(),
             bound,

@@ -4,9 +4,16 @@
 //! Run: `cargo run --release --example render_gallery`
 //! Writes `gallery/*.svg` into the current directory.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkrus, mst_tree, spt_tree};
-use bmst_io::svg::{self, SvgOptions};
 use bmst_instances::Benchmark;
+use bmst_io::svg::{self, SvgOptions};
 use bmst_steiner::bkst;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,10 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         svg::write_tree(dir.join(format!("{}_spt.svg", b.name())), pts, &spt, &opts)?;
 
         let bkt = bkrus(&net, 0.2)?;
-        svg::write_tree(dir.join(format!("{}_bkrus_eps02.svg", b.name())), pts, &bkt, &opts)?;
+        svg::write_tree(
+            dir.join(format!("{}_bkrus_eps02.svg", b.name())),
+            pts,
+            &bkt,
+            &opts,
+        )?;
 
         let st = bkst(&net, 0.2)?;
-        let st_opts = SvgOptions { terminals: st.num_terminals, ..SvgOptions::default() };
+        let st_opts = SvgOptions {
+            terminals: st.num_terminals,
+            ..SvgOptions::default()
+        };
         svg::write_tree(
             dir.join(format!("{}_bkst_eps02.svg", b.name())),
             &st.points,

@@ -5,6 +5,13 @@
 //!
 //! Run: `cargo run --release --example steiner_routing`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
 use bmst_core::{bkh2, bkrus, mst_tree};
 use bmst_geom::{Net, Point};
 use bmst_steiner::bkst;
@@ -23,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let eps = 0.3;
     let bound = net.path_bound(eps);
-    println!("net: {} sinks, R = {}, bound = {bound}", net.num_sinks(), net.source_radius());
+    println!(
+        "net: {} sinks, R = {}, bound = {bound}",
+        net.num_sinks(),
+        net.source_radius()
+    );
     println!();
 
     let mst = mst_tree(&net);
@@ -38,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let steiner_points: Vec<_> = steiner.steiner_nodes().collect();
-    println!("BKST materialised {} Steiner point(s):", steiner_points.len());
+    println!(
+        "BKST materialised {} Steiner point(s):",
+        steiner_points.len()
+    );
     for id in steiner_points {
         println!("   node {id} at {}", steiner.points[id]);
     }
@@ -48,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (1.0 - steiner.wirelength() / spanning.cost()) * 100.0
     );
     assert!(steiner.terminal_radius() <= bound + 1e-9);
-    println!("and the longest source-sink path ({:.2}) still meets the bound.", steiner.terminal_radius());
+    println!(
+        "and the longest source-sink path ({:.2}) still meets the bound.",
+        steiner.terminal_radius()
+    );
     Ok(())
 }

@@ -2,9 +2,11 @@
 //! every public construction must either route correctly or fail with a
 //! typed error — never panic, never return an out-of-contract tree.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_core::{
-    bkex, bkh2, bkrus, bkrus_elmore, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree,
-    prim_dijkstra, spt_tree, BkexConfig, BmstError,
+    bkex, bkh2, bkrus, bkrus_elmore, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree, prim_dijkstra,
+    spt_tree, BkexConfig, BmstError,
 };
 use bmst_geom::{GeomError, Metric, Net, Point};
 use bmst_steiner::bkst;
@@ -21,8 +23,7 @@ fn degenerate_nets() -> Vec<(&'static str, Net)> {
         ),
         (
             "one-sink",
-            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)])
-                .unwrap(),
+            Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap(),
         ),
         (
             "coincident-sinks",
@@ -36,10 +37,8 @@ fn degenerate_nets() -> Vec<(&'static str, Net)> {
         ),
         (
             "collinear",
-            Net::with_source_first(
-                (0..7).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect(),
-            )
-            .unwrap(),
+            Net::with_source_first((0..7).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect())
+                .unwrap(),
         ),
         (
             "huge-coordinates",
@@ -98,8 +97,7 @@ fn every_construction_survives_degenerate_nets() {
 #[test]
 fn elmore_constructions_survive_degenerate_nets() {
     for (name, net) in degenerate_nets() {
-        let params =
-            ElmoreParams::uniform_loads(net.len(), net.source(), 0.1, 0.1, 50.0, 1.0, 1.0);
+        let params = ElmoreParams::uniform_loads(net.len(), net.source(), 0.1, 0.1, 50.0, 1.0, 1.0);
         // A strong driver makes even eps = 0.5 widely feasible; where the
         // scan dead-ends the error must be typed, not a panic.
         match bkrus_elmore(&net, 0.5, &params) {
@@ -112,12 +110,20 @@ fn elmore_constructions_survive_degenerate_nets() {
 
 #[test]
 fn invalid_parameters_fail_typed() {
-    let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])
-        .unwrap();
+    let net = Net::with_source_first(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
     for bad in [-0.5, f64::NAN, f64::NEG_INFINITY] {
-        assert!(matches!(bkrus(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
-        assert!(matches!(bkst(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
-        assert!(matches!(bprim(&net, bad), Err(BmstError::InvalidEpsilon { .. })), "{bad}");
+        assert!(
+            matches!(bkrus(&net, bad), Err(BmstError::InvalidEpsilon { .. })),
+            "{bad}"
+        );
+        assert!(
+            matches!(bkst(&net, bad), Err(BmstError::InvalidEpsilon { .. })),
+            "{bad}"
+        );
+        assert!(
+            matches!(bprim(&net, bad), Err(BmstError::InvalidEpsilon { .. })),
+            "{bad}"
+        );
     }
     // LUB with inverted window.
     assert!(matches!(
@@ -131,7 +137,10 @@ fn invalid_parameters_fail_typed() {
         Metric::L2,
     )
     .unwrap();
-    assert!(matches!(bkst(&l2, 0.5), Err(BmstError::UnsupportedMetric { .. })));
+    assert!(matches!(
+        bkst(&l2, 0.5),
+        Err(BmstError::UnsupportedMetric { .. })
+    ));
 }
 
 #[test]

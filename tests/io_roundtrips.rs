@@ -1,6 +1,8 @@
 //! Integration tests for the I/O layer against real benchmark instances and
 //! real routing results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_core::{bkrus, mst_tree};
 use bmst_instances::{random_net, Benchmark};
 use bmst_io::{netfile, svg};
@@ -50,7 +52,10 @@ fn svg_renders_benchmark_trees() {
         assert_eq!(doc.matches("<circle").count(), net.num_sinks());
 
         let st = bkst(&net, 0.3).unwrap();
-        let opts = svg::SvgOptions { terminals: st.num_terminals, ..Default::default() };
+        let opts = svg::SvgOptions {
+            terminals: st.num_terminals,
+            ..Default::default()
+        };
         let doc = svg::render_tree(&st.points, &st.tree, &opts);
         // All terminals drawn as sinks/source, Steiner nodes hollow.
         assert_eq!(

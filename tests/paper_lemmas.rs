@@ -1,5 +1,7 @@
 //! Tests for the paper's formal claims (lemmas and worked examples).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_core::forest::KruskalForest;
 use bmst_core::{bkrus, bkrus_trace, preprocess_edges, EdgeDecision, PathConstraint};
 use bmst_geom::{le_tol, Net, Point};
@@ -18,8 +20,7 @@ fn lemma_3_1_rejected_edges_stay_rejected() {
             let (_, trace) = bkrus_trace(&net, eps).unwrap();
             let bound = net.path_bound(eps);
             let d = net.distance_matrix();
-            let dist_s: Vec<f64> =
-                (0..net.len()).map(|v| d[(net.source(), v)]).collect();
+            let dist_s: Vec<f64> = (0..net.len()).map(|v| d[(net.source(), v)]).collect();
 
             // Replay: maintain the forest; after each accepted merge, every
             // previously bound-rejected edge must still fail the test
@@ -38,9 +39,7 @@ fn lemma_3_1_rejected_edges_stay_rejected() {
                                 continue; // now a cycle edge
                             }
                             assert!(
-                                !forest.is_feasible_merge(
-                                    e.u, e.v, e.weight, &dist_s, bound
-                                ),
+                                !forest.is_feasible_merge(e.u, e.v, e.weight, &dist_s, bound),
                                 "seed {seed} eps {eps}: rejected edge {e} became feasible"
                             );
                         }
@@ -72,9 +71,7 @@ fn bkt_is_single_exchange_local_optimum() {
                         if tree.parent(w).is_none() {
                             continue;
                         }
-                        let Ok(t2) =
-                            tree.apply_exchange(w, Edge::new(x, y, d[(x, y)]))
-                        else {
+                        let Ok(t2) = tree.apply_exchange(w, Edge::new(x, y, d[(x, y)])) else {
                             continue;
                         };
                         if t2.satisfies_upper_bound(bound, net.sinks()) {
@@ -108,8 +105,10 @@ fn preprocessing_preserves_the_optimum() {
             if mask.count_ones() as usize != n - 1 {
                 continue;
             }
-            let chosen: Vec<Edge> =
-                (0..m).filter(|&i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            let chosen: Vec<Edge> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| edges[i])
+                .collect();
             if let Ok(t) = RoutingTree::from_edges(n, net.source(), chosen) {
                 if t.is_spanning() && t.satisfies_upper_bound(bound, net.sinks()) {
                     best = Some(best.map_or(t.cost(), |b: f64| b.min(t.cost())));

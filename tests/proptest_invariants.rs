@@ -1,7 +1,12 @@
 //! Property-based tests over random geometry: structural invariants that
 //! must hold for *every* input, not just the benchmarks.
 
-use bmst_core::{bkh2, bkrus, bprim, brbc, gabow_bmst, mst_tree, spt_tree};
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
+use bmst_core::{
+    audit_construction, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree, spt_tree,
+    PathConstraint,
+};
 use bmst_geom::{DistanceMatrix, Metric, Net, Point};
 use bmst_graph::{complete_edges, kruskal_mst, prim_mst, tree_cost};
 use bmst_steiner::bkst;
@@ -27,7 +32,13 @@ fn arb_net() -> impl Strategy<Value = Net> {
 }
 
 fn arb_eps() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(0.0), Just(0.1), Just(0.5), Just(1.0), Just(f64::INFINITY)]
+    prop_oneof![
+        Just(0.0),
+        Just(0.1),
+        Just(0.5),
+        Just(1.0),
+        Just(f64::INFINITY)
+    ]
 }
 
 proptest! {
@@ -138,6 +149,40 @@ proptest! {
                 for k in 0..n {
                     prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9);
                 }
+            }
+        }
+    }
+
+    /// Every bounded construction produces a tree the invariant auditor
+    /// accepts with the full path-length window attached: structure, path
+    /// tables, §3.1 merge consistency, and the `(1+eps)*R` bound.
+    #[test]
+    fn constructions_pass_audit(net in arb_net(), eps in arb_eps()) {
+        let constraint = PathConstraint::from_eps(&net, eps).unwrap();
+        for (name, tree) in [
+            ("bkrus", bkrus(&net, eps).unwrap()),
+            ("bkh2", bkh2(&net, eps).unwrap()),
+            ("bprim", bprim(&net, eps).unwrap()),
+            ("brbc", brbc(&net, eps).unwrap()),
+        ] {
+            prop_assert!(
+                audit_construction(&net, &tree, Some(&constraint)).is_ok(),
+                "{name} failed audit: {:?}",
+                audit_construction(&net, &tree, Some(&constraint))
+            );
+        }
+        // The unbounded baselines must still pass the structural audit.
+        for (name, tree) in [("mst", mst_tree(&net)), ("spt", spt_tree(&net))] {
+            prop_assert!(
+                audit_construction(&net, &tree, None).is_ok(),
+                "{name} failed audit"
+            );
+        }
+        // LUB-BKRUS, when feasible, honours the two-sided window.
+        if eps.is_finite() {
+            let window = PathConstraint::from_eps_window(&net, 0.1, eps).unwrap();
+            if let Ok(tree) = lub_bkrus(&net, 0.1, eps) {
+                prop_assert!(audit_construction(&net, &tree, Some(&window)).is_ok());
             }
         }
     }

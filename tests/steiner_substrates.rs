@@ -2,6 +2,8 @@
 //! L-path construction and the general routing-graph construction must
 //! agree qualitatively on unobstructed instances.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
 use bmst_instances::random_net;
 use bmst_steiner::{bkst, bkst_on_graph, RoutingGraph};
 
