@@ -1,0 +1,125 @@
+//! Emits the machine-readable bench trajectory: `BENCH_table2.json` with one
+//! record per `(benchmark, algorithm, eps)` — path/perf ratios, wall-clock,
+//! and an instrumentation counter snapshot for each construction.
+//!
+//! Run: `cargo run --release -p bmst-bench --bin bench_trajectory [--out DIR] [--quick]`
+//!
+//! * `--out DIR`   directory for the `BENCH_*.json` files (default `.`)
+//! * `--quick`     CI mode: p1-p3 only, exact methods only below 15 points
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)] // demo/bench harness: fail fast, exact parameter matches
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bmst_bench::emit::{write_bench_file, BenchRecord};
+use bmst_bench::{has_flag, timed, TABLE_EPS};
+use bmst_core::{
+    bkex, bkh2, bkrus, bprim, gabow_bmst_with, mst_tree, spt_tree, BkexConfig, GabowConfig,
+    PathConstraint, TreeReport,
+};
+use bmst_geom::Net;
+use bmst_instances::Benchmark;
+use bmst_obs::SummaryRecorder;
+use bmst_tree::RoutingTree;
+
+/// Runs one construction under a fresh [`SummaryRecorder`], producing a
+/// record with the counter snapshot of exactly that run.
+fn measure(
+    bench: &str,
+    algorithm: &str,
+    eps: f64,
+    net: &Net,
+    mst_cost: f64,
+    spt_radius: f64,
+    construct: impl FnOnce() -> Option<RoutingTree>,
+) -> Option<BenchRecord> {
+    let recorder = Arc::new(SummaryRecorder::new());
+    let (tree, wall_s) = {
+        let _guard = bmst_obs::scoped(recorder.clone());
+        timed(construct)
+    };
+    let tree = tree?;
+    let report = TreeReport::with_baselines(net, &tree, mst_cost, spt_radius);
+    let mut record = BenchRecord {
+        bench: bench.to_owned(),
+        algorithm: algorithm.to_owned(),
+        eps,
+        cost: report.cost,
+        longest_path: report.longest_path,
+        perf_ratio: report.perf_ratio,
+        path_ratio: report.path_ratio,
+        wall_s,
+        counters: Default::default(),
+    };
+    record.set_counters(&recorder.snapshot());
+    Some(record)
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| ".".to_owned()));
+    let mut records = Vec::new();
+    let exact_limit = if quick { 15 } else { 21 };
+
+    for b in Benchmark::SPECIAL {
+        if quick && b.num_points() > 20 {
+            continue; // p4 (31 points) is too slow for a CI smoke run
+        }
+        let net = b.build();
+        let mst_cost = mst_tree(&net).cost();
+        let spt_radius = spt_tree(&net).source_radius();
+        let small = net.len() < exact_limit;
+        for eps in TABLE_EPS {
+            let m = |alg: &str, f: &mut dyn FnMut() -> Option<RoutingTree>| {
+                measure(b.name(), alg, eps, &net, mst_cost, spt_radius, f)
+            };
+            records.extend(m("bkrus", &mut || bkrus(&net, eps).ok()));
+            records.extend(m("bkh2", &mut || bkh2(&net, eps).ok()));
+            records.extend(m("bprim", &mut || bprim(&net, eps).ok()));
+            if small {
+                // The exact methods are exponential; keep them to the nets
+                // the paper itself ran them on.
+                records.extend(m("bkex", &mut || {
+                    bkex(&net, eps, BkexConfig::default()).ok()
+                }));
+                records.extend(m("gabow", &mut || {
+                    let c = PathConstraint::from_eps(&net, eps).expect("valid eps");
+                    gabow_bmst_with(
+                        &net,
+                        c,
+                        GabowConfig {
+                            max_trees: 100_000,
+                            ..GabowConfig::default()
+                        },
+                    )
+                    .ok()
+                    .map(|o| o.tree)
+                }));
+            }
+        }
+    }
+
+    match write_bench_file(&out_dir, "table2", &records) {
+        Ok(path) => println!("{} records -> {}", records.len(), path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench file: {e}");
+            std::process::exit(1);
+        }
+    }
+}

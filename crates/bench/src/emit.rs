@@ -1,0 +1,167 @@
+//! Machine-readable bench output: `BENCH_<table>.json` files.
+//!
+//! Each file is one JSON object:
+//!
+//! ```text
+//! {
+//!   "schema": "bmst-bench-v1",
+//!   "table": "table2",
+//!   "records": [
+//!     {
+//!       "bench": "p1", "algorithm": "bkrus", "eps": 0.5,
+//!       "cost": 123.4, "longest_path": 88.1,
+//!       "perf_ratio": 1.02, "path_ratio": 1.31,
+//!       "wall_s": 0.0012,
+//!       "counters": { "bkrus.edges_scanned": 15, ... }
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! `eps` is a number, except the unbounded row which is the string `"inf"`
+//! (JSON has no infinity literal). `counters` is the counter part of a
+//! [`CounterSnapshot`] taken around the timed run.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use bmst_obs::json::Json;
+use bmst_obs::CounterSnapshot;
+
+/// Schema tag written to (and expected from) every bench file.
+pub const BENCH_SCHEMA: &str = "bmst-bench-v1";
+
+/// One `(bench, algorithm, eps)` measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name (`p1`, `r3`, ...).
+    pub bench: String,
+    /// Algorithm name (`bkrus`, `bkh2`, `bprim`, `bkex`, `gabow`).
+    pub algorithm: String,
+    /// Epsilon of the run (`f64::INFINITY` for the unbounded row).
+    pub eps: f64,
+    /// Tree cost.
+    pub cost: f64,
+    /// Longest source-sink path.
+    pub longest_path: f64,
+    /// `cost / cost(MST)`.
+    pub perf_ratio: f64,
+    /// `longest_path / R`.
+    pub path_ratio: f64,
+    /// Wall-clock seconds of the construction.
+    pub wall_s: f64,
+    /// Instrumentation counters captured during the run.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl BenchRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let eps = if self.eps.is_infinite() {
+            Json::Str("inf".to_owned())
+        } else {
+            Json::Num(self.eps)
+        };
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+            .collect();
+        Json::Obj(vec![
+            ("bench".to_owned(), Json::Str(self.bench.clone())),
+            ("algorithm".to_owned(), Json::Str(self.algorithm.clone())),
+            ("eps".to_owned(), eps),
+            ("cost".to_owned(), Json::Num(self.cost)),
+            ("longest_path".to_owned(), Json::Num(self.longest_path)),
+            ("perf_ratio".to_owned(), Json::Num(self.perf_ratio)),
+            ("path_ratio".to_owned(), Json::Num(self.path_ratio)),
+            ("wall_s".to_owned(), Json::Num(self.wall_s)),
+            ("counters".to_owned(), Json::Obj(counters)),
+        ])
+    }
+
+    /// Copies the counters out of an instrumentation snapshot.
+    pub fn set_counters(&mut self, snapshot: &CounterSnapshot) {
+        self.counters = snapshot.counters.clone();
+    }
+}
+
+/// Assembles the full bench document for `table`.
+pub fn bench_document(table: &str, records: &[BenchRecord]) -> Json {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(BENCH_SCHEMA.to_owned())),
+        ("table".to_owned(), Json::Str(table.to_owned())),
+        (
+            "records".to_owned(),
+            Json::Arr(records.iter().map(BenchRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// Writes `BENCH_<table>.json` into `dir`, returning the file path.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_bench_file(
+    dir: &Path,
+    table: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = dir.join(format!("BENCH_{table}.json"));
+    std::fs::write(&path, format!("{}\n", bench_document(table, records)))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::*;
+
+    fn record(eps: f64) -> BenchRecord {
+        BenchRecord {
+            bench: "p1".to_owned(),
+            algorithm: "bkrus".to_owned(),
+            eps,
+            cost: 10.0,
+            longest_path: 8.0,
+            perf_ratio: 1.25,
+            path_ratio: 1.0,
+            wall_s: 0.001,
+            counters: [("bkrus.edges_scanned".to_owned(), 15u64)].into(),
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let doc = bench_document("table2", &[record(0.5), record(f64::INFINITY)]);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(parsed.get("table").and_then(Json::as_str), Some("table2"));
+        let records = parsed.get("records").and_then(Json::as_arr).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("eps").and_then(Json::as_f64), Some(0.5));
+        // The unbounded row encodes eps as the string "inf".
+        assert_eq!(records[1].get("eps").and_then(Json::as_str), Some("inf"));
+        assert_eq!(
+            records[0]
+                .get("counters")
+                .and_then(|c| c.get("bkrus.edges_scanned"))
+                .and_then(Json::as_f64),
+            Some(15.0)
+        );
+    }
+
+    #[test]
+    fn write_bench_file_creates_named_file() {
+        let dir = std::env::temp_dir().join("bmst_bench_emit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_bench_file(&dir, "test", &[record(0.0)]).unwrap();
+        assert!(path.ends_with("BENCH_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        Json::parse(&text).unwrap();
+    }
+}

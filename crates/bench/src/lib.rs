@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
+
 use std::time::Instant;
 
 /// The epsilon sweep used by the paper's Tables 2 and 3:

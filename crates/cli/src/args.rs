@@ -86,6 +86,10 @@ pub struct RouteArgs {
     pub edges: bool,
     /// Re-verify the tree with the invariant auditor after construction.
     pub audit: bool,
+    /// Write a JSON-lines observability trace to this path.
+    pub trace: Option<String>,
+    /// Append an instrumentation profile (spans/counters) to the report.
+    pub profile: bool,
 }
 
 /// What `gen` should generate.
@@ -127,6 +131,10 @@ pub enum Command {
         file: String,
         /// Algorithm name (`bkrus`, `bkh2`, `steiner`).
         algorithm: String,
+        /// Write a JSON-lines observability trace to this path.
+        trace: Option<String>,
+        /// Append an instrumentation profile to the report.
+        profile: bool,
     },
     /// `bmst --help`
     Help,
@@ -134,6 +142,10 @@ pub enum Command {
 
 /// A parsed `--flag value` pair (`None` for boolean flags).
 type Flag = (String, Option<String>);
+
+/// Flags that take no value. Shared by [`split_flags`] and the per-command
+/// matchers so a new boolean flag only needs one entry here.
+const BOOL_FLAGS: &[&str] = &["edges", "audit", "help", "profile"];
 
 /// Splits `argv` into positionals and `--flag value` pairs.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
@@ -143,13 +155,14 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            let value = match name {
-                "edges" | "audit" | "help" => None,
-                _ => Some(
+            let value = if BOOL_FLAGS.contains(&name) {
+                None
+            } else {
+                Some(
                     it.next()
                         .ok_or_else(|| CliError::new(format!("--{name} needs a value")))?
                         .clone(),
-                ),
+                )
             };
             flags.push((name.to_owned(), value));
         } else {
@@ -188,6 +201,8 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 svg: None,
                 edges: false,
                 audit: false,
+                trace: None,
+                profile: false,
             };
             for (name, value) in flags {
                 let v = value.as_deref();
@@ -197,8 +212,10 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                     ("eps1", Some(v)) => args.eps1 = Some(parse_f64("eps1", v)?),
                     ("pd-c", Some(v)) => args.pd_c = parse_f64("pd-c", v)?,
                     ("svg", Some(v)) => args.svg = Some(v.to_owned()),
+                    ("trace", Some(v)) => args.trace = Some(v.to_owned()),
                     ("edges", _) => args.edges = true,
                     ("audit", _) => args.audit = true,
+                    ("profile", _) => args.profile = true,
                     (other, _) => {
                         return Err(CliError::new(format!("route: unknown flag --{other}")))
                     }
@@ -257,15 +274,24 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::new("netlist needs a netlist file"))?
                 .clone();
             let mut algorithm = "bkrus".to_owned();
+            let mut trace = None;
+            let mut profile = false;
             for (name, value) in flags {
                 match (name.as_str(), value.as_deref()) {
                     ("algorithm", Some(v)) => algorithm = v.to_owned(),
+                    ("trace", Some(v)) => trace = Some(v.to_owned()),
+                    ("profile", _) => profile = true,
                     (other, _) => {
                         return Err(CliError::new(format!("netlist: unknown flag --{other}")))
                     }
                 }
             }
-            Ok(Command::Netlist { file, algorithm })
+            Ok(Command::Netlist {
+                file,
+                algorithm,
+                trace,
+                profile,
+            })
         }
         other => Err(CliError::new(format!(
             "unknown command {other:?} (try `bmst --help`)"
@@ -336,6 +362,51 @@ mod tests {
     #[test]
     fn missing_value_errors() {
         assert!(parse(&argv("route net.txt --eps")).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_at_end_of_argv_reports_missing_value() {
+        // An unknown non-boolean flag as the last token must produce the
+        // "needs a value" error, not a panic or silent acceptance.
+        let err = split_flags(&argv("net.txt --bogus")).unwrap_err();
+        assert!(err.0.contains("--bogus needs a value"), "got {err}");
+    }
+
+    #[test]
+    fn bool_flags_consume_no_value() {
+        let (positional, flags) =
+            split_flags(&argv("net.txt --audit --eps 0.3 --profile")).unwrap();
+        assert_eq!(positional, vec!["net.txt"]);
+        assert_eq!(
+            flags,
+            vec![
+                ("audit".to_owned(), None),
+                ("eps".to_owned(), Some("0.3".to_owned())),
+                ("profile".to_owned(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_route_trace_and_profile() {
+        let Command::Route(a) = parse(&argv("route net.txt --trace out.jsonl --profile")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
+        assert!(a.profile);
+    }
+
+    #[test]
+    fn parse_netlist_trace_and_profile() {
+        let Command::Netlist { trace, profile, .. } = parse(&argv(
+            "netlist nets.txt --algorithm bkh2 --trace t.jsonl --profile",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(trace.as_deref(), Some("t.jsonl"));
+        assert!(profile);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Command implementations.
 
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use bmst_obs::{JsonLinesRecorder, MultiRecorder, Recorder, SummaryRecorder};
 
 use bmst_core::{
     audit_construction, bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree,
@@ -28,9 +32,71 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Help => Ok(USAGE.to_owned()),
         Command::Stats { net } => stats(&net),
         Command::Gen { source, out } => gen(source, out),
-        Command::Route(args) => route(args),
-        Command::Netlist { file, algorithm } => route_netlist(&file, &algorithm),
+        Command::Route(args) => {
+            let trace = args.trace.clone();
+            let profile = args.profile;
+            with_observability(trace.as_deref(), profile, || route(args))
+        }
+        Command::Netlist {
+            file,
+            algorithm,
+            trace,
+            profile,
+        } => with_observability(trace.as_deref(), profile, || {
+            route_netlist(&file, &algorithm)
+        }),
     }
+}
+
+/// Runs `f` with the observability layer configured per `--trace` /
+/// `--profile`: a [`JsonLinesRecorder`] streaming to `trace`, an in-memory
+/// [`SummaryRecorder`] whose profile is appended to the report, both (fanned
+/// out), or — the common case — neither, leaving instrumentation disabled.
+fn with_observability(
+    trace: Option<&str>,
+    profile: bool,
+    f: impl FnOnce() -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    if trace.is_none() && !profile {
+        return f();
+    }
+    let jsonl = trace
+        .map(|p| {
+            JsonLinesRecorder::create(Path::new(p))
+                .map(Arc::new)
+                .map_err(|e| CliError::new(format!("--trace {p}: {e}")))
+        })
+        .transpose()?;
+    let summary = profile.then(|| Arc::new(SummaryRecorder::new()));
+    let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(j) = &jsonl {
+        sinks.push(j.clone());
+    }
+    if let Some(s) = &summary {
+        sinks.push(s.clone());
+    }
+    let recorder: Arc<dyn Recorder> = if sinks.len() == 1 {
+        sinks.remove(0)
+    } else {
+        Arc::new(MultiRecorder::new(sinks))
+    };
+    let guard = bmst_obs::scoped(recorder);
+    let result = f();
+    drop(guard);
+
+    let mut out = result?;
+    if let (Some(j), Some(p)) = (&jsonl, trace) {
+        j.finish()
+            .map_err(|e| CliError::new(format!("--trace {p}: {e}")))?;
+        let _ = writeln!(out, "  trace -> {p}");
+    }
+    if let Some(s) = &summary {
+        let _ = writeln!(out, "profile:");
+        for line in s.render_text().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    Ok(out)
 }
 
 fn route_netlist(path: &str, algorithm: &str) -> Result<String, CliError> {

@@ -39,7 +39,7 @@ USAGE:
   bmst route <net.txt> [OPTIONS]   construct a routing tree for a net file
   bmst gen [OPTIONS]               generate a net file
   bmst stats <net.txt>             print net characteristics (Table 1 style)
-  bmst netlist <nets.txt> [--algorithm bkrus|bkh2|steiner]
+  bmst netlist <nets.txt> [--algorithm bkrus|bkh2|steiner] [--trace F] [--profile]
                                    route a whole netlist, print the report
 
 ROUTE OPTIONS:
@@ -52,6 +52,10 @@ ROUTE OPTIONS:
   --edges           list the tree edges
   --audit           re-verify the tree with the invariant auditor (structure,
                     path tables, merge consistency, bound window)
+  --trace <FILE>    write a JSON-lines observability trace: span timings,
+                    structured events, then aggregated counters/histograms
+  --profile         append an instrumentation profile (span times, counters
+                    such as forest.cond3a/3b accept/reject) to the report
 
 GEN OPTIONS:
   --sinks <N>       uniform random net with N sinks
@@ -202,5 +206,50 @@ end
     fn bad_flag_reports() {
         let err = run_cli(&argv("gen --wat 3")).unwrap_err();
         assert!(err.to_string().contains("--wat"));
+    }
+
+    #[test]
+    fn route_trace_emits_json_lines_and_profile_renders() {
+        use bmst_obs::json::Json;
+
+        let dir = std::env::temp_dir().join("bmst_cli_test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        let trace_path = dir.join("trace.jsonl");
+        run_cli(&argv(&format!(
+            "gen --sinks 7 --seed 11 --out {}",
+            net_path.display()
+        )))
+        .unwrap();
+
+        let out = run_cli(&argv(&format!(
+            "route {} --algorithm bkh2 --eps 0.2 --trace {} --profile",
+            net_path.display(),
+            trace_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trace ->"), "{out}");
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("bkrus.edges_scanned"), "{out}");
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let mut counters_line = None;
+        let mut saw_span = false;
+        for line in text.lines() {
+            let json = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            match json.get("t").and_then(Json::as_str) {
+                Some("span") => saw_span = true,
+                Some("counters") => counters_line = Some(json),
+                _ => {}
+            }
+        }
+        assert!(saw_span, "trace must contain span lines");
+        let counters = counters_line.expect("trace must end with a counters line");
+        let counters = counters.get("counters").unwrap();
+        let obj = counters.as_obj().unwrap();
+        assert!(
+            obj.iter().any(|(k, _)| k.starts_with("forest.cond3")),
+            "counters must include (3-a)/(3-b) accept/reject counts"
+        );
     }
 }

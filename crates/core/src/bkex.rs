@@ -133,9 +133,15 @@ pub fn bkex_from_with(
 ) -> RoutingTree {
     let d = net.distance_matrix();
     let mut incumbent = start;
+    let _obs_span = bmst_obs::span("bkex");
+    let mut committed = 0u64;
     while let Some(better) = dfs_exchange(net, &d, feasible, &incumbent, 0.0, 0, config.max_depth) {
         debug_assert!(better.cost() < incumbent.cost());
         incumbent = better;
+        committed += 1;
+    }
+    if bmst_obs::enabled() {
+        bmst_obs::counter("bkex.exchanges_committed", committed);
     }
     // The predicate is arbitrary, so only the structural and merge
     // invariants are audited here.
@@ -179,6 +185,14 @@ fn dfs_exchange(
                 // the cycle closed by (x, y).
                 let removed_w = tree.parent_edge_weight(v);
                 let diff = add_w - removed_w;
+                bmst_obs::counter(
+                    if weight_sum + diff < -EPS_TOL {
+                        "bkex.candidates_explored"
+                    } else {
+                        "bkex.pruned_nonneg"
+                    },
+                    1,
+                );
                 if weight_sum + diff < -EPS_TOL {
                     let candidate = tree
                         .apply_exchange(v, Edge::new(x, y, add_w))

@@ -39,6 +39,7 @@ use crate::{bkrus, bkrus_elmore, elmore_spt_radius, BmstError, PathConstraint};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn bkh2(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
+    let _obs_span = bmst_obs::span("bkh2");
     let constraint = PathConstraint::from_eps(net, eps)?;
     let start = bkrus(net, eps)?;
     Ok(bkh2_from(net, constraint, start))

@@ -116,12 +116,18 @@ pub(crate) fn run(
 
     let mut forest = KruskalForest::new(n, source);
     let mut tree_edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    let obs_span = bmst_obs::span("bkrus");
+    let mut scanned = 0u64;
+    let mut cycle_rejects = 0u64;
+    let mut bound_rejects = 0u64;
 
     for e in edges {
         if tree_edges.len() == n - 1 {
             break; // early exit after V - 1 unions
         }
+        scanned += 1;
         if forest.same_component(e.u, e.v) {
+            cycle_rejects += 1;
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent {
                     edge: e,
@@ -142,13 +148,27 @@ pub(crate) fn run(
                     decision: EdgeDecision::Accepted,
                 });
             }
-        } else if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent {
-                edge: e,
-                decision: EdgeDecision::RejectedBound,
-            });
+        } else {
+            bound_rejects += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    edge: e,
+                    decision: EdgeDecision::RejectedBound,
+                });
+            }
         }
     }
+
+    if bmst_obs::enabled() {
+        bmst_obs::counter("bkrus.edges_scanned", scanned);
+        bmst_obs::counter("bkrus.rejected_cycle", cycle_rejects);
+        bmst_obs::counter("bkrus.rejected_bound", bound_rejects);
+        bmst_obs::counter(
+            "bkrus.edges_accepted",
+            u64::try_from(tree_edges.len()).unwrap_or(u64::MAX),
+        );
+    }
+    drop(obs_span);
 
     if tree_edges.len() != n - 1 {
         return Err(BmstError::Infeasible {

@@ -58,6 +58,9 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
     let mut path_s = vec![0.0; n]; // path(S, x) for tree nodes
     in_tree[s] = true;
     let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    let obs_span = bmst_obs::span("bprim");
+    let mut scanned = 0u64;
+    let mut bound_rejects = 0u64;
 
     for _ in 1..n {
         // Cheapest feasible attachment. Deterministic tie-break: lowest
@@ -72,12 +75,14 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
                     continue;
                 }
                 let w = d[(u, v)];
+                scanned += 1;
                 let node_bound = if eps.is_infinite() {
                     f64::INFINITY
                 } else {
                     (1.0 + eps) * d[(s, v)]
                 };
                 if !le_tol(path_s[u] + w, node_bound) {
+                    bound_rejects += 1;
                     continue;
                 }
                 let cand = (w, u, v);
@@ -107,6 +112,12 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
             }
         }
     }
+
+    if bmst_obs::enabled() {
+        bmst_obs::counter("bprim.attachments_scanned", scanned);
+        bmst_obs::counter("bprim.rejected_bound", bound_rejects);
+    }
+    drop(obs_span);
 
     let tree = RoutingTree::from_edges(n, s, edges)?;
     crate::audit::debug_audit(net, &tree, Some(&constraint));

@@ -175,11 +175,22 @@ impl KruskalForest {
         }
         let su = self.contains_source(u);
         let sv = self.contains_source(v);
-        if su {
-            // (3-a): t_u contains the source.
-            le_tol(self.p[(self.source, u)] + w + self.r[v], upper)
-        } else if sv {
-            le_tol(self.p[(self.source, v)] + w + self.r[u], upper)
+        if su || sv {
+            // (3-a): one side contains the source.
+            let ok = if su {
+                le_tol(self.p[(self.source, u)] + w + self.r[v], upper)
+            } else {
+                le_tol(self.p[(self.source, v)] + w + self.r[u], upper)
+            };
+            bmst_obs::counter(
+                if ok {
+                    "forest.cond3a.accept"
+                } else {
+                    "forest.cond3a.reject"
+                },
+                1,
+            );
+            ok
         } else {
             // (3-b): a feasible node must survive the merge.
             let root_u = self.dsu.find(u);
@@ -188,12 +199,21 @@ impl KruskalForest {
                 let rad = r[x].max(p[(x, anchor)] + w + far_r);
                 le_tol(dist_s[x] + rad, upper)
             };
-            self.members[root_u]
+            let ok = self.members[root_u]
                 .iter()
                 .any(|&x| check(x, u, self.r[v], &self.p, &self.r))
                 || self.members[root_v]
                     .iter()
-                    .any(|&x| check(x, v, self.r[u], &self.p, &self.r))
+                    .any(|&x| check(x, v, self.r[u], &self.p, &self.r));
+            bmst_obs::counter(
+                if ok {
+                    "forest.cond3b.accept"
+                } else {
+                    "forest.cond3b.reject"
+                },
+                1,
+            );
+            ok
         }
     }
 
@@ -220,6 +240,10 @@ impl KruskalForest {
         // Take both member lists out to appease the borrow checker.
         let mu = std::mem::take(&mut self.members[root_u]);
         let mv = std::mem::take(&mut self.members[root_v]);
+        if bmst_obs::enabled() {
+            let cross = u64::try_from(mu.len().saturating_mul(mv.len())).unwrap_or(u64::MAX);
+            bmst_obs::histogram("forest.merge.cross_pairs", cross);
+        }
 
         // Paper's Merge lines 1-3: cross path lengths.
         for &x in &mu {

@@ -194,11 +194,24 @@ pub fn gabow_bmst_with(
         });
     }
 
+    let _obs_span = bmst_obs::span("gabow");
     let (edges, forced_edges) = if config.use_pruning {
         preprocess_edges(net, constraint)
     } else {
         (complete_edges(&net.distance_matrix()), Vec::new())
     };
+    if bmst_obs::enabled() {
+        let total = net.complete_edge_count();
+        let kept = edges.len();
+        bmst_obs::counter(
+            "gabow.edges_pruned",
+            u64::try_from(total.saturating_sub(kept)).unwrap_or(u64::MAX),
+        );
+        bmst_obs::counter(
+            "gabow.edges_forced",
+            u64::try_from(forced_edges.len()).unwrap_or(u64::MAX),
+        );
+    }
     let forced_pairs: Vec<(usize, usize)> = forced_edges.iter().map(Edge::endpoints).collect();
 
     let sinks: Vec<usize> = net.sinks().collect();
@@ -207,12 +220,17 @@ pub fn gabow_bmst_with(
     for candidate in enumerator {
         examined += 1;
         if examined > config.max_trees {
+            bmst_obs::counter("gabow.budget_exhausted", 1);
             return Err(BmstError::TreeLimitExceeded {
                 limit: config.max_trees,
             });
         }
         let tree = RoutingTree::from_edges(n, s, candidate.edges)?;
         if constraint.is_satisfied_by(&tree, sinks.iter().copied()) {
+            bmst_obs::counter(
+                "gabow.trees_examined",
+                u64::try_from(examined).unwrap_or(u64::MAX),
+            );
             crate::audit::debug_audit(net, &tree, Some(&constraint));
             return Ok(GabowOutcome {
                 tree,

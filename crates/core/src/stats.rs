@@ -67,6 +67,18 @@ impl TreeReport {
             },
         }
     }
+
+    /// Serialises the report as a JSON object with `cost`, `longest_path`,
+    /// `perf_ratio` and `path_ratio` keys.
+    pub fn to_json(&self) -> bmst_obs::json::Json {
+        use bmst_obs::json::Json;
+        Json::Obj(vec![
+            ("cost".to_owned(), Json::Num(self.cost)),
+            ("longest_path".to_owned(), Json::Num(self.longest_path)),
+            ("perf_ratio".to_owned(), Json::Num(self.perf_ratio)),
+            ("path_ratio".to_owned(), Json::Num(self.path_ratio)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +126,28 @@ mod tests {
             spt_tree(&net).source_radius(),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        use bmst_obs::json::Json;
+        let net = net();
+        let rep = TreeReport::for_tree(&net, &bkrus(&net, 0.2).unwrap());
+        let text = rep.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("cost").and_then(Json::as_f64), Some(rep.cost));
+        assert_eq!(
+            parsed.get("longest_path").and_then(Json::as_f64),
+            Some(rep.longest_path)
+        );
+        assert_eq!(
+            parsed.get("perf_ratio").and_then(Json::as_f64),
+            Some(rep.perf_ratio)
+        );
+        assert_eq!(
+            parsed.get("path_ratio").and_then(Json::as_f64),
+            Some(rep.path_ratio)
+        );
     }
 
     #[test]

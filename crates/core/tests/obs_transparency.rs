@@ -1,0 +1,96 @@
+//! Instrumentation must never change algorithm results: with a recorder
+//! installed (even a discarding one) every construction must return a tree
+//! bit-identical to the uninstrumented run.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::sync::Arc;
+
+use bmst_core::{bkex, bkh2, bkrus, bprim, gabow_bmst, BkexConfig};
+use bmst_geom::{Net, Point};
+use bmst_obs::{NoopRecorder, SummaryRecorder};
+use bmst_tree::RoutingTree;
+
+fn test_net() -> Net {
+    Net::with_source_first(vec![
+        Point::new(0.0, 0.0),
+        Point::new(8.0, 0.0),
+        Point::new(5.0, 0.0),
+        Point::new(6.0, 1.0),
+        Point::new(7.0, 1.0),
+        Point::new(2.0, 3.0),
+    ])
+    .unwrap()
+}
+
+fn run_all(net: &Net, eps: f64) -> Vec<RoutingTree> {
+    vec![
+        bkrus(net, eps).unwrap(),
+        bprim(net, eps).unwrap(),
+        bkh2(net, eps).unwrap(),
+        bkex(net, eps, BkexConfig::default()).unwrap(),
+        gabow_bmst(net, eps).unwrap(),
+    ]
+}
+
+fn assert_identical(a: &RoutingTree, b: &RoutingTree) {
+    assert_eq!(a.universe(), b.universe());
+    assert_eq!(a.root(), b.root());
+    for v in 0..a.universe() {
+        assert_eq!(a.parent(v), b.parent(v), "parent of {v} differs");
+        assert!(
+            a.dist_from_root(v).to_bits() == b.dist_from_root(v).to_bits()
+                || (a.dist_from_root(v).is_infinite() && b.dist_from_root(v).is_infinite()),
+            "dist_from_root({v}) differs"
+        );
+    }
+    assert_eq!(a.cost().to_bits(), b.cost().to_bits(), "cost differs");
+}
+
+#[test]
+fn recorders_leave_outputs_bit_identical() {
+    let net = test_net();
+    for eps in [0.0, 0.3, f64::INFINITY] {
+        let baseline = run_all(&net, eps);
+
+        let with_noop = {
+            let _guard = bmst_obs::scoped(Arc::new(NoopRecorder));
+            run_all(&net, eps)
+        };
+        let summary = Arc::new(SummaryRecorder::new());
+        let with_summary = {
+            let _guard = bmst_obs::scoped(summary.clone());
+            run_all(&net, eps)
+        };
+
+        for (b, n) in baseline.iter().zip(&with_noop) {
+            assert_identical(b, n);
+        }
+        for (b, s) in baseline.iter().zip(&with_summary) {
+            assert_identical(b, s);
+        }
+        // The summary run must actually have recorded the hot paths.
+        assert!(summary.counter("bkrus.edges_scanned") > 0);
+        if eps.is_finite() {
+            let snap = summary.snapshot();
+            assert!(
+                snap.counters.keys().any(|k| k.starts_with("forest.cond3")),
+                "finite eps must exercise (3-a)/(3-b): {:?}",
+                snap.counters.keys().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn spans_nest_across_algorithm_layers() {
+    let net = test_net();
+    let rec = Arc::new(SummaryRecorder::new());
+    {
+        let _guard = bmst_obs::scoped(rec.clone());
+        let _ = bkh2(&net, 0.2).unwrap();
+    }
+    // bkh2 wraps both the bkrus construction and the bkex exchange phase.
+    assert!(rec.span_stats("bkh2").is_some());
+    assert!(rec.span_stats("bkh2/bkrus").is_some());
+    assert!(rec.span_stats("bkh2/bkex").is_some());
+}

@@ -1,0 +1,259 @@
+//! JSON-lines trace recorder.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use crate::json::Json;
+use crate::recorder::{Field, Recorder};
+use crate::summary::SummaryRecorder;
+
+/// Streams spans and events as JSON lines while aggregating counters and
+/// histograms in memory; the aggregates are dumped as final lines by
+/// [`finish`](JsonLinesRecorder::finish) (or on drop).
+///
+/// Line shapes:
+///
+/// ```text
+/// {"t":"span","path":"bkh2/bkrus","ns":123456}
+/// {"t":"event","name":"audit.violation","kind":"ParentCycle",...}
+/// {"t":"counters","counters":{...}}          // once, at finish
+/// {"t":"histograms","histograms":{...}}      // once, at finish
+/// ```
+///
+/// I/O errors are swallowed after the first (the recorder goes quiet) and
+/// reported by [`finish`](JsonLinesRecorder::finish).
+pub struct JsonLinesRecorder {
+    out: Mutex<Sink>,
+    agg: SummaryRecorder,
+}
+
+struct Sink {
+    writer: Option<Box<dyn Write + Send>>,
+    error: Option<std::io::Error>,
+    finished: bool,
+}
+
+impl JsonLinesRecorder {
+    /// Creates (truncating) `path` and writes the trace there.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Writes the trace to an arbitrary sink (e.g. an in-memory buffer in
+    /// tests).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesRecorder {
+            out: Mutex::new(Sink {
+                writer: Some(writer),
+                error: None,
+                finished: false,
+            }),
+            agg: SummaryRecorder::new(),
+        }
+    }
+
+    fn write_line(&self, json: &Json) {
+        let mut sink = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        if sink.error.is_some() {
+            return;
+        }
+        if let Some(w) = sink.writer.as_mut() {
+            if let Err(e) = writeln!(w, "{json}") {
+                sink.error = Some(e);
+                sink.writer = None;
+            }
+        }
+    }
+
+    /// Dumps the aggregated counters and histograms as final lines, flushes,
+    /// and returns the first I/O error hit during the trace (if any).
+    /// Idempotent; also invoked by `Drop`.
+    pub fn finish(&self) -> std::io::Result<()> {
+        {
+            let sink = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+            if sink.finished {
+                return Ok(());
+            }
+        }
+        let snap = self.agg.snapshot();
+        let counters = snap
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+            .collect();
+        self.write_line(&Json::Obj(vec![
+            ("t".to_owned(), Json::Str("counters".to_owned())),
+            ("counters".to_owned(), Json::Obj(counters)),
+        ]));
+        let snap_json = snap.to_json();
+        if let Some(hists) = snap_json.get("histograms") {
+            self.write_line(&Json::Obj(vec![
+                ("t".to_owned(), Json::Str("histograms".to_owned())),
+                ("histograms".to_owned(), hists.clone()),
+            ]));
+        }
+        let mut sink = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        sink.finished = true;
+        if let Some(w) = sink.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                sink.error = Some(e);
+            }
+        }
+        match sink.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for JsonLinesRecorder {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl std::fmt::Debug for JsonLinesRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesRecorder").finish_non_exhaustive()
+    }
+}
+
+impl Recorder for JsonLinesRecorder {
+    fn add_counter(&self, name: &str, delta: u64) {
+        self.agg.add_counter(name, delta);
+    }
+
+    fn record_histogram(&self, name: &str, value: u64) {
+        self.agg.record_histogram(name, value);
+    }
+
+    fn record_span(&self, path: &str, nanos: u64) {
+        self.agg.record_span(path, nanos);
+        self.write_line(&Json::Obj(vec![
+            ("t".to_owned(), Json::Str("span".to_owned())),
+            ("path".to_owned(), Json::Str(path.to_owned())),
+            ("ns".to_owned(), Json::from_u64(nanos)),
+        ]));
+    }
+
+    fn record_event(&self, name: &str, fields: &[(&str, Field)]) {
+        self.agg.record_event(name, fields);
+        let mut obj = vec![
+            ("t".to_owned(), Json::Str("event".to_owned())),
+            ("name".to_owned(), Json::Str(name.to_owned())),
+        ];
+        for (key, value) in fields {
+            obj.push(((*key).to_owned(), value.to_json()));
+        }
+        self.write_line(&Json::Obj(obj));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::*;
+    use std::sync::Arc;
+
+    /// Shared in-memory sink so tests can inspect what was written.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Buf {
+        fn contents(&self) -> String {
+            String::from_utf8(
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            )
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn every_line_is_valid_json_and_aggregates_dump_at_finish() {
+        let buf = Buf::default();
+        let rec = JsonLinesRecorder::new(Box::new(buf.clone()));
+        rec.add_counter("forest.cond3a.accept", 4);
+        rec.record_histogram("forest.merge.cross_pairs", 6);
+        rec.record_span("bkrus", 1200);
+        rec.record_event(
+            "audit.violation",
+            &[
+                ("kind", Field::from("ParentCycle")),
+                ("node", Field::from(3u64)),
+            ],
+        );
+        rec.finish().unwrap();
+
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "span + event + counters + histograms");
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+        let span = Json::parse(lines[0]).unwrap();
+        assert_eq!(span.get("t").and_then(Json::as_str), Some("span"));
+        assert_eq!(span.get("path").and_then(Json::as_str), Some("bkrus"));
+        let event = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            event.get("kind").and_then(Json::as_str),
+            Some("ParentCycle")
+        );
+        let counters = Json::parse(lines[2]).unwrap();
+        assert_eq!(
+            counters
+                .get("counters")
+                .and_then(|c| c.get("forest.cond3a.accept"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        let hists = Json::parse(lines[3]).unwrap();
+        assert!(hists
+            .get("histograms")
+            .and_then(|h| h.get("forest.merge.cross_pairs"))
+            .is_some());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_finishes() {
+        let buf = Buf::default();
+        {
+            let rec = JsonLinesRecorder::new(Box::new(buf.clone()));
+            rec.add_counter("c", 1);
+            rec.finish().unwrap();
+            rec.finish().unwrap();
+            // Drop after explicit finish must not re-dump.
+        }
+        let text = buf.contents();
+        assert_eq!(text.matches("\"t\":\"counters\"").count(), 1);
+    }
+
+    #[test]
+    fn drop_without_finish_still_dumps() {
+        let buf = Buf::default();
+        {
+            let rec = JsonLinesRecorder::new(Box::new(buf.clone()));
+            rec.add_counter("c", 2);
+        }
+        let text = buf.contents();
+        assert!(text.contains("\"t\":\"counters\""));
+    }
+}

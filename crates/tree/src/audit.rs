@@ -129,6 +129,26 @@ pub enum AuditViolation {
     },
 }
 
+impl AuditViolation {
+    /// Stable machine-readable name of the violated invariant, used as the
+    /// `kind` field of the `audit.violation` observability event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditViolation::ParentCycle { .. } => "ParentCycle",
+            AuditViolation::BrokenCoverage { .. } => "BrokenCoverage",
+            AuditViolation::BrokenChildLink { .. } => "BrokenChildLink",
+            AuditViolation::StalePathTable { .. } => "StalePathTable",
+            AuditViolation::StaleDepth { .. } => "StaleDepth",
+            AuditViolation::StaleCost { .. } => "StaleCost",
+            AuditViolation::StaleCoveredCount { .. } => "StaleCoveredCount",
+            AuditViolation::BadEdgeWeight { .. } => "BadEdgeWeight",
+            AuditViolation::MergeInconsistent { .. } => "MergeInconsistent",
+            AuditViolation::UpperBoundViolated { .. } => "UpperBoundViolated",
+            AuditViolation::LowerBoundViolated { .. } => "LowerBoundViolated",
+        }
+    }
+}
+
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -285,6 +305,20 @@ impl RoutingTree {
     ///
     /// An [`AuditViolation`] describing the first broken invariant.
     pub fn audit(&self, ctx: &AuditContext<'_>) -> Result<(), AuditViolation> {
+        let result = self.audit_inner(ctx);
+        if let Err(ref violation) = result {
+            bmst_obs::event(
+                "audit.violation",
+                &[
+                    ("kind", bmst_obs::Field::from(violation.kind())),
+                    ("detail", bmst_obs::Field::from(violation.to_string())),
+                ],
+            );
+        }
+        result
+    }
+
+    fn audit_inner(&self, ctx: &AuditContext<'_>) -> Result<(), AuditViolation> {
         self.audit_structure()?;
         self.audit_tables()?;
         if let Some(d) = ctx.distances {

@@ -153,6 +153,7 @@ impl ElmoreDelays {
         params: &ElmoreParams,
         driver: bool,
     ) -> Result<Self, TreeError> {
+        bmst_obs::counter("elmore.evaluations", 1);
         let n = tree.universe();
         assert!(
             params.load_cap.len() >= n,

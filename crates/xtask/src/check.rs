@@ -1,0 +1,228 @@
+//! Validators for the machine-readable observability artifacts:
+//!
+//! * `cargo xtask check-trace <file.jsonl>` — a JSON-lines trace written by
+//!   `bmst route --trace`: every line must parse, at least one span line
+//!   must be present, and the final counters line must carry the
+//!   (3-a)/(3-b) feasibility counts (`forest.cond3*`).
+//! * `cargo xtask check-bench <BENCH_*.json>` — a bench trajectory written
+//!   by the `bench_trajectory` binary: schema tag, table name, and a
+//!   non-empty record array with the full per-run key set.
+//!
+//! Both exit non-zero with a line-anchored message on the first problem,
+//! so CI can gate on them directly.
+
+use std::process::ExitCode;
+
+use bmst_obs::json::Json;
+
+/// Keys every bench record must carry.
+const RECORD_KEYS: &[&str] = &[
+    "bench",
+    "algorithm",
+    "eps",
+    "cost",
+    "longest_path",
+    "perf_ratio",
+    "path_ratio",
+    "wall_s",
+    "counters",
+];
+
+/// Entry point for `cargo xtask check-trace <file>`.
+pub fn run_trace(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("xtask check-trace: expected exactly one trace file argument");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text) {
+        Ok(summary) => {
+            println!("xtask check-trace: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("xtask check-trace: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Entry point for `cargo xtask check-bench <file>`.
+pub fn run_bench(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("xtask check-bench: expected exactly one bench file argument");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_bench(&text) {
+        Ok(summary) => {
+            println!("xtask check-bench: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("xtask check-bench: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a JSON-lines trace; returns a human summary on success.
+fn validate_trace(text: &str) -> Result<String, String> {
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    let mut cond3_keys = 0usize;
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let json = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match json.get("t").and_then(Json::as_str) {
+            Some("span") => spans += 1,
+            Some("event") => events += 1,
+            Some("counters") => {
+                let obj = json
+                    .get("counters")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| format!("line {}: counters line without object", idx + 1))?;
+                cond3_keys += obj
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("forest.cond3"))
+                    .count();
+            }
+            Some("histograms") => {}
+            other => {
+                return Err(format!("line {}: unknown record type {other:?}", idx + 1));
+            }
+        }
+    }
+    if lines == 0 {
+        return Err("empty trace".into());
+    }
+    if spans == 0 {
+        return Err("no span records — algorithm cores were not instrumented".into());
+    }
+    if cond3_keys == 0 {
+        return Err(
+            "no forest.cond3* counters — (3-a)/(3-b) feasibility counts are missing \
+             (did the run use a finite eps?)"
+                .into(),
+        );
+    }
+    Ok(format!(
+        "{lines} lines, {spans} spans, {events} events, {cond3_keys} cond3 counters"
+    ))
+}
+
+/// Validates a bench trajectory document; returns a human summary.
+fn validate_bench(text: &str) -> Result<String, String> {
+    let json = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = json
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema` key")?;
+    if schema != bmst_bench_schema() {
+        return Err(format!(
+            "schema `{schema}` != expected `{}`",
+            bmst_bench_schema()
+        ));
+    }
+    let table = json
+        .get("table")
+        .and_then(Json::as_str)
+        .ok_or("missing `table` key")?;
+    let records = json
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("missing `records` array")?;
+    if records.is_empty() {
+        return Err("empty `records` array".into());
+    }
+    for (idx, rec) in records.iter().enumerate() {
+        for key in RECORD_KEYS {
+            if rec.get(key).is_none() {
+                return Err(format!("record {idx}: missing `{key}`"));
+            }
+        }
+        // `eps` is a number or the string "inf" (JSON has no infinity).
+        let eps = rec.get("eps").unwrap_or(&Json::Null);
+        let eps_ok = eps.as_f64().is_some() || eps.as_str() == Some("inf");
+        if !eps_ok {
+            return Err(format!("record {idx}: `eps` is neither number nor \"inf\""));
+        }
+        if rec.get("counters").and_then(Json::as_obj).is_none() {
+            return Err(format!("record {idx}: `counters` is not an object"));
+        }
+    }
+    Ok(format!("table {table}, {} records", records.len()))
+}
+
+/// The schema tag `bmst-bench` writes; duplicated here so xtask does not
+/// depend on the bench crate (it only reads the artifact format).
+fn bmst_bench_schema() -> &'static str {
+    "bmst-bench-v1"
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::*;
+
+    const GOOD_TRACE: &str = concat!(
+        "{\"t\":\"span\",\"name\":\"bkrus\",\"dur_ns\":120}\n",
+        "{\"t\":\"event\",\"name\":\"audit.violation\"}\n",
+        "{\"t\":\"counters\",\"counters\":{\"forest.cond3a.accept\":4,\"bkrus.edges_scanned\":9}}\n",
+        "{\"t\":\"histograms\",\"histograms\":{}}\n",
+    );
+
+    #[test]
+    fn good_trace_passes() {
+        let summary = validate_trace(GOOD_TRACE).unwrap();
+        assert!(summary.contains("1 spans"), "{summary}");
+    }
+
+    #[test]
+    fn trace_without_spans_or_cond3_fails() {
+        let no_span = "{\"t\":\"counters\",\"counters\":{\"forest.cond3a.accept\":1}}\n";
+        assert!(validate_trace(no_span).unwrap_err().contains("span"));
+        let no_cond3 =
+            "{\"t\":\"span\",\"name\":\"x\"}\n{\"t\":\"counters\",\"counters\":{\"a\":1}}\n";
+        assert!(validate_trace(no_cond3).unwrap_err().contains("cond3"));
+        assert!(validate_trace("").unwrap_err().contains("empty"));
+        assert!(validate_trace("not json\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn good_bench_passes() {
+        let doc = r#"{"schema":"bmst-bench-v1","table":"table2","records":[
+            {"bench":"p1","algorithm":"bkrus","eps":"inf","cost":1.0,
+             "longest_path":1.0,"perf_ratio":1.0,"path_ratio":1.0,
+             "wall_s":0.1,"counters":{"bkrus.edges_scanned":3}}]}"#;
+        let summary = validate_bench(doc).unwrap();
+        assert!(summary.contains("table2"), "{summary}");
+    }
+
+    #[test]
+    fn bad_bench_documents_fail() {
+        assert!(validate_bench("{}").unwrap_err().contains("schema"));
+        let wrong = r#"{"schema":"v0","table":"t","records":[]}"#;
+        assert!(validate_bench(wrong).unwrap_err().contains("schema"));
+        let empty = r#"{"schema":"bmst-bench-v1","table":"t","records":[]}"#;
+        assert!(validate_bench(empty).unwrap_err().contains("empty"));
+        let missing = r#"{"schema":"bmst-bench-v1","table":"t","records":[{"bench":"p1"}]}"#;
+        assert!(validate_bench(missing).unwrap_err().contains("missing"));
+    }
+}

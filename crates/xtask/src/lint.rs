@@ -9,8 +9,9 @@
 //! |--------------|-----------------------------------------|---------|
 //! | `no-panic`   | all library crates                      | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test code |
 //! | `float-eq`   | library crates except `geom`            | `==`/`!=` against float literals or `f64::` constants (use `geom`'s tolerance helpers) |
-//! | `doc-pub`    | `core`, `tree`, `graph`, `geom`         | `pub` items without a doc comment |
-//! | `no-as-cast` | `core`, `tree`, `graph`                 | `as usize` / `as f64` truncating casts |
+//! | `doc-pub`    | `core`, `tree`, `graph`, `geom`, `obs`  | `pub` items without a doc comment |
+//! | `no-as-cast` | `core`, `tree`, `graph`, `obs`          | `as usize` / `as f64` truncating casts |
+//! | `no-print`   | all library crates incl. `cli`, `bench` | `println!` / `eprintln!` / `dbg!` in library sources (binaries — `src/bin/`, `main.rs` — and tests exempt; use `bmst-obs` or return strings) |
 //!
 //! A violating line may be kept by annotating it — same line or the line
 //! directly above — with:
@@ -37,6 +38,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "instances",
     "router",
     "clock",
+    "obs",
 ];
 
 /// Crates whose raw float comparisons must go through `geom`'s tolerance
@@ -51,13 +53,49 @@ const FLOAT_EQ_CRATES: &[&str] = &[
     "instances",
     "router",
     "clock",
+    "obs",
 ];
 
 /// Crates whose whole `pub` surface must carry doc comments.
-const DOC_CRATES: &[&str] = &["core", "tree", "graph", "geom"];
+const DOC_CRATES: &[&str] = &["core", "tree", "graph", "geom", "obs"];
 
 /// Algorithm crates where `as usize` / `as f64` casts need justification.
-const CAST_CRATES: &[&str] = &["core", "tree", "graph"];
+const CAST_CRATES: &[&str] = &["core", "tree", "graph", "obs"];
+
+/// Crates whose library sources must not print to stdout/stderr: output
+/// belongs to the caller (CLI report strings) or to `bmst-obs` recorders.
+/// Binary sources (`src/bin/`, `main.rs`) are exempt — printing is their
+/// job.
+const PRINT_FREE_CRATES: &[&str] = &[
+    "core",
+    "tree",
+    "graph",
+    "geom",
+    "steiner",
+    "io",
+    "instances",
+    "router",
+    "clock",
+    "obs",
+    "cli",
+    "bench",
+];
+
+/// Every crate the lint walks: the union of the per-rule scopes above.
+const ALL_CRATES: &[&str] = &[
+    "core",
+    "tree",
+    "graph",
+    "geom",
+    "steiner",
+    "io",
+    "instances",
+    "router",
+    "clock",
+    "obs",
+    "cli",
+    "bench",
+];
 
 /// One reported lint violation.
 struct Violation {
@@ -82,7 +120,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut violations = Vec::new();
     let mut files_scanned = 0usize;
 
-    for krate in PANIC_FREE_CRATES {
+    for krate in ALL_CRATES {
         let src = root.join("crates").join(krate).join("src");
         for file in rust_files(&src) {
             files_scanned += 1;
@@ -96,7 +134,9 @@ pub fn run(args: &[String]) -> ExitCode {
                 continue;
             };
             let analysis = FileAnalysis::new(&text);
-            check_no_panic(&file, &analysis, &mut violations);
+            if PANIC_FREE_CRATES.contains(krate) {
+                check_no_panic(&file, &analysis, &mut violations);
+            }
             if FLOAT_EQ_CRATES.contains(krate) {
                 check_float_eq(&file, &analysis, &mut violations);
             }
@@ -105,6 +145,9 @@ pub fn run(args: &[String]) -> ExitCode {
             }
             if CAST_CRATES.contains(krate) {
                 check_as_cast(&file, &analysis, &mut violations);
+            }
+            if PRINT_FREE_CRATES.contains(krate) && !is_binary_source(&file) {
+                check_no_print(&file, &analysis, &mut violations);
             }
             check_markers(&file, &analysis, &mut violations);
         }
@@ -136,11 +179,14 @@ fn print_rules() {
          doc-pub     {}\n            every `pub` item must carry a doc comment\n\
          no-as-cast  {}\n            forbids `as usize` / `as f64` casts; use From/TryFrom or \
          annotate\n\
+         no-print    {}\n            forbids println!/eprintln!/dbg! in library sources \
+         (src/bin/ and main.rs exempt)\n\
          \nAnnotate intentional sites with: // lint: allow(<rule>) — <reason>",
         PANIC_FREE_CRATES.join(", "),
         FLOAT_EQ_CRATES.join(", "),
         DOC_CRATES.join(", "),
         CAST_CRATES.join(", "),
+        PRINT_FREE_CRATES.join(", "),
     );
 }
 
@@ -697,10 +743,66 @@ fn check_as_cast(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
     }
 }
 
+/// True for sources that build into binaries: anything under `src/bin/`
+/// and crate-root `main.rs` files. These are the CLI/report surface where
+/// printing is the point.
+fn is_binary_source(path: &Path) -> bool {
+    if path.file_name().is_some_and(|n| n == "main.rs") {
+        return true;
+    }
+    let mut components = path.components().rev();
+    let _file = components.next();
+    // Any ancestor chain `src/bin/...` marks a cargo binary target.
+    let mut prev = None;
+    for c in components {
+        let name = c.as_os_str();
+        if name == "src" && prev.is_some_and(|p| p == "bin") {
+            return true;
+        }
+        prev = Some(name.to_owned());
+    }
+    false
+}
+
+/// Patterns forbidden by `no-print`.
+const PRINT_PATTERNS: &[&str] = &["println!", "eprintln!", "dbg!"];
+
+fn check_no_print(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    for (idx, code) in fa.code.iter().enumerate() {
+        if fa.in_test[idx] {
+            continue;
+        }
+        for pattern in PRINT_PATTERNS {
+            let Some(at) = code.find(pattern) else {
+                continue;
+            };
+            // `println!` must not match inside `eprintln!` (or any other
+            // identifier tail), so require a word boundary on the left.
+            let before = code[..at].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':') {
+                continue;
+            }
+            if fa.has_marker(idx, "no-print") {
+                continue;
+            }
+            out.push(Violation {
+                path: path.to_owned(),
+                line: idx + 1,
+                rule: "no-print",
+                message: format!(
+                    "{pattern} in library code; return the text to the caller, record it \
+                     through bmst-obs, or annotate with `// lint: allow(no-print) — <reason>`"
+                ),
+            });
+            break; // one report per line keeps output readable
+        }
+    }
+}
+
 /// Every marker must name a known rule and carry a reason; this keeps the
 /// annotation inventory greppable and honest.
 fn check_markers(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    const KNOWN: &[&str] = &["no-panic", "float-eq", "doc-pub", "no-as-cast"];
+    const KNOWN: &[&str] = &["no-panic", "float-eq", "doc-pub", "no-as-cast", "no-print"];
     for (idx, raw) in fa.raw.iter().enumerate() {
         let Some(marker) = marker_of(raw) else {
             continue;
@@ -847,6 +949,49 @@ mod tests {
         let mut v = Vec::new();
         check_as_cast(Path::new("f.rs"), &fa, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn no_print_flags_and_marker_suppresses() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        let fa = analysis(src);
+        let mut v = Vec::new();
+        check_no_print(Path::new("f.rs"), &fa, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-print");
+
+        let src = "// lint: allow(no-print) — progress line of a long-running helper\n\
+                   fn f() { eprintln!(\"x\"); }\n";
+        let fa = analysis(src);
+        let mut v = Vec::new();
+        check_no_print(Path::new("f.rs"), &fa, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn no_print_skips_tests_and_writeln() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"ok\"); }\n}\n";
+        let fa = analysis(src);
+        let mut v = Vec::new();
+        check_no_print(Path::new("f.rs"), &fa, &mut v);
+        assert!(v.is_empty());
+
+        let src = "fn f(w: &mut String) { writeln!(w, \"x\").ok(); }\n";
+        let fa = analysis(src);
+        let mut v = Vec::new();
+        check_no_print(Path::new("f.rs"), &fa, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn binary_sources_are_recognised() {
+        assert!(is_binary_source(Path::new("crates/cli/src/main.rs")));
+        assert!(is_binary_source(Path::new(
+            "crates/bench/src/bin/table2.rs"
+        )));
+        assert!(is_binary_source(Path::new("crates/bench/src/bin/x/y.rs")));
+        assert!(!is_binary_source(Path::new("crates/cli/src/commands.rs")));
+        assert!(!is_binary_source(Path::new("crates/obs/src/lib.rs")));
     }
 
     #[test]

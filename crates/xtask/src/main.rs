@@ -1,10 +1,14 @@
 //! Workspace automation binary, invoked as `cargo xtask <command>`.
 //!
-//! The only command today is `lint`, the repo-specific static-analysis
-//! gate described in `DESIGN.md`: source-level rules that `clippy` cannot
-//! express (allow-marker conventions, per-crate rule scoping, doc-comment
-//! presence on public items of the algorithm crates).
+//! * `lint` — the repo-specific static-analysis gate described in
+//!   `DESIGN.md`: source-level rules that `clippy` cannot express
+//!   (allow-marker conventions, per-crate rule scoping, doc-comment
+//!   presence on public items of the algorithm crates).
+//! * `check-trace` / `check-bench` — validators for the observability
+//!   artifacts (`bmst route --trace` JSON-lines, `BENCH_*.json` bench
+//!   trajectories), used as CI gates.
 
+mod check;
 mod lint;
 
 use std::process::ExitCode;
@@ -13,6 +17,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("check-trace") => check::run_trace(&args[1..]),
+        Some("check-bench") => check::run_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -30,8 +36,10 @@ fn print_usage() {
         "Usage: cargo xtask <command>\n\
          \n\
          Commands:\n\
-         \x20 lint            run the repo-specific static-analysis gate\n\
-         \x20 lint --list     describe every lint rule and its scope\n\
-         \x20 help            show this message"
+         \x20 lint                 run the repo-specific static-analysis gate\n\
+         \x20 lint --list          describe every lint rule and its scope\n\
+         \x20 check-trace <FILE>   validate a `bmst route --trace` JSON-lines file\n\
+         \x20 check-bench <FILE>   validate a BENCH_*.json bench trajectory\n\
+         \x20 help                 show this message"
     );
 }
