@@ -1,6 +1,11 @@
 //! Emits the machine-readable bench trajectory: `BENCH_table2.json` with one
 //! record per `(benchmark, algorithm, eps)` — path/perf ratios, wall-clock,
-//! and an instrumentation counter snapshot for each construction.
+//! and an instrumentation counter snapshot for each construction — plus a
+//! serial-vs-parallel netlist routing comparison.
+//!
+//! The construction set is discovered from the builder registry rather than
+//! hard-coded: every eps-driven builder (`Window` / `PerNode` bound) is
+//! swept, with the exponential exact methods gated to small nets.
 //!
 //! Run: `cargo run --release -p bmst-bench --bin bench_trajectory [--out DIR] [--quick]`
 //!
@@ -20,12 +25,13 @@ use std::sync::Arc;
 use bmst_bench::emit::{write_bench_file, BenchRecord};
 use bmst_bench::{has_flag, timed, TABLE_EPS};
 use bmst_core::{
-    bkex, bkh2, bkrus, bprim, gabow_bmst_with, mst_tree, spt_tree, BkexConfig, GabowConfig,
-    PathConstraint, TreeReport,
+    builders, mst_tree, spt_tree, BoundKind, CostClass, GabowConfig, ProblemContext, TreeBuilder,
+    TreeReport,
 };
 use bmst_geom::Net;
 use bmst_instances::Benchmark;
 use bmst_obs::SummaryRecorder;
+use bmst_router::{Criticality, NamedNet, Netlist, RouterConfig};
 use bmst_tree::RoutingTree;
 
 /// Runs one construction under a fresh [`SummaryRecorder`], producing a
@@ -71,11 +77,17 @@ fn arg_value(flag: &str) -> Option<String> {
     None
 }
 
-fn main() {
-    let quick = has_flag("--quick");
-    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| ".".to_owned()));
-    let mut records = Vec::new();
+/// Sweeps every eps-driven registry builder over the special benchmarks.
+fn sweep_registry(quick: bool, records: &mut Vec<BenchRecord>) {
     let exact_limit = if quick { 15 } else { 21 };
+    // The registry's Gabow entry enumerates up to 2M trees; cap it to keep
+    // the sweep's worst case bounded (the paper's nets stay far below this).
+    let gabow_capped = builders::Gabow {
+        config: GabowConfig {
+            max_trees: 100_000,
+            ..GabowConfig::default()
+        },
+    };
 
     for b in Benchmark::SPECIAL {
         if quick && b.num_points() > 20 {
@@ -86,34 +98,113 @@ fn main() {
         let spt_radius = spt_tree(&net).source_radius();
         let small = net.len() < exact_limit;
         for eps in TABLE_EPS {
-            let m = |alg: &str, f: &mut dyn FnMut() -> Option<RoutingTree>| {
-                measure(b.name(), alg, eps, &net, mst_cost, spt_radius, f)
-            };
-            records.extend(m("bkrus", &mut || bkrus(&net, eps).ok()));
-            records.extend(m("bkh2", &mut || bkh2(&net, eps).ok()));
-            records.extend(m("bprim", &mut || bprim(&net, eps).ok()));
-            if small {
-                // The exact methods are exponential; keep them to the nets
-                // the paper itself ran them on.
-                records.extend(m("bkex", &mut || {
-                    bkex(&net, eps, BkexConfig::default()).ok()
-                }));
-                records.extend(m("gabow", &mut || {
-                    let c = PathConstraint::from_eps(&net, eps).expect("valid eps");
-                    gabow_bmst_with(
-                        &net,
-                        c,
-                        GabowConfig {
-                            max_trees: 100_000,
-                            ..GabowConfig::default()
-                        },
-                    )
-                    .ok()
-                    .map(|o| o.tree)
-                }));
+            for &builder in bmst_steiner::full_registry() {
+                let d = builder.descriptor();
+                if d.variant_of.is_some() {
+                    continue; // the trace variant duplicates its base
+                }
+                if !matches!(d.bound, BoundKind::Window | BoundKind::PerNode) {
+                    continue; // only eps-driven bounds make a sweep
+                }
+                if d.cost_class == CostClass::Exact && !small {
+                    // The exact methods are exponential; keep them to the
+                    // nets the paper itself ran them on.
+                    continue;
+                }
+                let builder: &dyn TreeBuilder = if d.name == "gabow" {
+                    &gabow_capped
+                } else {
+                    builder
+                };
+                records.extend(measure(
+                    b.name(),
+                    d.name,
+                    eps,
+                    &net,
+                    mst_cost,
+                    spt_radius,
+                    || {
+                        let cx = ProblemContext::new(&net, eps).ok()?;
+                        builder.build(&cx).ok()
+                    },
+                ));
             }
         }
     }
+}
+
+/// Routes the same synthetic netlist serially and with 4 workers, asserts
+/// the outputs are structurally identical, and records both timings. The
+/// jobs-4 record carries the observed speedup (x1000) as a counter —
+/// honest numbers for whatever machine ran the bench.
+fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
+    let num_nets = if quick { 8 } else { 24 };
+    let classes = [
+        Criticality::Critical,
+        Criticality::Normal,
+        Criticality::Relaxed,
+    ];
+    let nets: Vec<NamedNet> = (0..num_nets)
+        .map(|i| {
+            let net = bmst_instances::uniform_cloud(6 + (i % 10), 200.0, 0xBE57 + i as u64);
+            NamedNet::new(format!("n{i}"), net, classes[i % classes.len()])
+        })
+        .collect();
+    let netlist = Netlist { nets };
+    let config = RouterConfig::default();
+    let bench_name = format!("netlist{num_nets}");
+
+    let (serial, serial_s) = timed(|| netlist.route(&config).expect("serial routing"));
+    let jobs = 4;
+    let (parallel, parallel_s) = timed(|| {
+        netlist
+            .route_parallel(&config, jobs)
+            .expect("parallel routing")
+    });
+    assert_eq!(
+        serial.to_json().to_string(),
+        parallel.to_json().to_string(),
+        "parallel routing must be byte-identical to serial"
+    );
+
+    let max_radius = serial.nets.iter().map(|n| n.radius).fold(0.0_f64, f64::max);
+    let record = |algorithm: &str, wall_s: f64, jobs: u64, speedup_milli: u64| BenchRecord {
+        bench: bench_name.clone(),
+        algorithm: algorithm.to_owned(),
+        eps: config.eps_normal,
+        cost: serial.total_wirelength,
+        longest_path: max_radius,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s,
+        counters: [
+            ("router.jobs".to_owned(), jobs),
+            ("router.nets".to_owned(), num_nets as u64),
+            ("router.speedup_milli".to_owned(), speedup_milli),
+        ]
+        .into(),
+    };
+    let speedup_milli = if parallel_s > 0.0 {
+        (serial_s / parallel_s * 1000.0) as u64
+    } else {
+        0
+    };
+    records.push(record("netlist-serial", serial_s, 1, 1000));
+    records.push(record(
+        "netlist-jobs4",
+        parallel_s,
+        jobs as u64,
+        speedup_milli,
+    ));
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| ".".to_owned()));
+    let mut records = Vec::new();
+
+    sweep_registry(quick, &mut records);
+    netlist_comparison(quick, &mut records);
 
     match write_bench_file(&out_dir, "table2", &records) {
         Ok(path) => println!("{} records -> {}", records.len(), path.display()),

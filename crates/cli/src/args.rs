@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use bmst_router::RouteAlgorithm;
+
 /// Errors produced by the CLI (bad usage, I/O, infeasible instances).
 #[derive(Debug)]
 pub struct CliError(pub String);
@@ -21,50 +23,54 @@ impl CliError {
     }
 }
 
-/// The routing algorithm selected with `--algorithm`.
+/// The routing algorithm selected with `--algorithm`: either a registered
+/// tree builder, or the zero-skew clock construction (which lives outside
+/// the registry — it builds equal-delay trees, not bounded ones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
-    /// BKRUS (default) — or LUB-BKRUS when `--eps1` is given.
-    Bkrus,
-    /// BKRUS + depth-2 exchange post-processing.
-    Bkh2,
-    /// Negative-sum-exchange search at the default depth.
-    Bkex,
-    /// Exact enumeration (BMST_G).
-    Gabow,
-    /// The bounded-Prim baseline.
-    Bprim,
-    /// The bounded-radius-bounded-cost baseline.
-    Brbc,
-    /// The Prim-Dijkstra blend (uses `--pd-c`, ignores `--eps`).
-    PrimDijkstra,
-    /// Bounded Steiner tree on the Hanan grid.
-    Steiner,
-    /// Plain minimum spanning tree (ignores `--eps`).
-    Mst,
-    /// Shortest path tree (ignores `--eps`).
-    Spt,
+    /// A construction resolved from the builder registry
+    /// (`bmst algorithms` lists them).
+    Builder(RouteAlgorithm),
     /// Zero-skew clock tree (DME-style; ignores `--eps`).
     ZeroSkew,
 }
 
 impl Algorithm {
-    fn from_name(s: &str) -> Result<Self, CliError> {
-        Ok(match s {
-            "bkrus" => Algorithm::Bkrus,
-            "bkh2" => Algorithm::Bkh2,
-            "bkex" => Algorithm::Bkex,
-            "gabow" | "bmst_g" => Algorithm::Gabow,
-            "bprim" => Algorithm::Bprim,
-            "brbc" => Algorithm::Brbc,
-            "pd" | "prim-dijkstra" => Algorithm::PrimDijkstra,
-            "steiner" | "bkst" => Algorithm::Steiner,
-            "mst" => Algorithm::Mst,
-            "spt" => Algorithm::Spt,
-            "zskew" | "zero-skew" | "dme" => Algorithm::ZeroSkew,
-            other => return Err(CliError::new(format!("unknown algorithm {other:?}"))),
-        })
+    /// The name the algorithm was registered (or hard-wired) under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Builder(a) => a.name(),
+            Algorithm::ZeroSkew => "zskew",
+        }
     }
+
+    fn from_name(s: &str) -> Result<Self, CliError> {
+        match s {
+            "zskew" | "zero-skew" | "dme" => Ok(Algorithm::ZeroSkew),
+            other => RouteAlgorithm::from_name(other)
+                .map(Algorithm::Builder)
+                .ok_or_else(|| unknown_algorithm(other, true)),
+        }
+    }
+}
+
+/// Builds the unknown-algorithm error, listing every valid name straight
+/// from the registry (plus `zskew` where the clock construction applies).
+fn unknown_algorithm(name: &str, with_zskew: bool) -> CliError {
+    let mut names: Vec<&str> = RouteAlgorithm::all().map(|a| a.name()).collect();
+    if with_zskew {
+        names.push("zskew");
+    }
+    CliError::new(format!(
+        "unknown algorithm {name:?} (valid: {})",
+        names.join(", ")
+    ))
+}
+
+/// Resolves a netlist algorithm: registry builders only (no clock trees —
+/// netlist routing needs path-length bounds).
+fn netlist_algorithm(s: &str) -> Result<RouteAlgorithm, CliError> {
+    RouteAlgorithm::from_name(s).ok_or_else(|| unknown_algorithm(s, false))
 }
 
 /// Parsed `route` arguments.
@@ -129,13 +135,17 @@ pub enum Command {
     Netlist {
         /// Input netlist file (block format).
         file: String,
-        /// Algorithm name (`bkrus`, `bkh2`, `steiner`).
-        algorithm: String,
+        /// The registered construction routing every net.
+        algorithm: RouteAlgorithm,
+        /// Worker threads (`1` = serial; output is identical either way).
+        jobs: usize,
         /// Write a JSON-lines observability trace to this path.
         trace: Option<String>,
         /// Append an instrumentation profile to the report.
         profile: bool,
     },
+    /// `bmst algorithms` — list every registered construction.
+    Algorithms,
     /// `bmst --help`
     Help,
 }
@@ -194,7 +204,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .clone();
             let mut args = RouteArgs {
                 net,
-                algorithm: Algorithm::Bkrus,
+                algorithm: Algorithm::Builder(RouteAlgorithm::bkrus()),
                 eps: 0.2,
                 eps1: None,
                 pd_c: 0.5,
@@ -273,12 +283,21 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .first()
                 .ok_or_else(|| CliError::new("netlist needs a netlist file"))?
                 .clone();
-            let mut algorithm = "bkrus".to_owned();
+            let mut algorithm = RouteAlgorithm::bkrus();
+            let mut jobs = 1usize;
             let mut trace = None;
             let mut profile = false;
             for (name, value) in flags {
                 match (name.as_str(), value.as_deref()) {
-                    ("algorithm", Some(v)) => algorithm = v.to_owned(),
+                    ("algorithm", Some(v)) => algorithm = netlist_algorithm(v)?,
+                    ("jobs", Some(v)) => {
+                        jobs = v.parse().map_err(|_| {
+                            CliError::new(format!("--jobs: {v:?} is not a thread count"))
+                        })?;
+                        if jobs == 0 {
+                            return Err(CliError::new("--jobs must be at least 1"));
+                        }
+                    }
                     ("trace", Some(v)) => trace = Some(v.to_owned()),
                     ("profile", _) => profile = true,
                     (other, _) => {
@@ -289,10 +308,12 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
             Ok(Command::Netlist {
                 file,
                 algorithm,
+                jobs,
                 trace,
                 profile,
             })
         }
+        "algorithms" => Ok(Command::Algorithms),
         other => Err(CliError::new(format!(
             "unknown command {other:?} (try `bmst --help`)"
         ))),
@@ -313,7 +334,7 @@ mod tests {
         let Command::Route(a) = parse(&argv("route net.txt")).unwrap() else {
             panic!()
         };
-        assert_eq!(a.algorithm, Algorithm::Bkrus);
+        assert_eq!(a.algorithm, Algorithm::Builder(RouteAlgorithm::bkrus()));
         assert_eq!(a.eps, 0.2);
         assert!(!a.edges);
         assert!(!a.audit);
@@ -327,7 +348,7 @@ mod tests {
         .unwrap() else {
             panic!()
         };
-        assert_eq!(a.algorithm, Algorithm::Steiner);
+        assert_eq!(a.algorithm, Algorithm::Builder(RouteAlgorithm::steiner()));
         assert_eq!(a.eps, 0.5);
         assert_eq!(a.eps1, Some(0.1));
         assert_eq!(a.svg.as_deref(), Some("t.svg"));
@@ -399,21 +420,55 @@ mod tests {
 
     #[test]
     fn parse_netlist_trace_and_profile() {
-        let Command::Netlist { trace, profile, .. } = parse(&argv(
+        let Command::Netlist {
+            algorithm,
+            jobs,
+            trace,
+            profile,
+            ..
+        } = parse(&argv(
             "netlist nets.txt --algorithm bkh2 --trace t.jsonl --profile",
         ))
-        .unwrap() else {
+        .unwrap()
+        else {
             panic!()
         };
+        assert_eq!(algorithm.name(), "bkh2");
+        assert_eq!(jobs, 1);
         assert_eq!(trace.as_deref(), Some("t.jsonl"));
         assert!(profile);
     }
 
     #[test]
+    fn parse_netlist_jobs() {
+        let Command::Netlist { jobs, .. } = parse(&argv("netlist nets.txt --jobs 4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(jobs, 4);
+        assert!(parse(&argv("netlist nets.txt --jobs 0")).is_err());
+        assert!(parse(&argv("netlist nets.txt --jobs many")).is_err());
+        // Clock trees have no path bound: not a netlist algorithm.
+        assert!(parse(&argv("netlist nets.txt --algorithm zskew")).is_err());
+    }
+
+    #[test]
+    fn parse_algorithms_command() {
+        assert_eq!(parse(&argv("algorithms")).unwrap(), Command::Algorithms);
+    }
+
+    #[test]
     fn algorithm_aliases() {
-        assert_eq!(Algorithm::from_name("bmst_g").unwrap(), Algorithm::Gabow);
-        assert_eq!(Algorithm::from_name("bkst").unwrap(), Algorithm::Steiner);
-        assert!(Algorithm::from_name("magic").is_err());
+        let gabow = Algorithm::from_name("bmst-g").unwrap();
+        assert_eq!(gabow.name(), "gabow");
+        let steiner = Algorithm::from_name("bkst").unwrap();
+        assert_eq!(steiner.name(), "steiner");
+        assert_eq!(Algorithm::from_name("dme").unwrap(), Algorithm::ZeroSkew);
+        let err = Algorithm::from_name("magic").unwrap_err();
+        // The error enumerates the registry so users see every valid name.
+        assert!(err.0.contains("bkrus"), "{err}");
+        assert!(err.0.contains("steiner"), "{err}");
+        assert!(err.0.contains("zskew"), "{err}");
     }
 
     #[test]

@@ -7,13 +7,12 @@ use std::sync::Arc;
 use bmst_obs::{JsonLinesRecorder, MultiRecorder, Recorder, SummaryRecorder};
 
 use bmst_core::{
-    audit_construction, bkex, bkh2, bkrus, bprim, brbc, gabow_bmst, lub_bkrus, mst_tree,
-    prim_dijkstra, spt_tree, BkexConfig, PathConstraint,
+    audit_construction, lub_bkrus, mst_tree, spt_tree, BoundKind, BuilderDescriptor, CostClass,
+    PathConstraint, ProblemContext,
 };
 use bmst_geom::{Net, Point};
 use bmst_instances::Benchmark;
 use bmst_io::{netfile, svg};
-use bmst_steiner::bkst;
 use bmst_tree::RoutingTree;
 
 use bmst_clock::zero_skew_tree;
@@ -30,6 +29,7 @@ use crate::USAGE;
 pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
+        Command::Algorithms => Ok(algorithms()),
         Command::Stats { net } => stats(&net),
         Command::Gen { source, out } => gen(source, out),
         Command::Route(args) => {
@@ -40,10 +40,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Netlist {
             file,
             algorithm,
+            jobs,
             trace,
             profile,
         } => with_observability(trace.as_deref(), profile, || {
-            route_netlist(&file, &algorithm)
+            route_netlist(&file, algorithm, jobs)
         }),
     }
 }
@@ -99,31 +100,70 @@ fn with_observability(
     Ok(out)
 }
 
-fn route_netlist(path: &str, algorithm: &str) -> Result<String, CliError> {
+fn route_netlist(path: &str, algorithm: RouteAlgorithm, jobs: usize) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let netlist =
         Netlist::from_str_block(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    let algorithm = match algorithm {
-        "bkrus" => RouteAlgorithm::Bkrus,
-        "bkh2" => RouteAlgorithm::Bkh2,
-        "steiner" | "bkst" => RouteAlgorithm::Steiner,
-        other => {
-            return Err(CliError::new(format!(
-                "unknown netlist algorithm {other:?}"
-            )))
-        }
-    };
     let config = RouterConfig {
         algorithm,
         ..RouterConfig::default()
     };
+    // The parallel pass assembles results in input order, so the printed
+    // report is byte-identical for every jobs value.
     let report = netlist
-        .route(&config)
+        .route_parallel(&config, jobs)
         .map_err(|e| CliError::new(format!("routing failed: {e}")))?;
-    Ok(format!(
-        "{report}
-"
-    ))
+    Ok(format!("[{}]\n{report}\n", algorithm.name()))
+}
+
+/// Short label for a descriptor's cost class.
+fn cost_class_name(c: CostClass) -> &'static str {
+    match c {
+        CostClass::Baseline => "baseline",
+        CostClass::Heuristic => "heuristic",
+        CostClass::LocalSearch => "local-search",
+        CostClass::Exact => "exact",
+    }
+}
+
+/// Short label for a descriptor's bound kind.
+fn bound_kind_name(b: BoundKind) -> &'static str {
+    match b {
+        BoundKind::Window => "window",
+        BoundKind::PerNode => "per-node",
+        BoundKind::Soft => "soft",
+        BoundKind::None => "none",
+        BoundKind::Delay => "delay",
+    }
+}
+
+/// `bmst algorithms`: the registry rendered as a table, plus the zero-skew
+/// clock construction that lives outside it.
+fn algorithms() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<10} {:<12} {:<9} summary",
+        "name", "aliases", "class", "bound"
+    );
+    for alg in RouteAlgorithm::all() {
+        let d = alg.descriptor();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<10} {:<12} {:<9} {}",
+            d.name,
+            d.aliases.join(","),
+            cost_class_name(d.cost_class),
+            bound_kind_name(d.bound),
+            d.summary
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<10} {:<12} {:<9} zero-skew clock tree (all sink paths equal)",
+        "zskew", "dme", "heuristic", "skew"
+    );
+    out
 }
 
 fn load(path: &str) -> Result<Net, CliError> {
@@ -197,69 +237,37 @@ struct Routed {
     bound_note: String,
 }
 
+/// The human-readable guarantee line, derived from the descriptor's bound
+/// kind and cost class rather than from the algorithm's name.
+fn bound_note(d: &BuilderDescriptor, net: &Net, args: &RouteArgs) -> String {
+    let prefix = if d.cost_class == CostClass::Exact {
+        "optimal, "
+    } else if d.steiner {
+        "Steiner, "
+    } else {
+        ""
+    };
+    match d.bound {
+        BoundKind::Window => format!("{prefix}longest path <= {}", net.path_bound(args.eps)),
+        BoundKind::PerNode => format!("{prefix}per-node paths <= (1+{})*dist", args.eps),
+        BoundKind::Soft => format!("soft blend c = {} (no hard bound)", args.pd_c),
+        BoundKind::Delay => format!("Elmore delay <= (1+{}) * delay(SPT)", args.eps),
+        BoundKind::None => d.summary.to_owned(),
+    }
+}
+
 fn route(args: RouteArgs) -> Result<String, CliError> {
     let net = load(&args.net)?;
     let infeasible = |e: bmst_core::BmstError| CliError::new(format!("routing failed: {e}"));
 
+    // `--eps1` selects the §6 lower/upper-bounded construction, which
+    // post-validates the whole window; it is only defined for BKRUS.
+    let lub_window = match (&args.algorithm, args.eps1) {
+        (Algorithm::Builder(alg), Some(e1)) if alg.name() == "bkrus" => Some(e1),
+        _ => None,
+    };
+
     let routed = match args.algorithm {
-        Algorithm::Bkrus => {
-            let (tree, note) = match args.eps1 {
-                Some(e1) => (
-                    lub_bkrus(&net, e1, args.eps).map_err(infeasible)?,
-                    format!(
-                        "paths within [{} , {}]",
-                        e1 * net.source_radius(),
-                        net.path_bound(args.eps)
-                    ),
-                ),
-                None => (
-                    bkrus(&net, args.eps).map_err(infeasible)?,
-                    format!("longest path <= {}", net.path_bound(args.eps)),
-                ),
-            };
-            spanning(tree, &net, note)
-        }
-        Algorithm::Bkh2 => spanning(
-            bkh2(&net, args.eps).map_err(infeasible)?,
-            &net,
-            format!("longest path <= {}", net.path_bound(args.eps)),
-        ),
-        Algorithm::Bkex => spanning(
-            bkex(&net, args.eps, BkexConfig::default()).map_err(infeasible)?,
-            &net,
-            format!("longest path <= {}", net.path_bound(args.eps)),
-        ),
-        Algorithm::Gabow => spanning(
-            gabow_bmst(&net, args.eps).map_err(infeasible)?,
-            &net,
-            format!("optimal, longest path <= {}", net.path_bound(args.eps)),
-        ),
-        Algorithm::Bprim => spanning(
-            bprim(&net, args.eps).map_err(infeasible)?,
-            &net,
-            format!("per-node paths <= (1+{})*dist", args.eps),
-        ),
-        Algorithm::Brbc => spanning(
-            brbc(&net, args.eps).map_err(infeasible)?,
-            &net,
-            format!("longest path <= {}", net.path_bound(args.eps)),
-        ),
-        Algorithm::PrimDijkstra => spanning(
-            prim_dijkstra(&net, args.pd_c).map_err(infeasible)?,
-            &net,
-            format!("soft blend c = {} (no hard bound)", args.pd_c),
-        ),
-        Algorithm::Mst => spanning(mst_tree(&net), &net, "unbounded (MST)".into()),
-        Algorithm::Spt => spanning(spt_tree(&net), &net, "minimal radius (SPT)".into()),
-        Algorithm::Steiner => {
-            let st = bkst(&net, args.eps).map_err(infeasible)?;
-            Routed {
-                tree: st.tree,
-                points: st.points,
-                terminals: st.num_terminals,
-                bound_note: format!("Steiner, longest path <= {}", net.path_bound(args.eps)),
-            }
-        }
         Algorithm::ZeroSkew => {
             let zst = zero_skew_tree(&net);
             Routed {
@@ -269,36 +277,63 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
                 bound_note: "zero skew (all sink paths equal)".into(),
             }
         }
+        Algorithm::Builder(alg) => {
+            if let Some(e1) = lub_window {
+                let tree = lub_bkrus(&net, e1, args.eps).map_err(infeasible)?;
+                Routed {
+                    tree,
+                    points: net.points().to_vec(),
+                    terminals: net.len(),
+                    bound_note: format!(
+                        "paths within [{} , {}]",
+                        e1 * net.source_radius(),
+                        net.path_bound(args.eps)
+                    ),
+                }
+            } else {
+                let cx = ProblemContext::new(&net, args.eps)
+                    .map_err(infeasible)?
+                    .with_pd_blend(args.pd_c);
+                let d = alg.descriptor();
+                let g = alg.builder().build_geometry(&cx).map_err(infeasible)?;
+                Routed {
+                    tree: g.tree,
+                    points: g.points,
+                    terminals: g.num_terminals,
+                    bound_note: bound_note(d, &net, &args),
+                }
+            }
+        }
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "{} [{:?}]", args.net, args.algorithm);
+    let _ = writeln!(out, "{} [{}]", args.net, args.algorithm.name());
     let _ = writeln!(out, "  {}", routed.bound_note);
     if args.audit {
         // Re-verify the finished tree against the net: structure, path
         // tables, merge consistency, and — where the algorithm gives a hard
-        // guarantee — the path-length window.
+        // guarantee — the path-length window. Steiner/clock trees add
+        // non-terminal nodes and the soft heuristics promise no window:
+        // for those, audit structure and tables only.
         let constraint = match args.algorithm {
-            Algorithm::Bkrus => Some(match args.eps1 {
-                Some(e1) => {
-                    PathConstraint::from_eps_window(&net, e1, args.eps).map_err(infeasible)?
+            Algorithm::ZeroSkew => None,
+            Algorithm::Builder(alg) => {
+                let d = alg.descriptor();
+                if d.steiner {
+                    None
+                } else {
+                    match (d.bound, lub_window) {
+                        (BoundKind::Window, Some(e1)) => Some(
+                            PathConstraint::from_eps_window(&net, e1, args.eps)
+                                .map_err(infeasible)?,
+                        ),
+                        (BoundKind::Window | BoundKind::PerNode, None) => {
+                            Some(PathConstraint::from_eps(&net, args.eps).map_err(infeasible)?)
+                        }
+                        _ => None,
+                    }
                 }
-                None => PathConstraint::from_eps(&net, args.eps).map_err(infeasible)?,
-            }),
-            Algorithm::Bkh2
-            | Algorithm::Bkex
-            | Algorithm::Gabow
-            | Algorithm::Bprim
-            | Algorithm::Brbc => {
-                Some(PathConstraint::from_eps(&net, args.eps).map_err(infeasible)?)
             }
-            // Steiner/clock trees add non-terminal nodes and the soft
-            // heuristics promise no window: audit structure and tables only.
-            Algorithm::PrimDijkstra
-            | Algorithm::Steiner
-            | Algorithm::Mst
-            | Algorithm::Spt
-            | Algorithm::ZeroSkew => None,
         };
         audit_construction(&net, &routed.tree, constraint.as_ref())
             .map_err(|v| CliError::new(format!("audit failed: {v}")))?;
@@ -344,13 +379,4 @@ fn route(args: RouteArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "  svg -> {path}");
     }
     Ok(out)
-}
-
-fn spanning(tree: RoutingTree, net: &Net, bound_note: String) -> Routed {
-    Routed {
-        tree,
-        points: net.points().to_vec(),
-        terminals: net.len(),
-        bound_note,
-    }
 }

@@ -39,12 +39,19 @@ USAGE:
   bmst route <net.txt> [OPTIONS]   construct a routing tree for a net file
   bmst gen [OPTIONS]               generate a net file
   bmst stats <net.txt>             print net characteristics (Table 1 style)
-  bmst netlist <nets.txt> [--algorithm bkrus|bkh2|steiner] [--trace F] [--profile]
+  bmst algorithms                  list every registered construction
+  bmst netlist <nets.txt> [--algorithm A] [--jobs N] [--trace F] [--profile]
                                    route a whole netlist, print the report
 
+NETLIST OPTIONS:
+  --algorithm <A>   any registered construction (see `bmst algorithms`)
+  --jobs <N>        route nets on N worker threads (default: 1). The report
+                    is assembled in input order, so output is byte-identical
+                    for every N.
+
 ROUTE OPTIONS:
-  --algorithm <A>   bkrus | bkh2 | bkex | gabow | bprim | brbc | pd | steiner
-                    | mst | spt | zskew    (default: bkrus)
+  --algorithm <A>   any name or alias from `bmst algorithms`, or zskew
+                    (default: bkrus)
   --eps <E>         radius slack: longest path <= (1+E)*R   (default: 0.2)
   --eps1 <E1>       also enforce the lower bound E1*R (spanning only)
   --pd-c <C>        blend parameter for `pd` (Prim-Dijkstra)  (default: 0.5)
@@ -136,18 +143,34 @@ mod tests {
             net_path.display()
         )))
         .unwrap();
-        for alg in [
-            "bkrus", "bkh2", "bkex", "gabow", "bprim", "brbc", "pd", "steiner", "mst", "spt",
-            "zskew",
-        ] {
+        // Every registry entry (by canonical name) plus the clock construction.
+        let names: Vec<String> = bmst_router::RouteAlgorithm::all()
+            .map(|a| a.name().to_owned())
+            .chain(std::iter::once("zskew".to_owned()))
+            .collect();
+        assert!(names.len() >= 9, "registry unexpectedly small: {names:?}");
+        for alg in &names {
+            // The Elmore construction's delay bound can be infeasible at a
+            // tight eps; give it headroom.
+            let eps = if alg == "elmore-bkrus" { 2.0 } else { 0.4 };
             let out = run_cli(&argv(&format!(
-                "route {} --algorithm {alg} --eps 0.4 --audit",
+                "route {} --algorithm {alg} --eps {eps} --audit",
                 net_path.display()
             )))
             .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(out.contains("cost"), "{alg}: {out}");
             assert!(out.contains("audit = ok"), "{alg}: {out}");
         }
+    }
+
+    #[test]
+    fn algorithms_command_lists_registry() {
+        let out = run_cli(&argv("algorithms")).unwrap();
+        for name in ["bkrus", "gabow", "steiner", "zskew"] {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+        assert!(out.contains("exact"), "{out}");
+        assert!(out.contains("window"), "{out}");
     }
 
     #[test]
@@ -200,6 +223,34 @@ end
             path.display()
         )))
         .is_err());
+    }
+
+    #[test]
+    fn netlist_parallel_output_is_identical_to_serial() {
+        let dir = std::env::temp_dir().join("bmst_cli_test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nets.txt");
+        let mut text = String::new();
+        for (i, class) in ["critical", "normal", "relaxed"]
+            .iter()
+            .cycle()
+            .take(9)
+            .enumerate()
+        {
+            text.push_str(&format!(
+                "net n{i} {class}\n0 0\n{} {}\n{} 2\nend\n",
+                10 + i,
+                3 * i,
+                7 + i
+            ));
+        }
+        std::fs::write(&path, text).unwrap();
+        let serial = run_cli(&argv(&format!("netlist {}", path.display()))).unwrap();
+        for jobs in [2, 4, 8] {
+            let parallel =
+                run_cli(&argv(&format!("netlist {} --jobs {jobs}", path.display()))).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs} output diverged");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use bmst_geom::Net;
 use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
-use crate::BmstError;
+use crate::{BmstError, ProblemContext};
 
 /// Constructs a spanning tree with the AHHK Prim-Dijkstra blend: grow from
 /// the source, always attaching the outside node `v` minimising
@@ -52,6 +52,15 @@ use crate::BmstError;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn prim_dijkstra(net: &Net, c: f64) -> Result<RoutingTree, BmstError> {
+    let cx = ProblemContext::unbounded(net).with_pd_blend(c);
+    run(&cx)
+}
+
+/// Context-based AHHK driver; the blend parameter comes from
+/// [`ProblemContext::pd_blend`].
+pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let c = cx.pd_blend();
     if c.is_nan() || !(0.0..=1.0).contains(&c) {
         return Err(BmstError::InvalidEpsilon { eps: c });
     }
@@ -62,7 +71,7 @@ pub fn prim_dijkstra(net: &Net, c: f64) -> Result<RoutingTree, BmstError> {
         crate::audit::debug_audit(net, &tree, None);
         return Ok(tree);
     }
-    let d = net.distance_matrix();
+    let d = cx.matrix();
 
     let mut in_tree = vec![false; n];
     let mut path_s = vec![0.0; n];

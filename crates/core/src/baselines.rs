@@ -8,6 +8,8 @@ use bmst_geom::Net;
 use bmst_graph::{prim_mst, Edge};
 use bmst_tree::RoutingTree;
 
+use crate::ProblemContext;
+
 /// The minimum spanning tree of the net, rooted at the source.
 ///
 /// This is the `eps = inf` end of the trade-off: minimal routing cost,
@@ -30,10 +32,16 @@ use bmst_tree::RoutingTree;
 /// assert_eq!(mst.source_radius(), 2.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[allow(clippy::expect_used)] // construction invariant, justified inline
 pub fn mst_tree(net: &Net) -> RoutingTree {
-    let d = net.distance_matrix();
-    let edges = prim_mst(&d, net.source());
+    mst_tree_cx(&ProblemContext::unbounded(net))
+}
+
+/// [`mst_tree`] over a shared [`ProblemContext`] (reuses the cached
+/// distance matrix).
+#[allow(clippy::expect_used)] // construction invariant, justified inline
+pub(crate) fn mst_tree_cx(cx: &ProblemContext<'_>) -> RoutingTree {
+    let net = cx.net();
+    let edges = prim_mst(cx.matrix(), net.source());
     let tree = RoutingTree::from_edges(net.len(), net.source(), edges)
         // lint: allow(no-panic) — Prim on a complete graph always spans
         .expect("Prim's algorithm produces a spanning tree");

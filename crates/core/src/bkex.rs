@@ -17,7 +17,7 @@ use bmst_geom::{Net, EPS_TOL};
 use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
-use crate::{bkrus, BmstError, PathConstraint};
+use crate::{BmstError, PathConstraint, ProblemContext};
 
 /// Configuration of the negative-sum-exchange search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,9 +78,22 @@ impl BkexConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn bkex(net: &Net, eps: f64, config: BkexConfig) -> Result<RoutingTree, BmstError> {
-    let constraint = PathConstraint::from_eps(net, eps)?;
-    let start = bkrus(net, eps)?;
-    Ok(bkex_from(net, constraint, start, config))
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx, config)
+}
+
+/// Context-based BKEX driver: BKRUS start plus the exchange search, both
+/// over the shared distance matrix (computed once).
+pub(crate) fn run(cx: &ProblemContext<'_>, config: BkexConfig) -> Result<RoutingTree, BmstError> {
+    let start = crate::bkrus::run(cx, None)?;
+    let constraint = *cx.constraint();
+    let sinks: Vec<usize> = cx.net().sinks().collect();
+    Ok(exchange(
+        cx,
+        &|t| constraint.is_satisfied_by(t, sinks.iter().copied()),
+        start,
+        config,
+    ))
 }
 
 /// Improves a feasible tree by iterated negative-sum-exchange search
@@ -104,9 +117,10 @@ pub fn bkex_from(
     start: RoutingTree,
     config: BkexConfig,
 ) -> RoutingTree {
+    let cx = ProblemContext::with_constraint(net, constraint);
     let sinks: Vec<usize> = net.sinks().collect();
-    bkex_from_with(
-        net,
+    exchange(
+        &cx,
         &|t| constraint.is_satisfied_by(t, sinks.iter().copied()),
         start,
         config,
@@ -131,11 +145,25 @@ pub fn bkex_from_with(
     start: RoutingTree,
     config: BkexConfig,
 ) -> RoutingTree {
-    let d = net.distance_matrix();
+    let cx = ProblemContext::unbounded(net);
+    exchange(&cx, feasible, start, config)
+}
+
+/// The exchange search proper, drawing the distance matrix from the
+/// caller's [`ProblemContext`] so a construction + post-processing pipeline
+/// computes it exactly once.
+pub(crate) fn exchange(
+    cx: &ProblemContext<'_>,
+    feasible: &dyn Fn(&RoutingTree) -> bool,
+    start: RoutingTree,
+    config: BkexConfig,
+) -> RoutingTree {
+    let net = cx.net();
+    let d = cx.matrix();
     let mut incumbent = start;
     let _obs_span = bmst_obs::span("bkex");
     let mut committed = 0u64;
-    while let Some(better) = dfs_exchange(net, &d, feasible, &incumbent, 0.0, 0, config.max_depth) {
+    while let Some(better) = dfs_exchange(net, d, feasible, &incumbent, 0.0, 0, config.max_depth) {
         debug_assert!(better.cost() < incumbent.cost());
         incumbent = better;
         committed += 1;
@@ -225,7 +253,7 @@ fn dfs_exchange(
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
-    use crate::{gabow_bmst, mst_tree};
+    use crate::{bkrus, gabow_bmst, mst_tree};
     use bmst_geom::Point;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

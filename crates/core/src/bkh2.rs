@@ -12,8 +12,8 @@ use bmst_tree::RoutingTree;
 
 use bmst_tree::{ElmoreDelays, ElmoreParams};
 
-use crate::bkex::{bkex_from, bkex_from_with, BkexConfig};
-use crate::{bkrus, bkrus_elmore, elmore_spt_radius, BmstError, PathConstraint};
+use crate::bkex::{bkex_from, BkexConfig};
+use crate::{elmore_spt_radius, BmstError, PathConstraint, ProblemContext};
 
 /// Bounded path length spanning tree via BKRUS followed by the BKH2
 /// depth-2 exchange post-processing.
@@ -39,10 +39,15 @@ use crate::{bkrus, bkrus_elmore, elmore_spt_radius, BmstError, PathConstraint};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn bkh2(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx)
+}
+
+/// Context-based BKH2 driver: BKRUS start plus the depth-2 exchange search
+/// over the shared distance matrix.
+pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let _obs_span = bmst_obs::span("bkh2");
-    let constraint = PathConstraint::from_eps(net, eps)?;
-    let start = bkrus(net, eps)?;
-    Ok(bkh2_from(net, constraint, start))
+    crate::bkex::run(cx, BkexConfig::with_depth(2))
 }
 
 /// The BKH2 post-processing alone: repeatedly applies negative-sum
@@ -72,7 +77,17 @@ pub fn bkh2_from(net: &Net, constraint: PathConstraint, start: RoutingTree) -> R
 ///
 /// Panics if `params.load_cap.len() < net.len()`.
 pub fn bkh2_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<RoutingTree, BmstError> {
-    let start = bkrus_elmore(net, eps, params)?;
+    let cx = ProblemContext::new(net, eps)?.with_elmore(params.clone());
+    run_elmore(&cx)
+}
+
+/// Context-based Elmore BKH2: the §3.2 construction and the depth-2
+/// exchange both draw the matrix (and Elmore parameters) from `cx`.
+pub(crate) fn run_elmore(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let params = cx.elmore_params();
+    let start = crate::elmore_bkrus::run(cx)?;
     let bound = if eps.is_infinite() {
         f64::INFINITY
     } else {
@@ -86,8 +101,8 @@ pub fn bkh2_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<Routing
                 bound,
             )
     };
-    Ok(bkex_from_with(
-        net,
+    Ok(crate::bkex::exchange(
+        cx,
         &feasible,
         start,
         BkexConfig::with_depth(2),
@@ -98,7 +113,7 @@ pub fn bkh2_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<Routing
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
-    use crate::{bkex, gabow_bmst, BkexConfig};
+    use crate::{bkex, bkrus, gabow_bmst, BkexConfig};
     use bmst_geom::Point;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

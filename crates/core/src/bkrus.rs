@@ -1,11 +1,11 @@
 //! BKRUS: the bounded path length Kruskal construction (paper §3.1).
 
 use bmst_geom::Net;
-use bmst_graph::{complete_edges, sort_edges, Edge};
+use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
 use crate::forest::KruskalForest;
-use crate::{BmstError, PathConstraint};
+use crate::{BmstError, ProblemContext};
 
 /// Why an edge was accepted into or rejected from the tree under
 /// construction.
@@ -70,8 +70,8 @@ pub struct TraceEvent {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn bkrus(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
-    let constraint = PathConstraint::from_eps(net, eps)?;
-    run(net, constraint, None)
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx, None)
 }
 
 /// Like [`bkrus`], but records the decision taken for every edge considered
@@ -81,9 +81,9 @@ pub fn bkrus(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
 ///
 /// Same conditions as [`bkrus`].
 pub fn bkrus_trace(net: &Net, eps: f64) -> Result<(RoutingTree, Vec<TraceEvent>), BmstError> {
-    let constraint = PathConstraint::from_eps(net, eps)?;
+    let cx = ProblemContext::new(net, eps)?;
     let mut trace = Vec::new();
-    let tree = run(net, constraint, Some(&mut trace))?;
+    let tree = run(&cx, Some(&mut trace))?;
     Ok((tree, trace))
 }
 
@@ -92,10 +92,11 @@ pub fn bkrus_trace(net: &Net, eps: f64) -> Result<(RoutingTree, Vec<TraceEvent>)
 /// `constraint.lower > 0` activates the §6 extensions: Lemma 6.1 edge
 /// elimination and the lower-bound merge condition.
 pub(crate) fn run(
-    net: &Net,
-    constraint: PathConstraint,
+    cx: &ProblemContext<'_>,
     mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let constraint = *cx.constraint();
     let n = net.len();
     let source = net.source();
     if n == 1 {
@@ -104,15 +105,8 @@ pub(crate) fn run(
         return Ok(tree);
     }
 
-    let d = net.distance_matrix();
+    let d = cx.matrix();
     let dist_s: Vec<f64> = (0..n).map(|v| d[(source, v)]).collect();
-    let mut edges = complete_edges(&d);
-    if constraint.has_lower() {
-        // Lemma 6.1: direct source edges shorter than the lower bound can
-        // never appear in a feasible tree.
-        edges.retain(|e| !(e.connects(source) && e.weight < constraint.lower));
-    }
-    sort_edges(&mut edges);
 
     let mut forest = KruskalForest::new(n, source);
     let mut tree_edges: Vec<Edge> = Vec::with_capacity(n - 1);
@@ -121,9 +115,17 @@ pub(crate) fn run(
     let mut cycle_rejects = 0u64;
     let mut bound_rejects = 0u64;
 
-    for e in edges {
+    // The shared cache is sorted by the total canonical (weight, u, v)
+    // order, so skipping Lemma 6.1 edges here visits the surviving edges in
+    // exactly the order the pre-context code produced by filtering first.
+    for &e in cx.sorted_edges() {
         if tree_edges.len() == n - 1 {
             break; // early exit after V - 1 unions
+        }
+        if constraint.has_lower() && e.connects(source) && e.weight < constraint.lower {
+            // Lemma 6.1: direct source edges shorter than the lower bound
+            // can never appear in a feasible tree.
+            continue;
         }
         scanned += 1;
         if forest.same_component(e.u, e.v) {

@@ -4,7 +4,7 @@ use bmst_geom::{le_tol, Net};
 use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
-use crate::{BmstError, PathConstraint};
+use crate::{BmstError, ProblemContext};
 
 /// Constructs a bounded path length spanning tree with the BPRIM heuristic
 /// of Cong et al. ("Provably Good Performance-Driven Global Routing",
@@ -44,7 +44,16 @@ use crate::{BmstError, PathConstraint};
 pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
     // Validates eps; the per-node bounds below are tighter than
     // constraint.upper.
-    let constraint = PathConstraint::from_eps(net, eps)?;
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx)
+}
+
+/// Context-based BPRIM driver; the per-node budget uses the context's raw
+/// `eps`, the audit its validated constraint.
+pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let constraint = *cx.constraint();
     let n = net.len();
     let s = net.source();
     if n == 1 {
@@ -52,7 +61,7 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
         crate::audit::debug_audit(net, &tree, Some(&constraint));
         return Ok(tree);
     }
-    let d = net.distance_matrix();
+    let d = cx.matrix();
 
     let mut in_tree = vec![false; n];
     let mut path_s = vec![0.0; n]; // path(S, x) for tree nodes

@@ -4,7 +4,7 @@ use bmst_geom::Net;
 use bmst_graph::{dijkstra, prim_mst, AdjacencyList, Edge};
 use bmst_tree::RoutingTree;
 
-use crate::{BmstError, PathConstraint};
+use crate::{BmstError, ProblemContext};
 
 /// Constructs a bounded-radius spanning tree with the BRBC algorithm of
 /// Cong et al.
@@ -44,10 +44,19 @@ use crate::{BmstError, PathConstraint};
 /// assert!(t.source_radius() <= 1.5 * net.source_radius() + 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[allow(clippy::expect_used)] // connectivity invariant, justified inline
 pub fn brbc(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
     // Validate eps through the shared constraint machinery.
-    let constraint = PathConstraint::from_eps(net, eps)?;
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx)
+}
+
+/// Context-based BRBC driver; the shortcut trigger uses the context's raw
+/// `eps`, the audit its validated constraint.
+#[allow(clippy::expect_used)] // connectivity invariant, justified inline
+pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let constraint = *cx.constraint();
     let n = net.len();
     let s = net.source();
     if n == 1 {
@@ -55,8 +64,8 @@ pub fn brbc(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
         crate::audit::debug_audit(net, &tree, Some(&constraint));
         return Ok(tree);
     }
-    let d = net.distance_matrix();
-    let mst = prim_mst(&d, s);
+    let d = cx.matrix();
+    let mst = prim_mst(d, s);
 
     if eps.is_infinite() {
         // No shortcut ever triggers; the result is the MST itself.

@@ -9,10 +9,10 @@
 //! `O(V^2)` and the whole construction `O(E V^2)`.
 
 use bmst_geom::{le_tol, Net};
-use bmst_graph::{complete_edges, sort_edges, DisjointSets, Edge};
+use bmst_graph::{DisjointSets, Edge};
 use bmst_tree::{elmore, ElmoreDelays, ElmoreParams, RoutingTree};
 
-use crate::BmstError;
+use crate::{BmstError, ProblemContext};
 
 /// The Elmore reference radius `R`: the worst source-to-sink Elmore delay of
 /// the shortest path tree (the star).
@@ -72,6 +72,17 @@ pub fn bkrus_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<Routin
     if eps.is_nan() || eps < 0.0 {
         return Err(BmstError::InvalidEpsilon { eps });
     }
+    let cx = ProblemContext::new(net, eps)?.with_elmore(params.clone());
+    run(&cx)
+}
+
+/// Context-based Elmore BKRUS driver: the distance matrix and sorted edge
+/// list come from the shared cache, the delay model from
+/// [`ProblemContext::elmore_params`].
+pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let params = cx.elmore_params();
     let n = net.len();
     let s = net.source();
     assert!(params.load_cap.len() >= n, "load_cap too short for net");
@@ -86,16 +97,14 @@ pub fn bkrus_elmore(net: &Net, eps: f64, params: &ElmoreParams) -> Result<Routin
     } else {
         (1.0 + eps) * elmore_spt_radius(net, params)
     };
-    let d = net.distance_matrix();
-    let mut edges = complete_edges(&d);
-    sort_edges(&mut edges);
+    let d = cx.matrix();
 
     let mut dsu = DisjointSets::new(n);
     // Edge list per component, keyed by DSU representative.
     let mut comp_edges: Vec<Vec<Edge>> = vec![Vec::new(); n];
     let mut accepted = 0usize;
 
-    for e in edges {
+    for &e in cx.sorted_edges() {
         if accepted == n - 1 {
             break;
         }

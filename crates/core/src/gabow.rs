@@ -18,7 +18,7 @@ use bmst_geom::Net;
 use bmst_graph::{complete_edges, Edge, SpanningTreeEnumerator};
 use bmst_tree::RoutingTree;
 
-use crate::{BmstError, PathConstraint};
+use crate::{BmstError, PathConstraint, ProblemContext};
 
 /// Configuration for the exact enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,13 +88,22 @@ pub struct GabowOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn preprocess_edges(net: &Net, constraint: PathConstraint) -> (Vec<Edge>, Vec<Edge>) {
-    let d = net.distance_matrix();
+    let cx = ProblemContext::with_constraint(net, constraint);
+    preprocess_edges_cx(&cx)
+}
+
+/// [`preprocess_edges`] over a shared [`ProblemContext`] (reuses the cached
+/// distance matrix).
+pub(crate) fn preprocess_edges_cx(cx: &ProblemContext<'_>) -> (Vec<Edge>, Vec<Edge>) {
+    let net = cx.net();
+    let constraint = *cx.constraint();
+    let d = cx.matrix();
     let s = net.source();
     let upper = constraint.upper;
     let mut kept = Vec::new();
     let mut forced = Vec::new();
 
-    for e in complete_edges(&d) {
+    for e in complete_edges(d) {
         // Lemma 6.1.
         if constraint.has_lower() && e.connects(s) && e.weight < constraint.lower {
             continue;
@@ -146,8 +155,8 @@ pub fn preprocess_edges(net: &Net, constraint: PathConstraint) -> (Vec<Edge>, Ve
 ///
 /// Same conditions as [`gabow_bmst_with`].
 pub fn gabow_bmst(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
-    let constraint = PathConstraint::from_eps(net, eps)?;
-    gabow_bmst_with(net, constraint, GabowConfig::default()).map(|o| o.tree)
+    let cx = ProblemContext::new(net, eps)?;
+    run(&cx, GabowConfig::default()).map(|o| o.tree)
 }
 
 /// Exact optimum bounded path length spanning tree: spanning trees are
@@ -183,6 +192,14 @@ pub fn gabow_bmst_with(
     constraint: PathConstraint,
     config: GabowConfig,
 ) -> Result<GabowOutcome, BmstError> {
+    let cx = ProblemContext::with_constraint(net, constraint);
+    run(&cx, config)
+}
+
+/// Context-based exact enumeration driver.
+pub(crate) fn run(cx: &ProblemContext<'_>, config: GabowConfig) -> Result<GabowOutcome, BmstError> {
+    let net = cx.net();
+    let constraint = *cx.constraint();
     let n = net.len();
     let s = net.source();
     if n == 1 {
@@ -196,9 +213,9 @@ pub fn gabow_bmst_with(
 
     let _obs_span = bmst_obs::span("gabow");
     let (edges, forced_edges) = if config.use_pruning {
-        preprocess_edges(net, constraint)
+        preprocess_edges_cx(cx)
     } else {
-        (complete_edges(&net.distance_matrix()), Vec::new())
+        (complete_edges(cx.matrix()), Vec::new())
     };
     if bmst_obs::enabled() {
         let total = net.complete_edge_count();

@@ -24,6 +24,16 @@
 //! plus the baselines every table normalises against: [`mst_tree`],
 //! [`spt_tree`], and [`maximal_spanning_tree`].
 //!
+//! # Contexts and builders
+//!
+//! The free functions above each derive the complete-graph distance matrix
+//! and sorted edge list from scratch. To share that state — across several
+//! constructions on one net, or across threads — build a [`ProblemContext`]
+//! once and run [`TreeBuilder`]s from the [`registry`] against it; every
+//! construction is registered under a stable kebab-case name (see
+//! [`BuilderDescriptor`]). The free functions remain as thin shims over the
+//! same drivers, so both paths produce bit-identical trees.
+//!
 //! # Quick start
 //!
 //! ```
@@ -59,7 +69,9 @@ mod bkh2;
 mod bkrus;
 mod bprim;
 mod brbc;
+mod builder;
 mod constraint;
+mod context;
 mod elmore_bkrus;
 mod error;
 /// Bounded-radius forest partition (§3.1): the cluster structure BKRUS
@@ -77,7 +89,12 @@ pub use bkh2::{bkh2, bkh2_elmore, bkh2_from};
 pub use bkrus::{bkrus, bkrus_trace, EdgeDecision, TraceEvent};
 pub use bprim::bprim;
 pub use brbc::brbc;
+pub use builder::{
+    builders, find_builder, registry, BoundKind, BuilderDescriptor, BuiltGeometry, CostClass,
+    TreeBuilder,
+};
 pub use constraint::PathConstraint;
+pub use context::ProblemContext;
 pub use elmore_bkrus::{bkrus_elmore, elmore_spt_radius};
 pub use error::BmstError;
 pub use gabow::{gabow_bmst, gabow_bmst_with, preprocess_edges, GabowConfig, GabowOutcome};

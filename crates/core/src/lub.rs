@@ -9,7 +9,7 @@ use bmst_geom::Net;
 use bmst_tree::RoutingTree;
 
 use crate::bkrus::run;
-use crate::{BmstError, PathConstraint};
+use crate::{BmstError, PathConstraint, ProblemContext};
 
 /// BKRUS with simultaneous lower and upper path-length bounds:
 /// `eps1 * R <= path(S, x) <= (1 + eps2) * R` for every sink `x`.
@@ -58,7 +58,8 @@ use crate::{BmstError, PathConstraint};
 /// ```
 pub fn lub_bkrus(net: &Net, eps1: f64, eps2: f64) -> Result<RoutingTree, BmstError> {
     let constraint = PathConstraint::from_eps_window(net, eps1, eps2)?;
-    let tree = run(net, constraint, None)?;
+    let cx = ProblemContext::with_constraint(net, constraint);
+    let tree = run(&cx, None)?;
     // The merge conditions enforce the window during construction, but the
     // final tree is re-validated so any gap in the incremental reasoning
     // surfaces as an error rather than a silently out-of-window tree.

@@ -181,3 +181,11 @@ pub fn event(name: &str, fields: &[(&str, Field)]) {
 pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard::enter(name)
 }
+
+/// [`span`] for runtime-computed names (e.g. per-worker spans like
+/// `router.net.w3`). The name is only materialised when instrumentation is
+/// enabled, so callers should still gate any `format!` behind [`enabled`].
+#[inline]
+pub fn span_dyn(name: &str) -> SpanGuard {
+    SpanGuard::enter(name)
+}

@@ -26,7 +26,7 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    pub(crate) fn enter(name: &'static str) -> SpanGuard {
+    pub(crate) fn enter(name: &str) -> SpanGuard {
         if !crate::enabled() {
             return SpanGuard {
                 path: None,

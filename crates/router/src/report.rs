@@ -59,6 +59,71 @@ impl RouteReport {
             .iter()
             .min_by(|a, b| a.slack().total_cmp(&b.slack()))
     }
+
+    /// Serialises the full report — totals plus every routed net with its
+    /// tree edges — as JSON. Used by the determinism tests and benchmarks
+    /// to compare serial and parallel routing outputs structurally.
+    pub fn to_json(&self) -> bmst_obs::json::Json {
+        use bmst_obs::json::Json;
+        Json::Obj(vec![
+            (
+                "total_wirelength".to_owned(),
+                Json::Num(self.total_wirelength),
+            ),
+            ("worst_slack".to_owned(), json_num(self.worst_slack())),
+            (
+                "nets".to_owned(),
+                Json::Arr(self.nets.iter().map(RoutedNet::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Non-finite numbers have no JSON representation; encode them as the
+/// string `"inf"` (matching the benchmark schema's eps encoding).
+fn json_num(v: f64) -> bmst_obs::json::Json {
+    use bmst_obs::json::Json;
+    if v.is_finite() {
+        Json::Num(v)
+    } else {
+        Json::Str("inf".to_owned())
+    }
+}
+
+impl RoutedNet {
+    /// Serialises this net's routing result, including the tree edge list,
+    /// as JSON.
+    pub fn to_json(&self) -> bmst_obs::json::Json {
+        use bmst_obs::json::Json;
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "criticality".to_owned(),
+                Json::Str(self.criticality.name().to_owned()),
+            ),
+            ("eps".to_owned(), json_num(self.eps)),
+            ("wirelength".to_owned(), Json::Num(self.wirelength)),
+            ("radius".to_owned(), Json::Num(self.radius)),
+            ("bound".to_owned(), json_num(self.bound)),
+            ("slack".to_owned(), json_num(self.slack())),
+            (
+                "edges".to_owned(),
+                Json::Arr(
+                    self.tree
+                        .edges()
+                        .iter()
+                        .map(|e| {
+                            Json::Arr(vec![
+                                Json::from_u64(u64::try_from(e.u).unwrap_or(u64::MAX)),
+                                Json::from_u64(u64::try_from(e.v).unwrap_or(u64::MAX)),
+                                Json::Num(e.weight),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for RouteReport {

@@ -1,23 +1,101 @@
 //! The routing pass itself.
 
-use bmst_core::{bkh2, bkrus, BmstError};
-use bmst_geom::Net;
-use bmst_steiner::bkst;
-use bmst_tree::RoutingTree;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crate::{Criticality, Netlist, RouteReport, RoutedNet};
+use bmst_core::{BmstError, BuilderDescriptor, ProblemContext, TreeBuilder};
 
-/// Which construction routes each net.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RouteAlgorithm {
+use crate::{Criticality, NamedNet, Netlist, RouteReport, RoutedNet};
+
+/// Which construction routes each net: a handle to a registered
+/// [`TreeBuilder`] from `bmst_steiner::full_registry`.
+///
+/// Resolve one by registry name with [`RouteAlgorithm::from_name`], or
+/// enumerate them all with [`RouteAlgorithm::all`]. Equality, ordering and
+/// formatting all go through the stable descriptor name.
+#[derive(Clone, Copy)]
+pub struct RouteAlgorithm {
+    builder: &'static dyn TreeBuilder,
+}
+
+impl RouteAlgorithm {
+    /// Resolves a registry name or alias (`bkrus`, `steiner`, `pd`, ...).
+    pub fn from_name(name: &str) -> Option<Self> {
+        bmst_steiner::find_builder(name).map(|builder| RouteAlgorithm { builder })
+    }
+
+    /// Every registered construction, in registry order.
+    pub fn all() -> impl Iterator<Item = Self> {
+        bmst_steiner::full_registry()
+            .iter()
+            .map(|&builder| RouteAlgorithm { builder })
+    }
+
+    /// The builder's stable registry name.
+    pub fn name(&self) -> &'static str {
+        self.builder.descriptor().name
+    }
+
+    /// The builder's descriptor (cost class, bound kind, capability flags).
+    pub fn descriptor(&self) -> &'static BuilderDescriptor {
+        self.builder.descriptor()
+    }
+
+    /// The underlying builder.
+    pub fn builder(&self) -> &'static dyn TreeBuilder {
+        self.builder
+    }
+
+    /// Resolves a name that is known to be registered (the named
+    /// constructors below); panics only if the registry loses the entry,
+    /// which `cargo xtask check-registry` guards against.
+    #[allow(clippy::expect_used)] // registry invariant, justified inline
+    fn known(name: &'static str) -> Self {
+        // lint: allow(no-panic) — resolving a name the registry is built with
+        Self::from_name(name).expect("builtin algorithm is registered")
+    }
+
     /// BKRUS: the fast default (`O(V^3)` per net).
-    #[default]
-    Bkrus,
+    pub fn bkrus() -> Self {
+        Self::known("bkrus")
+    }
+
     /// BKRUS + BKH2 exchange post-processing: a few percent cheaper, much
     /// slower — the paper recommends it below ~300 terminals per net.
-    Bkh2,
+    pub fn bkh2() -> Self {
+        Self::known("bkh2")
+    }
+
     /// Bounded Steiner trees on the Hanan grid: cheapest, rectilinear only.
-    Steiner,
+    pub fn steiner() -> Self {
+        Self::known("steiner")
+    }
+}
+
+impl Default for RouteAlgorithm {
+    fn default() -> Self {
+        Self::bkrus()
+    }
+}
+
+impl PartialEq for RouteAlgorithm {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for RouteAlgorithm {}
+
+impl fmt::Debug for RouteAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RouteAlgorithm").field(&self.name()).finish()
+    }
+}
+
+impl fmt::Display for RouteAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Per-criticality eps assignment and algorithm selection.
@@ -43,7 +121,7 @@ impl Default for RouterConfig {
             eps_critical: 0.1,
             eps_normal: 0.5,
             eps_relaxed: f64::INFINITY,
-            algorithm: RouteAlgorithm::Bkrus,
+            algorithm: RouteAlgorithm::bkrus(),
         }
     }
 }
@@ -59,27 +137,25 @@ impl RouterConfig {
     }
 }
 
-fn route_one(
-    net: &Net,
-    eps: f64,
-    algorithm: RouteAlgorithm,
-) -> Result<(RoutingTree, f64), BmstError> {
-    Ok(match algorithm {
-        RouteAlgorithm::Bkrus => {
-            let t = bkrus(net, eps)?;
-            let cost = t.cost();
-            (t, cost)
-        }
-        RouteAlgorithm::Bkh2 => {
-            let t = bkh2(net, eps)?;
-            let cost = t.cost();
-            (t, cost)
-        }
-        RouteAlgorithm::Steiner => {
-            let st = bkst(net, eps)?;
-            let cost = st.wirelength();
-            (st.tree, cost)
-        }
+/// Routes one named net under `config`: builds its [`ProblemContext`] and
+/// runs the configured builder against it.
+fn route_named(n: &NamedNet, config: &RouterConfig) -> Result<RoutedNet, BmstError> {
+    let eps = config.eps_for(n.criticality);
+    let bound = n.net.path_bound(eps);
+    let cx = ProblemContext::new(&n.net, eps)?;
+    let tree = config.algorithm.builder.build(&cx)?;
+    let wirelength = tree.cost();
+    // For Steiner trees the radius of interest is over terminals only;
+    // terminal ids coincide with net node ids in both cases.
+    let radius = tree.max_dist_from_root(n.net.sinks());
+    Ok(RoutedNet {
+        name: n.name.clone(),
+        criticality: n.criticality,
+        eps,
+        wirelength,
+        radius,
+        bound,
+        tree,
     })
 }
 
@@ -99,22 +175,105 @@ impl Netlist {
         let mut nets = Vec::with_capacity(self.nets.len());
         let mut total_wirelength = 0.0;
         for n in &self.nets {
-            let eps = config.eps_for(n.criticality);
-            let bound = n.net.path_bound(eps);
-            let (tree, wirelength) = route_one(&n.net, eps, config.algorithm)?;
-            // For Steiner trees the radius of interest is over terminals
-            // only; terminal ids coincide with net node ids in both cases.
-            let radius = tree.max_dist_from_root(n.net.sinks());
-            total_wirelength += wirelength;
-            nets.push(RoutedNet {
-                name: n.name.clone(),
-                criticality: n.criticality,
-                eps,
-                wirelength,
-                radius,
-                bound,
-                tree,
+            let _obs_span = bmst_obs::span("router.net");
+            let routed = route_named(n, config)?;
+            total_wirelength += routed.wirelength;
+            nets.push(routed);
+        }
+        Ok(RouteReport {
+            nets,
+            total_wirelength,
+        })
+    }
+
+    /// Like [`Netlist::route`], but distributes nets over `jobs` worker
+    /// threads (a shared atomic work queue over `std::thread::scope`).
+    ///
+    /// The report is **bit-identical** to the serial one: results are
+    /// assembled in input order, so per-net values and the order-dependent
+    /// floating-point sum of `total_wirelength` cannot differ. Workers tag
+    /// their per-net observability spans `router.net.w<worker>`.
+    ///
+    /// `jobs` is clamped to `[1, nets]`; `jobs <= 1` delegates to the
+    /// serial pass.
+    ///
+    /// # Errors
+    ///
+    /// The same error the serial pass would report: the failure of the
+    /// first net (in input order) that cannot route. Workers stop pulling
+    /// new nets once any net has failed.
+    #[allow(clippy::expect_used)] // worker panics are propagated, justified inline
+    pub fn route_parallel(
+        &self,
+        config: &RouterConfig,
+        jobs: usize,
+    ) -> Result<RouteReport, BmstError> {
+        let n = self.nets.len();
+        let jobs = jobs.min(n).max(1);
+        if jobs <= 1 {
+            return self.route(config);
+        }
+
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let batches: Vec<Vec<(usize, Result<RoutedNet, BmstError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|worker| {
+                        let (next, failed) = (&next, &failed);
+                        let nets = &self.nets;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                if failed.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= nets.len() {
+                                    break;
+                                }
+                                let _obs_span = bmst_obs::enabled()
+                                    .then(|| bmst_obs::span_dyn(&format!("router.net.w{worker}")));
+                                let res = route_named(&nets[i], config);
+                                if res.is_err() {
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                                out.push((i, res));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // lint: allow(no-panic) — re-raise worker panics instead of hiding them
+                        h.join().expect("routing worker panicked")
+                    })
+                    .collect()
             });
+
+        // Indices pulled from the queue form a contiguous prefix, so after
+        // scattering the batches every unfilled slot lies *after* every
+        // filled one; routing leftovers serially (only reachable when no
+        // earlier net failed) keeps error order identical to `route`.
+        let mut slots: Vec<Option<Result<RoutedNet, BmstError>>> = Vec::new();
+        slots.resize_with(n, || None);
+        for batch in batches {
+            for (i, res) in batch {
+                slots[i] = Some(res);
+            }
+        }
+        let mut nets = Vec::with_capacity(n);
+        let mut total_wirelength = 0.0;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let routed = match slot {
+                Some(res) => res?,
+                None => route_named(&self.nets[i], config)?,
+            };
+            // Summed in input order: bit-identical to the serial pass.
+            total_wirelength += routed.wirelength;
+            nets.push(routed);
         }
         Ok(RouteReport {
             nets,
@@ -128,7 +287,7 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
     use super::*;
     use crate::NamedNet;
-    use bmst_geom::Point;
+    use bmst_geom::{Net, Point};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -158,9 +317,9 @@ mod tests {
     fn routes_all_nets_within_bounds() {
         let nl = random_netlist(1, 9);
         for algorithm in [
-            RouteAlgorithm::Bkrus,
-            RouteAlgorithm::Bkh2,
-            RouteAlgorithm::Steiner,
+            RouteAlgorithm::bkrus(),
+            RouteAlgorithm::bkh2(),
+            RouteAlgorithm::steiner(),
         ] {
             let cfg = RouterConfig {
                 algorithm,
@@ -194,13 +353,13 @@ mod tests {
         let nl = random_netlist(2, 6);
         let spanning = nl
             .route(&RouterConfig {
-                algorithm: RouteAlgorithm::Bkrus,
+                algorithm: RouteAlgorithm::bkrus(),
                 ..Default::default()
             })
             .unwrap();
         let steiner = nl
             .route(&RouterConfig {
-                algorithm: RouteAlgorithm::Steiner,
+                algorithm: RouteAlgorithm::steiner(),
                 ..Default::default()
             })
             .unwrap();
@@ -214,13 +373,13 @@ mod tests {
             eps_critical: 0.0,
             eps_normal: 0.1,
             eps_relaxed: 0.2,
-            algorithm: RouteAlgorithm::Bkrus,
+            algorithm: RouteAlgorithm::bkrus(),
         };
         let loose = RouterConfig {
             eps_critical: 1.0,
             eps_normal: 2.0,
             eps_relaxed: f64::INFINITY,
-            algorithm: RouteAlgorithm::Bkrus,
+            algorithm: RouteAlgorithm::bkrus(),
         };
         let a = nl.route(&tight).unwrap().total_wirelength;
         let b = nl.route(&loose).unwrap().total_wirelength;
@@ -233,5 +392,67 @@ mod tests {
         assert_eq!(report.nets.len(), 0);
         assert_eq!(report.total_wirelength, 0.0);
         assert_eq!(report.worst_slack(), f64::INFINITY);
+    }
+
+    #[test]
+    fn algorithm_resolution_and_identity() {
+        assert_eq!(
+            RouteAlgorithm::from_name("bkst"),
+            Some(RouteAlgorithm::steiner())
+        );
+        assert!(RouteAlgorithm::from_name("nope").is_none());
+        assert_eq!(RouteAlgorithm::default().name(), "bkrus");
+        assert_eq!(RouteAlgorithm::steiner().to_string(), "steiner");
+        assert!(RouteAlgorithm::all().count() >= 8);
+    }
+
+    #[test]
+    fn every_registered_algorithm_routes_a_netlist() {
+        // elmore-bkrus can be infeasible for tight eps under the default
+        // driver model, so give every class a generous window.
+        let nl = random_netlist(4, 3);
+        for algorithm in RouteAlgorithm::all() {
+            let cfg = RouterConfig {
+                eps_critical: 1.0,
+                eps_normal: 1.5,
+                eps_relaxed: f64::INFINITY,
+                algorithm,
+            };
+            let report = nl.route(&cfg);
+            assert!(report.is_ok(), "{}: {report:?}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let nl = random_netlist(5, 17);
+        let cfg = RouterConfig::default();
+        let serial = nl.route(&cfg).unwrap();
+        for jobs in [1, 2, 4, 8, 32] {
+            let par = nl.route_parallel(&cfg, jobs).unwrap();
+            assert_eq!(
+                par.total_wirelength.to_bits(),
+                serial.total_wirelength.to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(par.nets.len(), serial.nets.len());
+            for (a, b) in par.nets.iter().zip(&serial.nets) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.wirelength.to_bits(), b.wirelength.to_bits());
+                assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+                assert_eq!(a.tree.edges(), b.tree.edges());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_and_oversubscribed() {
+        let empty = Netlist::default()
+            .route_parallel(&RouterConfig::default(), 8)
+            .unwrap();
+        assert_eq!(empty.nets.len(), 0);
+        let nl = random_netlist(6, 2);
+        let report = nl.route_parallel(&RouterConfig::default(), 64).unwrap();
+        assert_eq!(report.nets.len(), 2);
     }
 }

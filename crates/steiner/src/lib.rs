@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 mod bkst;
+mod builder;
 mod graph_bkst;
 mod hanan;
 mod routing_graph;
 
 pub use bkst::{bkst, bkst_with, SteinerTree};
+pub use builder::{find_builder, full_registry, BkstBuilder};
 pub use graph_bkst::{bkst_on_graph, bkst_on_graph_with};
 pub use hanan::HananGrid;
 pub use routing_graph::RoutingGraph;

@@ -7,9 +7,13 @@
 //! * `check-trace` / `check-bench` — validators for the observability
 //!   artifacts (`bmst route --trace` JSON-lines, `BENCH_*.json` bench
 //!   trajectories), used as CI gates.
+//! * `check-registry` — consistency gate for the construction builder
+//!   registry (unique kebab-case names, every public construction
+//!   registered).
 
 mod check;
 mod lint;
+mod registry;
 
 use std::process::ExitCode;
 
@@ -19,6 +23,7 @@ fn main() -> ExitCode {
         Some("lint") => lint::run(&args[1..]),
         Some("check-trace") => check::run_trace(&args[1..]),
         Some("check-bench") => check::run_bench(&args[1..]),
+        Some("check-registry") => registry::run(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -40,6 +45,8 @@ fn print_usage() {
          \x20 lint --list          describe every lint rule and its scope\n\
          \x20 check-trace <FILE>   validate a `bmst route --trace` JSON-lines file\n\
          \x20 check-bench <FILE>   validate a BENCH_*.json bench trajectory\n\
+         \x20 check-registry       verify the builder registry (unique kebab-case\n\
+         \x20                      names, every construction registered)\n\
          \x20 help                 show this message"
     );
 }

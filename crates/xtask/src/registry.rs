@@ -1,0 +1,121 @@
+//! `cargo xtask check-registry` — consistency gate for the builder registry.
+//!
+//! Verifies, against the live [`bmst_steiner::full_registry`]:
+//!
+//! 1. every builder name and alias is unique across the whole registry;
+//! 2. every name and alias is kebab-case (`[a-z0-9]+(-[a-z0-9]+)*`);
+//! 3. every public construction entry point of the algorithm crates has a
+//!    registered builder (the `EXPORT_TO_BUILDER` table below), so a new
+//!    construction cannot be merged without registering it;
+//! 4. `variant_of` back-references resolve to a registered canonical name.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+/// Maps each public construction entry point to the registry name expected
+/// to wrap it. Adding a construction to `bmst-core`/`bmst-steiner` without
+/// extending the registry (and this table) fails the gate.
+const EXPORT_TO_BUILDER: &[(&str, &str)] = &[
+    ("bkrus", "bkrus"),
+    ("bkrus_trace", "bkrus-trace"),
+    ("bkh2", "bkh2"),
+    ("bkex", "bkex"),
+    ("gabow_bmst", "gabow"),
+    ("bprim", "bprim"),
+    ("brbc", "brbc"),
+    ("prim_dijkstra", "prim-dijkstra"),
+    ("bkrus_elmore", "elmore-bkrus"),
+    ("mst_tree", "mst"),
+    ("spt_tree", "spt"),
+    ("bkst", "steiner"),
+];
+
+fn is_kebab_case(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('-').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+        })
+}
+
+/// Runs the gate, printing one line per failure.
+pub fn run(_args: &[String]) -> ExitCode {
+    let registry = bmst_steiner::full_registry();
+    let mut failures = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut canonical = BTreeSet::new();
+
+    for builder in registry {
+        let d = builder.descriptor();
+        canonical.insert(d.name);
+        for label in std::iter::once(d.name).chain(d.aliases.iter().copied()) {
+            if !is_kebab_case(label) {
+                failures.push(format!("`{label}` is not kebab-case"));
+            }
+            if !seen.insert(label) {
+                failures.push(format!("`{label}` is registered more than once"));
+            }
+        }
+    }
+
+    for builder in registry {
+        let d = builder.descriptor();
+        if let Some(base) = d.variant_of {
+            if !canonical.contains(base) {
+                failures.push(format!(
+                    "`{}` claims to be a variant of unregistered `{base}`",
+                    d.name
+                ));
+            }
+        }
+    }
+
+    for (export, expected) in EXPORT_TO_BUILDER {
+        if !canonical.contains(expected) {
+            failures.push(format!(
+                "public construction `{export}` has no registered builder `{expected}`"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "check-registry: ok ({} builders, {} names+aliases, {} mapped exports)",
+            registry.len(),
+            seen.len(),
+            EXPORT_TO_BUILDER.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("check-registry: {f}");
+        }
+        eprintln!("check-registry: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+
+    #[test]
+    fn kebab_case_accepts_and_rejects() {
+        assert!(is_kebab_case("bkrus"));
+        assert!(is_kebab_case("elmore-bkrus"));
+        assert!(is_kebab_case("bmst-g"));
+        assert!(!is_kebab_case("bmst_g"));
+        assert!(!is_kebab_case("Bkrus"));
+        assert!(!is_kebab_case(""));
+        assert!(!is_kebab_case("-x"));
+        assert!(!is_kebab_case("x-"));
+    }
+
+    #[test]
+    fn live_registry_passes() {
+        assert_eq!(run(&[]), ExitCode::SUCCESS);
+    }
+}

@@ -61,10 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     for (label, algorithm) in [
-        ("BKRUS spanning pass", RouteAlgorithm::Bkrus),
-        ("BKH2 refined pass", RouteAlgorithm::Bkh2),
-        ("BKST Steiner pass", RouteAlgorithm::Steiner),
+        ("BKRUS spanning pass", RouteAlgorithm::bkrus()),
+        ("BKH2 refined pass", RouteAlgorithm::bkh2()),
+        ("BKST Steiner pass", RouteAlgorithm::steiner()),
     ] {
+        // Serial here; `route_parallel(&config, jobs)` produces the
+        // byte-identical report on worker threads.
         let report = netlist.route(&RouterConfig {
             algorithm,
             ..Default::default()

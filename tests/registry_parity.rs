@@ -1,0 +1,549 @@
+//! Golden parity tests for the builder-registry refactor.
+//!
+//! The bit patterns below were captured from the free-function entry points
+//! *before* the constructions were refactored onto [`bmst_core::TreeBuilder`]
+//! / [`bmst_core::ProblemContext`]. Both the free functions (now thin shims)
+//! and the registry builders must keep reproducing them exactly — any f64
+//! drift, reordering, or tie-break change fails these tests.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
+use bmst_core::{
+    bkex, bkh2, bkrus, bkrus_elmore, bkrus_trace, bprim, brbc, gabow_bmst, mst_tree, prim_dijkstra,
+    spt_tree, BkexConfig, ProblemContext,
+};
+use bmst_geom::{Net, Point};
+use bmst_steiner::bkst;
+use bmst_tree::{ElmoreParams, RoutingTree};
+
+/// The paper's Figure 4 net: source at the origin, four sinks on a line/jog.
+fn figure4_net() -> Net {
+    Net::with_source_first(vec![
+        Point::new(0.0, 0.0),
+        Point::new(8.0, 0.0),
+        Point::new(5.0, 0.0),
+        Point::new(6.0, 1.0),
+        Point::new(7.0, 1.0),
+    ])
+    .unwrap()
+}
+
+fn net_by_label(label: &str) -> Net {
+    match label {
+        "figure4" => figure4_net(),
+        "cloud10" => bmst_instances::uniform_cloud(10, 100.0, 7),
+        other => panic!("unknown net label {other:?}"),
+    }
+}
+
+/// `eps` stand-in for the rows whose construction ignores eps entirely
+/// (Prim-Dijkstra blend, MST, SPT).
+const NO_EPS: f64 = f64::INFINITY;
+
+/// `(net, eps, registry name, cost bits, radius bits)`.
+/// Radius is `tree.source_radius()`; both are exact `f64::to_bits` values.
+const GOLDENS: &[(&str, f64, &str, u64, u64)] = &[
+    // figure4, eps = 0.0
+    (
+        "figure4",
+        0.0,
+        "bkrus",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "bkh2",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "bkex",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "gabow",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "bprim",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "steiner",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "brbc",
+        0x403c000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.0,
+        "elmore-bkrus",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    // figure4, eps = 0.2
+    (
+        "figure4",
+        0.2,
+        "bkrus",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "bkh2",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "bkex",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "gabow",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "bprim",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "steiner",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "brbc",
+        0x4035000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        0.2,
+        "elmore-bkrus",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    // figure4, eps = 0.5
+    (
+        "figure4",
+        0.5,
+        "bkrus",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "bkh2",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "bkex",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "gabow",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "bprim",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "steiner",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "elmore-bkrus",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        0.5,
+        "brbc",
+        0x4030000000000000,
+        0x4020000000000000,
+    ),
+    // figure4, eps-independent rows
+    (
+        "figure4",
+        NO_EPS,
+        "prim-dijkstra",
+        0x4026000000000000,
+        0x4020000000000000,
+    ),
+    (
+        "figure4",
+        NO_EPS,
+        "mst",
+        0x4024000000000000,
+        0x4024000000000000,
+    ),
+    (
+        "figure4",
+        NO_EPS,
+        "spt",
+        0x403c000000000000,
+        0x4020000000000000,
+    ),
+    // cloud10, eps = 0.0
+    (
+        "cloud10",
+        0.0,
+        "bkrus",
+        0x40748f01516d617a,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "bkh2",
+        0x40726ea7df5dcdd4,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "bkex",
+        0x40726ea7df5dcdd4,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "gabow",
+        0x40726ea7df5dcdd4,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "bprim",
+        0x407b59beee144bc5,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "brbc",
+        0x4085af162e201758,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.0,
+        "steiner",
+        0x4070d07ce25bb4ac,
+        0x405e0c1387a67b7e,
+    ),
+    // cloud10, eps = 0.2
+    (
+        "cloud10",
+        0.2,
+        "bkrus",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "bkh2",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "bkex",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "gabow",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "bprim",
+        0x407525dac1c887ab,
+        0x406134c1661c99d2,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "brbc",
+        0x40809a6086169830,
+        0x405e0c1387a67b7d,
+    ),
+    (
+        "cloud10",
+        0.2,
+        "steiner",
+        0x406d2c6c7f527e93,
+        0x4060f817bb42fb02,
+    ),
+    // cloud10, eps = 0.5
+    (
+        "cloud10",
+        0.5,
+        "bkrus",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "bkh2",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "bkex",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "gabow",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "bprim",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "elmore-bkrus",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "brbc",
+        0x40787510f148e198,
+        0x405e5d1cd7971bff,
+    ),
+    (
+        "cloud10",
+        0.5,
+        "steiner",
+        0x406d2c6c7f527e93,
+        0x4060f817bb42fb02,
+    ),
+    // cloud10, eps-independent rows
+    (
+        "cloud10",
+        NO_EPS,
+        "prim-dijkstra",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        NO_EPS,
+        "mst",
+        0x406da69e90bb9846,
+        0x40619cbd732ad4b8,
+    ),
+    (
+        "cloud10",
+        NO_EPS,
+        "spt",
+        0x4085af162e201758,
+        0x405e0c1387a67b7d,
+    ),
+];
+
+/// Rows where the construction must *fail*: the Elmore delay window is
+/// infeasible on cloud10 below eps = 0.5.
+const GOLDEN_ERRS: &[(&str, f64, &str)] = &[
+    ("cloud10", 0.0, "elmore-bkrus"),
+    ("cloud10", 0.2, "elmore-bkrus"),
+];
+
+fn elmore_params(net: &Net) -> ElmoreParams {
+    // Must match `ProblemContext::default_elmore_params`.
+    ElmoreParams::uniform_loads(net.len(), net.source(), 0.1, 0.2, 1.0, 0.5, 1.0)
+}
+
+/// Runs the pre-refactor free-function entry point for a registry name.
+fn free_fn(name: &str, net: &Net, eps: f64) -> Option<RoutingTree> {
+    match name {
+        "bkrus" => bkrus(net, eps).ok(),
+        "bkh2" => bkh2(net, eps).ok(),
+        "bkex" => bkex(net, eps, BkexConfig::default()).ok(),
+        "gabow" => gabow_bmst(net, eps).ok(),
+        "bprim" => bprim(net, eps).ok(),
+        "brbc" => brbc(net, eps).ok(),
+        "steiner" => bkst(net, eps).ok().map(|s| s.tree),
+        "elmore-bkrus" => bkrus_elmore(net, eps, &elmore_params(net)).ok(),
+        "prim-dijkstra" => prim_dijkstra(net, 0.5).ok(),
+        "mst" => Some(mst_tree(net)),
+        "spt" => Some(spt_tree(net)),
+        other => panic!("no free function mapped for {other:?}"),
+    }
+}
+
+/// Runs the registry builder for the same name on an equivalent context.
+fn registry_builder(name: &str, net: &Net, eps: f64) -> Option<RoutingTree> {
+    let builder =
+        bmst_steiner::find_builder(name).unwrap_or_else(|| panic!("{name:?} not in the registry"));
+    let cx = if eps.is_infinite() {
+        ProblemContext::unbounded(net)
+    } else {
+        ProblemContext::new(net, eps).ok()?
+    };
+    builder.build(&cx).ok()
+}
+
+#[test]
+fn registry_builders_reproduce_pre_refactor_bits() {
+    for &(label, eps, name, cost, radius) in GOLDENS {
+        let net = net_by_label(label);
+        for (kind, tree) in [
+            ("free fn", free_fn(name, &net, eps)),
+            ("builder", registry_builder(name, &net, eps)),
+        ] {
+            let tree = tree.unwrap_or_else(|| panic!("{label} eps={eps} {name} ({kind}): ERR"));
+            assert_eq!(
+                tree.cost().to_bits(),
+                cost,
+                "{label} eps={eps} {name} ({kind}): cost {:016x} != {cost:016x}",
+                tree.cost().to_bits()
+            );
+            assert_eq!(
+                tree.source_radius().to_bits(),
+                radius,
+                "{label} eps={eps} {name} ({kind}): radius {:016x} != {radius:016x}",
+                tree.source_radius().to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn infeasible_rows_stay_infeasible() {
+    for &(label, eps, name) in GOLDEN_ERRS {
+        let net = net_by_label(label);
+        assert!(
+            free_fn(name, &net, eps).is_none(),
+            "{label} eps={eps} {name} (free fn): expected ERR"
+        );
+        assert!(
+            registry_builder(name, &net, eps).is_none(),
+            "{label} eps={eps} {name} (builder): expected ERR"
+        );
+    }
+}
+
+/// `(u, v, weight bits, decision)` — the Figure 4 BKRUS decision sequences.
+const TRACE_EPS0: &[(usize, usize, u64, &str)] = &[
+    (3, 4, 0x3ff0000000000000, "Accepted"),
+    (1, 4, 0x4000000000000000, "RejectedBound"),
+    (2, 3, 0x4000000000000000, "Accepted"),
+    (1, 2, 0x4008000000000000, "Accepted"),
+    (1, 3, 0x4008000000000000, "RejectedCycle"),
+    (2, 4, 0x4008000000000000, "RejectedCycle"),
+    (0, 2, 0x4014000000000000, "Accepted"),
+];
+
+const TRACE_EPS05: &[(usize, usize, u64, &str)] = &[
+    (3, 4, 0x3ff0000000000000, "Accepted"),
+    (1, 4, 0x4000000000000000, "Accepted"),
+    (2, 3, 0x4000000000000000, "Accepted"),
+    (1, 2, 0x4008000000000000, "RejectedCycle"),
+    (1, 3, 0x4008000000000000, "RejectedCycle"),
+    (2, 4, 0x4008000000000000, "RejectedCycle"),
+    (0, 2, 0x4014000000000000, "Accepted"),
+];
+
+#[test]
+fn figure4_trace_sequences_are_stable() {
+    let net = figure4_net();
+    for (eps, cost, expected) in [
+        (0.0, 0x4026000000000000u64, TRACE_EPS0),
+        (0.5, 0x4024000000000000u64, TRACE_EPS05),
+    ] {
+        let (tree, trace) = bkrus_trace(&net, eps).unwrap();
+        assert_eq!(tree.cost().to_bits(), cost, "eps={eps}");
+        let got: Vec<(usize, usize, u64, String)> = trace
+            .iter()
+            .map(|ev| {
+                (
+                    ev.edge.u,
+                    ev.edge.v,
+                    ev.edge.weight.to_bits(),
+                    format!("{:?}", ev.decision),
+                )
+            })
+            .collect();
+        let want: Vec<(usize, usize, u64, String)> = expected
+            .iter()
+            .map(|&(u, v, w, d)| (u, v, w, d.to_owned()))
+            .collect();
+        assert_eq!(got, want, "eps={eps} trace diverged");
+    }
+}
