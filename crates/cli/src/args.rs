@@ -6,12 +6,21 @@ use std::fmt;
 use bmst_router::RouteAlgorithm;
 
 /// Errors produced by the CLI (bad usage, I/O, infeasible instances).
+///
+/// Carries the process exit code alongside the message so `main` can
+/// report a typed status: `1` for runtime errors (I/O, parse,
+/// infeasible), `2` for usage errors, `3` for the `--strict` gate.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+    /// Process exit code (never 0).
+    pub exit_code: u8,
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -19,7 +28,22 @@ impl Error for CliError {}
 
 impl CliError {
     pub(crate) fn new(msg: impl Into<String>) -> Self {
-        CliError(msg.into())
+        CliError::with_code(msg, 1)
+    }
+
+    pub(crate) fn with_code(msg: impl Into<String>, exit_code: u8) -> Self {
+        CliError {
+            message: msg.into(),
+            exit_code,
+        }
+    }
+
+    /// Reclassifies this error as a usage error (exit code 2). Applied to
+    /// everything `parse` rejects, so bad flags are distinguishable from
+    /// runtime failures in scripts.
+    pub(crate) fn into_usage(mut self) -> Self {
+        self.exit_code = 2;
+        self
     }
 }
 
@@ -143,6 +167,14 @@ pub enum Command {
         trace: Option<String>,
         /// Append an instrumentation profile to the report.
         profile: bool,
+        /// Cap on the router's eps-relaxation rungs (`None` = policy
+        /// default; `0` disables stepping, the unbounded/SPT rungs remain).
+        max_relaxations: Option<usize>,
+        /// Write per-net failures as JSON lines to this path.
+        failure_log: Option<String>,
+        /// Exit with code 3 unless every net routed cleanly (no degraded,
+        /// no failed nets).
+        strict: bool,
     },
     /// `bmst algorithms` — list every registered construction.
     Algorithms,
@@ -155,7 +187,7 @@ type Flag = (String, Option<String>);
 
 /// Flags that take no value. Shared by [`split_flags`] and the per-command
 /// matchers so a new boolean flag only needs one entry here.
-const BOOL_FLAGS: &[&str] = &["edges", "audit", "help", "profile"];
+const BOOL_FLAGS: &[&str] = &["edges", "audit", "help", "profile", "strict"];
 
 /// Splits `argv` into positionals and `--flag value` pairs.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
@@ -287,6 +319,9 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut jobs = 1usize;
             let mut trace = None;
             let mut profile = false;
+            let mut max_relaxations = None;
+            let mut failure_log = None;
+            let mut strict = false;
             for (name, value) in flags {
                 match (name.as_str(), value.as_deref()) {
                     ("algorithm", Some(v)) => algorithm = netlist_algorithm(v)?,
@@ -300,6 +335,13 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                     }
                     ("trace", Some(v)) => trace = Some(v.to_owned()),
                     ("profile", _) => profile = true,
+                    ("max-relaxations", Some(v)) => {
+                        max_relaxations = Some(v.parse().map_err(|_| {
+                            CliError::new(format!("--max-relaxations: {v:?} is not a count"))
+                        })?);
+                    }
+                    ("failure-log", Some(v)) => failure_log = Some(v.to_owned()),
+                    ("strict", _) => strict = true,
                     (other, _) => {
                         return Err(CliError::new(format!("netlist: unknown flag --{other}")))
                     }
@@ -311,6 +353,9 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 jobs,
                 trace,
                 profile,
+                max_relaxations,
+                failure_log,
+                strict,
             })
         }
         "algorithms" => Ok(Command::Algorithms),
@@ -390,7 +435,7 @@ mod tests {
         // An unknown non-boolean flag as the last token must produce the
         // "needs a value" error, not a panic or silent acceptance.
         let err = split_flags(&argv("net.txt --bogus")).unwrap_err();
-        assert!(err.0.contains("--bogus needs a value"), "got {err}");
+        assert!(err.message.contains("--bogus needs a value"), "got {err}");
     }
 
     #[test]
@@ -453,6 +498,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_netlist_robustness_flags() {
+        let Command::Netlist {
+            max_relaxations,
+            failure_log,
+            strict,
+            ..
+        } = parse(&argv(
+            "netlist nets.txt --max-relaxations 3 --failure-log f.jsonl --strict",
+        ))
+        .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(max_relaxations, Some(3));
+        assert_eq!(failure_log.as_deref(), Some("f.jsonl"));
+        assert!(strict);
+        assert!(parse(&argv("netlist nets.txt --max-relaxations lots")).is_err());
+        // Defaults: policy-default relaxations, no log, lenient.
+        let Command::Netlist {
+            max_relaxations,
+            failure_log,
+            strict,
+            ..
+        } = parse(&argv("netlist nets.txt")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(max_relaxations, None);
+        assert!(failure_log.is_none());
+        assert!(!strict);
+    }
+
+    #[test]
     fn parse_algorithms_command() {
         assert_eq!(parse(&argv("algorithms")).unwrap(), Command::Algorithms);
     }
@@ -466,9 +544,9 @@ mod tests {
         assert_eq!(Algorithm::from_name("dme").unwrap(), Algorithm::ZeroSkew);
         let err = Algorithm::from_name("magic").unwrap_err();
         // The error enumerates the registry so users see every valid name.
-        assert!(err.0.contains("bkrus"), "{err}");
-        assert!(err.0.contains("steiner"), "{err}");
-        assert!(err.0.contains("zskew"), "{err}");
+        assert!(err.message.contains("bkrus"), "{err}");
+        assert!(err.message.contains("steiner"), "{err}");
+        assert!(err.message.contains("zskew"), "{err}");
     }
 
     #[test]

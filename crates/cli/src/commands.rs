@@ -43,9 +43,32 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             jobs,
             trace,
             profile,
-        } => with_observability(trace.as_deref(), profile, || {
-            route_netlist(&file, algorithm, jobs)
-        }),
+            max_relaxations,
+            failure_log,
+            strict,
+        } => {
+            // The strict gate runs after observability teardown so the
+            // trace file is finished (counters line, flush) even when the
+            // gate fails the invocation.
+            let mut clean = true;
+            let out = with_observability(trace.as_deref(), profile, || {
+                route_netlist(
+                    &file,
+                    algorithm,
+                    jobs,
+                    max_relaxations,
+                    failure_log.as_deref(),
+                    &mut clean,
+                )
+            })?;
+            if strict && !clean {
+                return Err(CliError::with_code(
+                    format!("netlist has failed or degraded nets (--strict)\n{out}"),
+                    3,
+                ));
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -100,20 +123,43 @@ fn with_observability(
     Ok(out)
 }
 
-fn route_netlist(path: &str, algorithm: RouteAlgorithm, jobs: usize) -> Result<String, CliError> {
+fn route_netlist(
+    path: &str,
+    algorithm: RouteAlgorithm,
+    jobs: usize,
+    max_relaxations: Option<usize>,
+    failure_log: Option<&str>,
+    clean: &mut bool,
+) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let netlist =
         Netlist::from_str_block(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    let config = RouterConfig {
+    let mut config = RouterConfig {
         algorithm,
         ..RouterConfig::default()
     };
+    if let Some(n) = max_relaxations {
+        config.relaxation.max_relaxations = n;
+    }
     // The parallel pass assembles results in input order, so the printed
     // report is byte-identical for every jobs value.
-    let report = netlist
-        .route_parallel(&config, jobs)
-        .map_err(|e| CliError::new(format!("routing failed: {e}")))?;
-    Ok(format!("[{}]\n{report}\n", algorithm.name()))
+    let report = netlist.route_parallel(&config, jobs);
+    *clean = report.is_clean();
+    let mut out = format!("[{}]\n{report}\n", algorithm.name());
+    if let Some(p) = failure_log {
+        let mut log = String::new();
+        for f in &report.failures {
+            log.push_str(&f.to_json().to_string());
+            log.push('\n');
+        }
+        std::fs::write(p, log).map_err(|e| CliError::new(format!("--failure-log {p}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "  failure log -> {p} ({} failures)",
+            report.failures.len()
+        );
+    }
+    Ok(out)
 }
 
 /// Short label for a descriptor's cost class.

@@ -27,7 +27,7 @@ pub use commands::run;
 ///
 /// [`CliError`] for bad usage, unreadable files, or infeasible instances.
 pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
-    let cmd = args::parse(argv)?;
+    let cmd = args::parse(argv).map_err(CliError::into_usage)?;
     commands::run(cmd)
 }
 
@@ -48,6 +48,14 @@ NETLIST OPTIONS:
   --jobs <N>        route nets on N worker threads (default: 1). The report
                     is assembled in input order, so output is byte-identical
                     for every N.
+  --max-relaxations <N>
+                    degradation-ladder budget: how many stepped eps
+                    relaxations to try before the unbounded rung and the
+                    SPT fallback (default: 2; 0 disables stepping)
+  --failure-log <F> write per-net failure diagnostics (final error plus the
+                    full relaxation attempt trail) as JSON lines to F
+  --strict          exit with code 3 when any net fails or is routed
+                    degraded (relaxed eps or SPT fallback)
 
 ROUTE OPTIONS:
   --algorithm <A>   any name or alias from `bmst algorithms`, or zskew
@@ -257,6 +265,54 @@ end
     fn bad_flag_reports() {
         let err = run_cli(&argv("gen --wat 3")).unwrap_err();
         assert!(err.to_string().contains("--wat"));
+        // Usage errors exit with code 2, not the generic 1.
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn malformed_netlist_line_reports_line_number() {
+        let dir = std::env::temp_dir().join("bmst_cli_test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        // Line 3 has a non-numeric coordinate token: a syntax error the
+        // parser must pin to its line instead of panicking.
+        std::fs::write(&path, "net clk critical\n0 0\n10 oops\nend\n").unwrap();
+        let err = run_cli(&argv(&format!("netlist {}", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("oops"), "{err}");
+        assert_eq!(err.exit_code, 1);
+    }
+
+    #[test]
+    fn strict_mode_fails_on_unroutable_net_and_writes_failure_log() {
+        let dir = std::env::temp_dir().join("bmst_cli_test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nets.txt");
+        let log = dir.join("fails.jsonl");
+        // `nan` parses as f64, so the net survives the syntax pass and is
+        // rejected by geometry validation — a per-net failure, not an abort.
+        std::fs::write(
+            &path,
+            "net good normal\n0 0\n5 5\nend\nnet broken normal\nnan 1\n2 2\nend\n",
+        )
+        .unwrap();
+        let args = format!(
+            "netlist {} --strict --failure-log {}",
+            path.display(),
+            log.display()
+        );
+        let err = run_cli(&argv(&args)).unwrap_err();
+        assert_eq!(err.exit_code, 3);
+        // The strict error carries the full report: survivors and failures.
+        assert!(err.to_string().contains("good"), "{err}");
+        assert!(err.to_string().contains("broken"), "{err}");
+        let logged = std::fs::read_to_string(&log).unwrap();
+        assert!(logged.contains("\"broken\""), "{logged}");
+        assert!(logged.contains("non-finite"), "{logged}");
+
+        // Without --strict the same netlist routes to completion.
+        let out = run_cli(&argv(&format!("netlist {}", path.display()))).unwrap();
+        assert!(out.contains("routed 1 of 2 nets"), "{out}");
     }
 
     #[test]

@@ -11,7 +11,8 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("bmst: {e}");
-            ExitCode::FAILURE
+            // Typed exit codes: 2 = usage, 3 = --strict gate, 1 = the rest.
+            ExitCode::from(e.exit_code.max(1))
         }
     }
 }

@@ -176,6 +176,7 @@ pub(crate) fn run(
         return Err(BmstError::Infeasible {
             connected: tree_edges.len() + 1,
             total: n,
+            min_feasible_eps: None,
         });
     }
     let tree = RoutingTree::from_edges(n, source, tree_edges)?;

@@ -4,7 +4,7 @@ use bmst_geom::{le_tol, Net};
 use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
-use crate::{BmstError, ProblemContext};
+use crate::{BmstError, PathConstraint, ProblemContext};
 
 /// Constructs a bounded path length spanning tree with the BPRIM heuristic
 /// of Cong et al. ("Provably Good Performance-Driven Global Routing",
@@ -53,7 +53,12 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
 pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let net = cx.net();
     let eps = cx.eps();
-    let constraint = *cx.constraint();
+    // BPRIM/BRBC promise only the upper bound; audit with the lower
+    // bound dropped so a two-sided window is not mis-attributed to them.
+    let constraint = PathConstraint {
+        lower: 0.0,
+        upper: cx.constraint().upper,
+    };
     let n = net.len();
     let s = net.source();
     if n == 1 {
@@ -117,6 +122,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
                 return Err(BmstError::Infeasible {
                     connected,
                     total: n,
+                    min_feasible_eps: None,
                 });
             }
         }

@@ -4,7 +4,7 @@ use bmst_geom::Net;
 use bmst_graph::{dijkstra, prim_mst, AdjacencyList, Edge};
 use bmst_tree::RoutingTree;
 
-use crate::{BmstError, ProblemContext};
+use crate::{BmstError, PathConstraint, ProblemContext};
 
 /// Constructs a bounded-radius spanning tree with the BRBC algorithm of
 /// Cong et al.
@@ -56,7 +56,12 @@ pub fn brbc(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
 pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let net = cx.net();
     let eps = cx.eps();
-    let constraint = *cx.constraint();
+    // BPRIM/BRBC promise only the upper bound; audit with the lower
+    // bound dropped so a two-sided window is not mis-attributed to them.
+    let constraint = PathConstraint {
+        lower: 0.0,
+        upper: cx.constraint().upper,
+    };
     let n = net.len();
     let s = net.source();
     if n == 1 {

@@ -117,6 +117,95 @@ pub trait TreeBuilder: Sync {
             num_terminals: cx.net().len(),
         })
     }
+
+    /// Fault-isolated [`TreeBuilder::build`]: the routing pipeline's entry
+    /// point, guaranteeing a typed [`BmstError`] for every failure mode.
+    ///
+    /// Two guarantees on top of `build`:
+    ///
+    /// 1. **No panics escape.** The construction runs under
+    ///    [`std::panic::catch_unwind`]; a panic becomes
+    ///    [`BmstError::Internal`] carrying the panic message, so one buggy
+    ///    net cannot take down a routing worker.
+    /// 2. **No silently out-of-window trees.** The returned tree is checked
+    ///    against the context's geometric window *uniformly* — including
+    ///    builders whose native guarantee is soft ([`BoundKind::Soft`]),
+    ///    absent ([`BoundKind::None`]), or in the delay domain
+    ///    ([`BoundKind::Delay`], where the geometric window derived from
+    ///    `eps` acts as the proxy). A violating tree is rejected as
+    ///    [`BmstError::Infeasible`], carrying the tightest feasible `eps`
+    ///    when the upper bound is what failed, so the degradation ladder
+    ///    can jump straight to a feasible rung.
+    ///
+    /// `build` itself stays unguarded and unchecked: direct callers (and
+    /// the bit-parity tests) see the construction's raw behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Everything `build` returns, plus [`BmstError::Internal`] for caught
+    /// panics and [`BmstError::Infeasible`] for out-of-window trees.
+    fn try_build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+        let tree = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.build(cx))) {
+            Ok(result) => result?,
+            Err(payload) => {
+                return Err(BmstError::internal(format!(
+                    "builder '{}' panicked: {}",
+                    self.descriptor().name,
+                    panic_message(payload.as_ref())
+                )));
+            }
+        };
+        check_window(cx, tree)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// The uniform post-construction window check behind
+/// [`TreeBuilder::try_build`]: every sink's source path must lie in the
+/// context's window, else the tree is rejected as
+/// [`BmstError::Infeasible`].
+fn check_window(cx: &ProblemContext<'_>, tree: RoutingTree) -> Result<RoutingTree, BmstError> {
+    let net = cx.net();
+    let constraint = cx.constraint();
+    let mut connected = 1; // the source
+    let mut lower_violated = false;
+    let mut worst_path = 0.0_f64;
+    for v in net.sinks() {
+        let path = tree.dist_from_root(v);
+        if constraint.admits(path) {
+            connected += 1;
+        } else if path < constraint.lower {
+            lower_violated = true;
+        }
+        worst_path = worst_path.max(path);
+    }
+    if connected == net.len() {
+        return Ok(tree);
+    }
+    // Relaxing eps raises only the upper bound, so the hint is meaningful
+    // only when no sink sits below the lower bound. `worst_path / R - 1`
+    // is the smallest eps whose window admits this very tree.
+    let r = net.source_radius();
+    let min_feasible_eps = if lower_violated || r <= 0.0 {
+        None
+    } else {
+        Some((worst_path / r - 1.0).max(0.0))
+    };
+    Err(BmstError::Infeasible {
+        connected,
+        total: net.len(),
+        min_feasible_eps,
+    })
 }
 
 /// Unit structs implementing [`TreeBuilder`] for every construction in this
@@ -534,6 +623,102 @@ mod tests {
         let plain = find_builder("bkrus").unwrap().build(&cx).unwrap();
         let traced = find_builder("bkrus-trace").unwrap().build(&cx).unwrap();
         assert_eq!(plain.edges(), traced.edges());
+    }
+
+    #[test]
+    fn try_build_matches_build_when_feasible() {
+        let net = net();
+        let cx = ProblemContext::new(&net, 0.5).unwrap();
+        for b in registry() {
+            let direct = b.build(&cx).unwrap();
+            let guarded = b.try_build(&cx).unwrap();
+            assert_eq!(direct.edges(), guarded.edges(), "{}", b.descriptor().name);
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_unreachable_window_for_every_builder() {
+        // No tree over these three collinear points can give every sink a
+        // source path >= 15 (the longest possible path is 10.2), so the
+        // two-sided window [15, 16] is infeasible for every construction —
+        // including the unbounded baselines, which try_build must reject
+        // rather than hand back a silently out-of-window tree.
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.1, 0.0),
+        ])
+        .unwrap();
+        let constraint = crate::PathConstraint::explicit(15.0, 16.0).unwrap();
+        let cx = ProblemContext::with_constraint(&net, constraint);
+        for b in registry() {
+            let res = b.try_build(&cx);
+            assert!(
+                matches!(res, Err(BmstError::Infeasible { .. })),
+                "{}: {res:?}",
+                b.descriptor().name
+            );
+        }
+    }
+
+    #[test]
+    fn try_build_converts_panics_to_internal() {
+        struct Panicky;
+        impl TreeBuilder for Panicky {
+            fn descriptor(&self) -> &BuilderDescriptor {
+                &BuilderDescriptor {
+                    name: "panicky",
+                    aliases: &[],
+                    summary: "always panics",
+                    cost_class: CostClass::Baseline,
+                    bound: BoundKind::None,
+                    metric: true,
+                    elmore: false,
+                    steiner: false,
+                    variant_of: None,
+                }
+            }
+            fn build(&self, _cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
+                panic!("synthetic invariant violation")
+            }
+        }
+        let net = net();
+        let cx = ProblemContext::new(&net, 0.5).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let res = Panicky.try_build(&cx);
+        std::panic::set_hook(prev);
+        match res {
+            Err(BmstError::Internal { detail }) => {
+                assert!(detail.contains("panicky"), "{detail}");
+                assert!(detail.contains("synthetic invariant violation"), "{detail}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_infeasible_carries_min_feasible_eps_hint() {
+        // MST attaches B through A (edge weight 6 < 14), giving B a path of
+        // 16 against dist 14; under eps = 0.1 the window upper is 15.4, so
+        // try_build rejects the tree and reports 16/14 - 1 as the tightest
+        // feasible eps.
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(9.0, 5.0),
+        ])
+        .unwrap();
+        let cx = ProblemContext::new(&net, 0.1).unwrap();
+        let mst = find_builder("mst").unwrap();
+        let err = mst.try_build(&cx).unwrap_err();
+        let hint = err
+            .min_feasible_eps()
+            .expect("upper-bound failure carries a hint");
+        assert!((hint - (16.0 / 14.0 - 1.0)).abs() < 1e-12, "{hint}");
+        // The hinted eps admits the same tree.
+        let relaxed = ProblemContext::new(&net, hint).unwrap();
+        assert!(mst.try_build(&relaxed).is_ok());
     }
 
     #[test]

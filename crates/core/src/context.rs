@@ -19,6 +19,61 @@ use crate::{BmstError, PathConstraint};
 /// Default Prim/Dijkstra trade-off parameter (the midpoint blend).
 pub(crate) const DEFAULT_PD_BLEND: f64 = 0.5;
 
+/// A non-fatal finding from the adversarial-input validation pass run by
+/// [`ProblemContext::diagnostics`].
+///
+/// These are *warnings*, not errors: a net with coincident sinks or a
+/// sink on top of its source still routes (zero-length edges are legal
+/// tree edges — see `tests/degenerate_inputs.rs`). The router surfaces
+/// them as observability events so a degenerate netlist is visible in
+/// traces; a caller that wants them fatal converts one into
+/// [`BmstError::DegenerateInput`] via [`InputDiagnostic::to_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InputDiagnostic {
+    /// Two sinks share exact coordinates.
+    DuplicateSinks {
+        /// The first sink's node index.
+        a: usize,
+        /// The second sink's node index.
+        b: usize,
+    },
+    /// A sink shares the source's exact coordinates.
+    SourceCoincidentSink {
+        /// The coincident sink's node index.
+        sink: usize,
+    },
+    /// Every sink coincides with the source, so `R = 0` and every path
+    /// bound `(1 + eps) * R` collapses to zero.
+    ZeroRadius,
+}
+
+impl InputDiagnostic {
+    /// Converts the warning into a fatal [`BmstError::DegenerateInput`],
+    /// for callers that reject rather than tolerate degenerate geometry.
+    pub fn to_error(self) -> BmstError {
+        BmstError::DegenerateInput {
+            detail: self.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for InputDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputDiagnostic::DuplicateSinks { a, b } => {
+                write!(f, "sinks {a} and {b} have identical coordinates")
+            }
+            InputDiagnostic::SourceCoincidentSink { sink } => {
+                write!(f, "sink {sink} coincides with the source")
+            }
+            InputDiagnostic::ZeroRadius => {
+                write!(f, "all sinks coincide with the source (zero radius)")
+            }
+        }
+    }
+}
+
 /// A per-net cache of the state every bounded-tree construction shares:
 /// the [`Net`], its [`DistanceMatrix`], the lazily-built weight-sorted
 /// complete edge list, and the validated [`PathConstraint`].
@@ -56,6 +111,7 @@ pub struct ProblemContext<'a> {
     matrix: OnceLock<DistanceMatrix>,
     sorted_edges: OnceLock<Vec<Edge>>,
     elmore: OnceLock<ElmoreParams>,
+    diagnostics: OnceLock<Vec<InputDiagnostic>>,
 }
 
 impl<'a> ProblemContext<'a> {
@@ -105,6 +161,7 @@ impl<'a> ProblemContext<'a> {
             matrix: OnceLock::new(),
             sorted_edges: OnceLock::new(),
             elmore: OnceLock::new(),
+            diagnostics: OnceLock::new(),
         }
     }
 
@@ -172,6 +229,36 @@ impl<'a> ProblemContext<'a> {
     pub fn elmore_params(&self) -> &ElmoreParams {
         self.elmore
             .get_or_init(|| Self::default_elmore_params(self.net))
+    }
+
+    /// The adversarial-input validation pass, computed on first use:
+    /// exact-coordinate duplicate sinks, sinks coincident with the source,
+    /// and zero-radius nets. Empty for well-formed geometry. See
+    /// [`InputDiagnostic`] for why these are warnings rather than errors.
+    pub fn diagnostics(&self) -> &[InputDiagnostic] {
+        self.diagnostics.get_or_init(|| {
+            let mut found = Vec::new();
+            let points = self.net.points();
+            let source = self.net.source();
+            let mut coincident_with_source = 0usize;
+            let sinks: Vec<usize> = self.net.sinks().collect();
+            for (i, &a) in sinks.iter().enumerate() {
+                if points[a] == points[source] {
+                    coincident_with_source += 1;
+                    found.push(InputDiagnostic::SourceCoincidentSink { sink: a });
+                }
+                for &b in &sinks[i + 1..] {
+                    if points[a] == points[b] {
+                        found.push(InputDiagnostic::DuplicateSinks { a, b });
+                        break;
+                    }
+                }
+            }
+            if !sinks.is_empty() && coincident_with_source == sinks.len() {
+                found.push(InputDiagnostic::ZeroRadius);
+            }
+            found
+        })
     }
 
     /// The default Elmore driver/wire model used when no parameters are
@@ -264,6 +351,55 @@ mod tests {
         let params = ElmoreParams::uniform_loads(net.len(), net.source(), 0.3, 0.1, 2.0, 1.0, 1.5);
         let cx = ProblemContext::new(&net, 0.5).unwrap().with_elmore(params);
         assert_eq!(cx.elmore_params().driver_res, 2.0);
+    }
+
+    #[test]
+    fn diagnostics_empty_for_clean_geometry() {
+        let net = net();
+        let cx = ProblemContext::new(&net, 0.5).unwrap();
+        assert!(cx.diagnostics().is_empty());
+        let again: *const [InputDiagnostic] = cx.diagnostics();
+        assert!(std::ptr::eq(again, cx.diagnostics() as *const _));
+    }
+
+    #[test]
+    fn diagnostics_flag_duplicates_and_source_coincidence() {
+        let net = Net::with_source_first(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 0.0),
+        ])
+        .unwrap();
+        let cx = ProblemContext::new(&net, 0.5).unwrap();
+        let diags = cx.diagnostics();
+        assert!(diags.contains(&InputDiagnostic::DuplicateSinks { a: 1, b: 2 }));
+        assert!(diags.contains(&InputDiagnostic::SourceCoincidentSink { sink: 3 }));
+        assert!(!diags.contains(&InputDiagnostic::ZeroRadius));
+        let err = InputDiagnostic::SourceCoincidentSink { sink: 3 }.to_error();
+        assert!(err.to_string().contains("sink 3"));
+        assert!(!err.is_recoverable());
+    }
+
+    #[test]
+    fn diagnostics_flag_zero_radius() {
+        let net = Net::with_source_first(vec![
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 2.0),
+        ])
+        .unwrap();
+        let cx = ProblemContext::unbounded(&net);
+        let diags = cx.diagnostics();
+        assert!(diags.contains(&InputDiagnostic::ZeroRadius));
+        assert!(diags.contains(&InputDiagnostic::DuplicateSinks { a: 1, b: 2 }));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| matches!(d, InputDiagnostic::SourceCoincidentSink { .. }))
+                .count(),
+            2
+        );
     }
 
     #[test]

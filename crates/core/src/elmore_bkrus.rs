@@ -160,6 +160,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
         return Err(BmstError::Infeasible {
             connected: accepted + 1,
             total: n,
+            min_feasible_eps: None,
         });
     }
     let root = dsu.find(s);
@@ -224,7 +225,9 @@ mod tests {
         let net = random_net(2, 9);
         let params = strong_driver(net.len());
         match bkrus_elmore(&net, 0.2, &params) {
-            Err(BmstError::Infeasible { connected, total }) => {
+            Err(BmstError::Infeasible {
+                connected, total, ..
+            }) => {
                 assert!(connected < total);
                 assert_eq!(total, net.len());
             }

@@ -20,6 +20,11 @@ pub enum BmstError {
         connected: usize,
         /// Total nodes that had to be connected.
         total: usize,
+        /// The tightest `eps` known to admit a tree, when the failure path
+        /// could compute one (e.g. the post-construction window check knows
+        /// the exact path ratio of the tree it rejected). The degradation
+        /// ladder uses it to jump straight to a feasible rung.
+        min_feasible_eps: Option<f64>,
     },
     /// The exact enumeration (BMST_G) exceeded its configured tree budget.
     /// The paper's original Gabow implementation fails with memory overflow
@@ -47,6 +52,21 @@ pub enum BmstError {
         /// The metric the net uses.
         metric: bmst_geom::Metric,
     },
+    /// The input is degenerate in a way the construction cannot route:
+    /// produced by the adversarial-input validation pass when a diagnostic
+    /// that is normally a warning becomes fatal for the selected algorithm.
+    DegenerateInput {
+        /// What is wrong with the net, in `InputDiagnostic` terms.
+        detail: String,
+    },
+    /// An internal invariant was violated: a construction panicked (caught
+    /// by [`crate::TreeBuilder::try_build`]) or the tree auditor rejected a
+    /// finished tree. Always a bug in the construction, never in the input;
+    /// the router isolates it to the offending net instead of crashing.
+    Internal {
+        /// The panic message or invariant-violation report.
+        detail: String,
+    },
     /// A geometry error bubbled up from input validation.
     Geom(GeomError),
     /// A graph error bubbled up from a substrate algorithm.
@@ -55,13 +75,71 @@ pub enum BmstError {
     Tree(TreeError),
 }
 
+impl BmstError {
+    /// Convenience constructor for [`BmstError::Internal`], used by the
+    /// panic-isolation layer and the invariant auditor.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        BmstError::Internal {
+            detail: detail.into(),
+        }
+    }
+
+    /// `true` when the router's degradation ladder can hope to recover
+    /// from this error by relaxing the constraint (or, for
+    /// [`BmstError::UnsupportedMetric`], by swapping to the always-feasible
+    /// SPT rung). Degenerate input, invalid parameters, and internal
+    /// invariant violations are not recoverable: retrying cannot change
+    /// the outcome and the net must be reported failed.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            BmstError::Infeasible { .. }
+                | BmstError::TreeLimitExceeded { .. }
+                | BmstError::EmptyBoundWindow { .. }
+                | BmstError::UnsupportedMetric { .. }
+        )
+    }
+
+    /// `true` when retrying the same construction with a larger `eps`
+    /// could succeed. [`BmstError::UnsupportedMetric`] is recoverable but
+    /// eps-independent: the ladder skips straight to the fallback rung.
+    pub fn eps_relaxation_helps(&self) -> bool {
+        matches!(
+            self,
+            BmstError::Infeasible { .. }
+                | BmstError::TreeLimitExceeded { .. }
+                | BmstError::EmptyBoundWindow { .. }
+        )
+    }
+
+    /// The tightest feasible `eps` this error carries, if any.
+    pub fn min_feasible_eps(&self) -> Option<f64> {
+        match self {
+            BmstError::Infeasible {
+                min_feasible_eps, ..
+            } => *min_feasible_eps,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for BmstError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BmstError::Infeasible { connected, total } => write!(
-                f,
-                "no feasible tree: connected {connected} of {total} nodes under the path bounds"
-            ),
+            BmstError::Infeasible {
+                connected,
+                total,
+                min_feasible_eps,
+            } => {
+                write!(
+                    f,
+                    "no feasible tree: connected {connected} of {total} nodes under the path bounds"
+                )?;
+                if let Some(eps) = min_feasible_eps {
+                    write!(f, " (tightest feasible eps found: {eps:.4})")?;
+                }
+                Ok(())
+            }
             BmstError::TreeLimitExceeded { limit } => {
                 write!(
                     f,
@@ -76,6 +154,12 @@ impl fmt::Display for BmstError {
             }
             BmstError::UnsupportedMetric { metric } => {
                 write!(f, "algorithm does not support the {metric} metric")
+            }
+            BmstError::DegenerateInput { detail } => {
+                write!(f, "degenerate input: {detail}")
+            }
+            BmstError::Internal { detail } => {
+                write!(f, "internal invariant violation: {detail}")
             }
             BmstError::Geom(e) => write!(f, "geometry error: {e}"),
             BmstError::Graph(e) => write!(f, "graph error: {e}"),
@@ -122,10 +206,26 @@ mod tests {
     fn displays_are_informative() {
         assert!(BmstError::Infeasible {
             connected: 3,
-            total: 5
+            total: 5,
+            min_feasible_eps: None
         }
         .to_string()
         .contains("3 of 5"));
+        let with_hint = BmstError::Infeasible {
+            connected: 3,
+            total: 5,
+            min_feasible_eps: Some(0.75),
+        }
+        .to_string();
+        assert!(with_hint.contains("0.75"), "{with_hint}");
+        assert!(BmstError::internal("path table desync")
+            .to_string()
+            .contains("path table desync"));
+        assert!(BmstError::DegenerateInput {
+            detail: "sink 3 coincides with the source".into()
+        }
+        .to_string()
+        .contains("sink 3"));
         assert!(BmstError::TreeLimitExceeded { limit: 10 }
             .to_string()
             .contains("10"));
@@ -150,5 +250,34 @@ mod tests {
         let e: BmstError = TreeError::InvalidExchange.into();
         assert!(matches!(e, BmstError::Tree(_)));
         assert!(Error::source(&BmstError::InvalidEpsilon { eps: -1.0 }).is_none());
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        let infeasible = BmstError::Infeasible {
+            connected: 1,
+            total: 3,
+            min_feasible_eps: Some(0.4),
+        };
+        assert!(infeasible.is_recoverable());
+        assert!(infeasible.eps_relaxation_helps());
+        assert_eq!(infeasible.min_feasible_eps(), Some(0.4));
+
+        let metric = BmstError::UnsupportedMetric {
+            metric: bmst_geom::Metric::L2,
+        };
+        assert!(metric.is_recoverable());
+        assert!(!metric.eps_relaxation_helps());
+
+        for fatal in [
+            BmstError::internal("boom"),
+            BmstError::InvalidEpsilon { eps: -1.0 },
+            BmstError::Geom(GeomError::EmptyNet),
+            BmstError::DegenerateInput { detail: "x".into() },
+        ] {
+            assert!(!fatal.is_recoverable(), "{fatal}");
+            assert!(!fatal.eps_relaxation_helps(), "{fatal}");
+            assert_eq!(fatal.min_feasible_eps(), None);
+        }
     }
 }

@@ -259,6 +259,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>, config: GabowConfig) -> Result<GabowO
     Err(BmstError::Infeasible {
         connected: 1,
         total: n,
+        min_feasible_eps: None,
     })
 }
 

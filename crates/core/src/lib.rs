@@ -94,7 +94,7 @@ pub use builder::{
     TreeBuilder,
 };
 pub use constraint::PathConstraint;
-pub use context::ProblemContext;
+pub use context::{InputDiagnostic, ProblemContext};
 pub use elmore_bkrus::{bkrus_elmore, elmore_spt_radius};
 pub use error::BmstError;
 pub use gabow::{gabow_bmst, gabow_bmst_with, preprocess_edges, GabowConfig, GabowOutcome};

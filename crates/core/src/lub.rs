@@ -69,6 +69,7 @@ pub fn lub_bkrus(net: &Net, eps1: f64, eps2: f64) -> Result<RoutingTree, BmstErr
         Err(BmstError::Infeasible {
             connected: net.len(),
             total: net.len(),
+            min_feasible_eps: None,
         })
     }
 }

@@ -30,13 +30,23 @@
 //!     NamedNet::new("data0", data, Criticality::Relaxed),
 //! ]);
 //!
-//! let report = netlist.route(&RouterConfig::default())?;
+//! let report = netlist.route(&RouterConfig::default());
 //! assert_eq!(report.nets.len(), 2);
+//! // Every net routed at its requested eps: no failures, none degraded.
+//! assert!(report.is_clean());
 //! assert!(report.total_wirelength > 0.0);
 //! // Every routed net meets its bound: slack is never negative.
 //! assert!(report.worst_slack() >= -1e-9);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The pass is *fault-isolated*: a net that cannot route (degenerate
+//! geometry, an infeasible window, even a panicking construction) lands in
+//! [`RouteReport::failures`] with a typed [`bmst_core::BmstError`] while
+//! every other net routes normally, and recoverable failures walk a
+//! configurable eps-relaxation ladder ([`RelaxationPolicy`]) before giving
+//! up — results routed under a relaxed bound are marked
+//! [`NetStatus::Degraded`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +55,6 @@ mod netlist;
 mod report;
 mod route;
 
-pub use netlist::{Criticality, NamedNet, Netlist, ParseNetlistError};
-pub use report::{RouteReport, RoutedNet};
-pub use route::{RouteAlgorithm, RouterConfig};
+pub use netlist::{Criticality, NamedNet, Netlist, ParseNetlistError, RejectedNet};
+pub use report::{NetStatus, RelaxationStep, RouteFailure, RouteReport, RoutedNet};
+pub use route::{RelaxationPolicy, RouteAlgorithm, RouterConfig};

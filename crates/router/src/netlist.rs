@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use bmst_geom::{Net, Point};
+use bmst_geom::{GeomError, Net, Point};
 
 /// How aggressively a net's source-sink paths must be bounded.
 ///
@@ -88,6 +88,25 @@ impl NamedNet {
 pub struct Netlist {
     /// The nets, in file/route order.
     pub nets: Vec<NamedNet>,
+    /// Nets whose *geometry* was rejected at parse time (NaN/inf
+    /// coordinates, empty blocks). Kept out of [`Netlist::nets`] so one
+    /// bad net does not abort the file; the router reports each as a
+    /// failed net. Syntax errors (unknown keywords, non-numeric tokens)
+    /// still fail the whole parse with a line number.
+    pub rejected: Vec<RejectedNet>,
+}
+
+/// A net block that parsed syntactically but failed geometry validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedNet {
+    /// The net's name.
+    pub name: String,
+    /// Its criticality tag.
+    pub criticality: Criticality,
+    /// 1-based line number of the net's `net` header.
+    pub line: usize,
+    /// Why the geometry was rejected.
+    pub error: GeomError,
 }
 
 /// Errors produced when parsing a netlist file.
@@ -126,7 +145,10 @@ impl Error for ParseNetlistError {}
 impl Netlist {
     /// Creates a netlist from nets.
     pub fn new(nets: Vec<NamedNet>) -> Self {
-        Netlist { nets }
+        Netlist {
+            nets,
+            rejected: Vec::new(),
+        }
     }
 
     /// Number of nets.
@@ -148,11 +170,18 @@ impl Netlist {
 
     /// Parses the block format described on [`Netlist`].
     ///
+    /// Degenerate *geometry* (NaN/inf coordinates — `nan` parses as a
+    /// valid `f64` — or an empty block) does not abort the parse: the
+    /// offending net lands in [`Netlist::rejected`] with its header line
+    /// and the router reports it failed, while every other net routes.
+    ///
     /// # Errors
     ///
-    /// See [`ParseNetlistError`].
+    /// [`ParseNetlistError`] on *syntax* errors: unknown keywords or
+    /// criticalities, non-numeric coordinate tokens, missing `end`.
     pub fn from_str_block(text: &str) -> Result<Self, ParseNetlistError> {
         let mut nets = Vec::new();
+        let mut rejected = Vec::new();
         let mut current: Option<(String, Criticality, Vec<Point>, usize)> = None;
 
         for (idx, raw) in text.lines().enumerate() {
@@ -178,14 +207,16 @@ impl Netlist {
                         reason: format!("expected `net <name> <criticality>`, got {content:?}"),
                     });
                 }
-                (Some((name, crit, pts, _)), ["end"]) => {
-                    let net = Net::with_source_first(std::mem::take(pts)).map_err(|e| {
-                        ParseNetlistError::BadLine {
-                            line,
-                            reason: format!("net {name:?}: {e}"),
-                        }
-                    })?;
-                    nets.push(NamedNet::new(std::mem::take(name), net, *crit));
+                (Some((name, crit, pts, header_line)), ["end"]) => {
+                    match Net::with_source_first(std::mem::take(pts)) {
+                        Ok(net) => nets.push(NamedNet::new(std::mem::take(name), net, *crit)),
+                        Err(e) => rejected.push(RejectedNet {
+                            name: std::mem::take(name),
+                            criticality: *crit,
+                            line: *header_line,
+                            error: e,
+                        }),
+                    }
                     current = None;
                 }
                 (Some((_, _, pts, _)), [xs, ys]) => {
@@ -208,7 +239,7 @@ impl Netlist {
         if let Some((name, ..)) = current {
             return Err(ParseNetlistError::UnterminatedNet { name });
         }
-        Ok(Netlist::new(nets))
+        Ok(Netlist { nets, rejected })
     }
 
     /// Serialises to the block format (round-trips with
@@ -285,9 +316,44 @@ end
     }
 
     #[test]
-    fn empty_net_block_rejected() {
-        let err = Netlist::from_str_block("net x normal\nend\n").unwrap_err();
-        assert!(matches!(err, ParseNetlistError::BadLine { .. }));
+    fn empty_net_block_lands_in_rejected() {
+        let nl = Netlist::from_str_block("net x normal\nend\n").unwrap();
+        assert!(nl.nets.is_empty());
+        assert_eq!(nl.rejected.len(), 1);
+        assert_eq!(nl.rejected[0].name, "x");
+        assert_eq!(nl.rejected[0].line, 1);
+        assert_eq!(nl.rejected[0].error, GeomError::EmptyNet);
+    }
+
+    #[test]
+    fn nan_coordinates_land_in_rejected_without_aborting() {
+        // `nan` parses as a valid f64, so the bad net is only caught by
+        // Net's geometry validation; the good nets still parse.
+        let text = "\
+net good critical
+0 0
+5 5
+end
+net broken normal
+nan 3
+1 1
+end
+net tail relaxed
+2 2
+9 9
+end
+";
+        let nl = Netlist::from_str_block(text).unwrap();
+        assert_eq!(nl.nets.len(), 2);
+        assert_eq!(nl.nets[0].name, "good");
+        assert_eq!(nl.nets[1].name, "tail");
+        assert_eq!(nl.rejected.len(), 1);
+        assert_eq!(nl.rejected[0].name, "broken");
+        assert_eq!(nl.rejected[0].line, 5);
+        assert!(matches!(
+            nl.rejected[0].error,
+            GeomError::NonFinitePoint { .. }
+        ));
     }
 
     #[test]

@@ -2,9 +2,65 @@
 
 use std::fmt;
 
+use bmst_core::BmstError;
 use bmst_tree::RoutingTree;
 
 use crate::Criticality;
+
+/// How a net fared under the fault-isolated routing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetStatus {
+    /// Routed at its requested eps on the first attempt.
+    Ok,
+    /// Routed, but only after the degradation ladder relaxed the
+    /// constraint or fell back to the shortest path tree.
+    Degraded,
+    /// Not routed; details live in the report's failure log.
+    Failed,
+}
+
+impl NetStatus {
+    /// The status name as printed in reports (`ok`/`degraded`/`failed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetStatus::Ok => "ok",
+            NetStatus::Degraded => "degraded",
+            NetStatus::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for NetStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One failed rung of the degradation ladder: the eps that was attempted
+/// and the error that rejected it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxationStep {
+    /// The eps this attempt was routed under.
+    pub eps: f64,
+    /// The builder error that failed the attempt, rendered as text.
+    pub error: String,
+}
+
+/// A net the routing pass could not route, with its full attempt trail.
+#[derive(Debug, Clone)]
+pub struct RouteFailure {
+    /// The net's position in [`crate::Netlist::nets`]; `None` for nets
+    /// rejected at parse time (they never reached the nets vector).
+    pub index: Option<usize>,
+    /// The net's name.
+    pub name: String,
+    /// Its criticality tag.
+    pub criticality: Criticality,
+    /// The error that exhausted the ladder (the last rung's error).
+    pub error: BmstError,
+    /// Every failed attempt, in ladder order.
+    pub attempts: Vec<RelaxationStep>,
+}
 
 /// One routed net.
 #[derive(Debug, Clone)]
@@ -13,14 +69,23 @@ pub struct RoutedNet {
     pub name: String,
     /// Its criticality tag.
     pub criticality: Criticality,
-    /// The eps it was routed under.
+    /// The eps it was actually routed under (differs from
+    /// [`RoutedNet::requested_eps`] when the degradation ladder relaxed it).
     pub eps: f64,
+    /// The eps its criticality class requested.
+    pub requested_eps: f64,
     /// Total wirelength of its tree (Steiner wirelength for Steiner nets).
     pub wirelength: f64,
     /// Longest source-to-sink path length.
     pub radius: f64,
     /// The path-length bound it was routed under (`(1 + eps) * R`).
     pub bound: f64,
+    /// Failed ladder rungs that preceded this result (empty on a
+    /// first-attempt success).
+    pub relaxations: Vec<RelaxationStep>,
+    /// Whether the result is the always-feasible shortest-path-tree
+    /// fallback rather than the configured algorithm's tree.
+    pub fallback_spt: bool,
     /// The routing tree itself.
     pub tree: RoutingTree,
 }
@@ -32,14 +97,31 @@ impl RoutedNet {
     pub fn slack(&self) -> f64 {
         self.bound - self.radius
     }
+
+    /// [`NetStatus::Ok`] for a first-attempt success, [`NetStatus::Degraded`]
+    /// when the ladder had to relax the constraint or fall back to the SPT.
+    pub fn status(&self) -> NetStatus {
+        if self.fallback_spt || !self.relaxations.is_empty() {
+            NetStatus::Degraded
+        } else {
+            NetStatus::Ok
+        }
+    }
 }
 
 /// The aggregate result of routing a netlist.
+///
+/// A failed net no longer poisons the batch: survivors land in
+/// [`RouteReport::nets`], failures (with their full attempt trails) in
+/// [`RouteReport::failures`].
 #[derive(Debug, Clone)]
 pub struct RouteReport {
-    /// Per-net results, in netlist order.
+    /// Per-net results for the nets that routed, in netlist order.
     pub nets: Vec<RoutedNet>,
-    /// Sum of all net wirelengths — the paper's power/area proxy.
+    /// The failure log: nets that could not be routed, parse-rejected nets
+    /// first (in file order), then build failures in netlist order.
+    pub failures: Vec<RouteFailure>,
+    /// Sum of all routed net wirelengths — the paper's power/area proxy.
     pub total_wirelength: f64,
 }
 
@@ -60,9 +142,24 @@ impl RouteReport {
             .min_by(|a, b| a.slack().total_cmp(&b.slack()))
     }
 
+    /// `true` when every net routed at its requested eps: no failures and
+    /// no degraded results.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.degraded_count() == 0
+    }
+
+    /// How many survivors the degradation ladder had to relax.
+    pub fn degraded_count(&self) -> usize {
+        self.nets
+            .iter()
+            .filter(|n| n.status() == NetStatus::Degraded)
+            .count()
+    }
+
     /// Serialises the full report — totals plus every routed net with its
-    /// tree edges — as JSON. Used by the determinism tests and benchmarks
-    /// to compare serial and parallel routing outputs structurally.
+    /// tree edges, plus the failure log — as JSON. Used by the determinism
+    /// tests and benchmarks to compare serial and parallel routing outputs
+    /// structurally.
     pub fn to_json(&self) -> bmst_obs::json::Json {
         use bmst_obs::json::Json;
         Json::Obj(vec![
@@ -75,8 +172,52 @@ impl RouteReport {
                 "nets".to_owned(),
                 Json::Arr(self.nets.iter().map(RoutedNet::to_json).collect()),
             ),
+            (
+                "failures".to_owned(),
+                Json::Arr(self.failures.iter().map(RouteFailure::to_json).collect()),
+            ),
         ])
     }
+}
+
+impl RouteFailure {
+    /// Serialises the failure — net identity, final error, attempt trail —
+    /// as JSON.
+    pub fn to_json(&self) -> bmst_obs::json::Json {
+        use bmst_obs::json::Json;
+        Json::Obj(vec![
+            (
+                "index".to_owned(),
+                match self.index {
+                    Some(i) => Json::from_u64(u64::try_from(i).unwrap_or(u64::MAX)),
+                    None => Json::Null,
+                },
+            ),
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "criticality".to_owned(),
+                Json::Str(self.criticality.name().to_owned()),
+            ),
+            ("error".to_owned(), Json::Str(self.error.to_string())),
+            ("attempts".to_owned(), json_attempts(&self.attempts)),
+        ])
+    }
+}
+
+/// Serialises an attempt trail as `[{eps, error}, ...]`.
+fn json_attempts(attempts: &[RelaxationStep]) -> bmst_obs::json::Json {
+    use bmst_obs::json::Json;
+    Json::Arr(
+        attempts
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("eps".to_owned(), json_num(a.eps)),
+                    ("error".to_owned(), Json::Str(a.error.clone())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Non-finite numbers have no JSON representation; encode them as the
@@ -101,7 +242,14 @@ impl RoutedNet {
                 "criticality".to_owned(),
                 Json::Str(self.criticality.name().to_owned()),
             ),
+            (
+                "status".to_owned(),
+                Json::Str(self.status().name().to_owned()),
+            ),
             ("eps".to_owned(), json_num(self.eps)),
+            ("requested_eps".to_owned(), json_num(self.requested_eps)),
+            ("fallback_spt".to_owned(), Json::Bool(self.fallback_spt)),
+            ("relaxations".to_owned(), json_attempts(&self.relaxations)),
             ("wirelength".to_owned(), Json::Num(self.wirelength)),
             ("radius".to_owned(), Json::Num(self.radius)),
             ("bound".to_owned(), json_num(self.bound)),
@@ -126,31 +274,60 @@ impl RoutedNet {
     }
 }
 
+/// Formats an eps for the report table (`inf` for unbounded).
+fn fmt_eps(eps: f64) -> String {
+    if eps.is_infinite() {
+        "inf".into()
+    } else {
+        format!("{eps:.2}")
+    }
+}
+
 impl fmt::Display for RouteReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>9} {:>6} {:>10} {:>10} {:>10} {:>10}",
-            "net", "class", "eps", "wirelen", "radius", "bound", "slack"
+            "{:<12} {:>9} {:>9} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "net", "class", "status", "eps", "wirelen", "radius", "bound", "slack"
         )?;
         for n in &self.nets {
             writeln!(
                 f,
-                "{:<12} {:>9} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                "{:<12} {:>9} {:>9} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
                 n.name,
                 n.criticality.name(),
-                if n.eps.is_infinite() {
-                    "inf".into()
-                } else {
-                    format!("{:.2}", n.eps)
-                },
+                n.status().name(),
+                fmt_eps(n.eps),
                 n.wirelength,
                 n.radius,
                 n.bound,
                 n.slack()
             )?;
         }
+        for fail in &self.failures {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {}",
+                fail.name,
+                fail.criticality.name(),
+                NetStatus::Failed.name(),
+                fail.error
+            )?;
+            for step in &fail.attempts {
+                writeln!(f, "    attempt eps={}: {}", fmt_eps(step.eps), step.error)?;
+            }
+        }
         writeln!(f, "total wirelength: {:.2}", self.total_wirelength)?;
+        if !self.failures.is_empty() || self.degraded_count() > 0 {
+            writeln!(
+                f,
+                "routed {} of {} nets ({} degraded, {} failed)",
+                self.nets.len(),
+                self.nets.len() + self.failures.len(),
+                self.degraded_count(),
+                self.failures.len()
+            )?;
+        }
         write!(f, "worst slack: {:.2}", self.worst_slack())
     }
 }
@@ -166,9 +343,12 @@ mod tests {
             name: name.into(),
             criticality: Criticality::Normal,
             eps: 0.5,
+            requested_eps: 0.5,
             wirelength: 10.0,
             radius,
             bound,
+            relaxations: Vec::new(),
+            fallback_spt: false,
             tree: RoutingTree::from_edges(2, 0, vec![Edge::new(0, 1, 10.0)]).unwrap(),
         }
     }
@@ -177,31 +357,84 @@ mod tests {
     fn slack_and_worst() {
         let report = RouteReport {
             nets: vec![routed("a", 8.0, 12.0), routed("b", 11.0, 12.0)],
+            failures: vec![],
             total_wirelength: 20.0,
         };
         assert_eq!(report.worst_slack(), 1.0);
         assert_eq!(report.most_critical().unwrap().name, "b");
+        assert!(report.is_clean());
     }
 
     #[test]
     fn display_lists_every_net() {
         let report = RouteReport {
             nets: vec![routed("clk", 8.0, 12.0)],
+            failures: vec![],
             total_wirelength: 10.0,
         };
         let text = report.to_string();
         assert!(text.contains("clk"));
+        assert!(text.contains("ok"));
         assert!(text.contains("total wirelength: 10.00"));
         assert!(text.contains("worst slack: 4.00"));
+        assert!(!text.contains("routed 1 of"));
     }
 
     #[test]
     fn empty_report() {
         let report = RouteReport {
             nets: vec![],
+            failures: vec![],
             total_wirelength: 0.0,
         };
         assert!(report.most_critical().is_none());
         assert_eq!(report.worst_slack(), f64::INFINITY);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn degraded_and_failed_statuses_surface() {
+        let mut relaxed = routed("bus0", 8.0, 12.0);
+        relaxed.requested_eps = 0.1;
+        relaxed.relaxations.push(RelaxationStep {
+            eps: 0.1,
+            error: "no feasible tree".into(),
+        });
+        assert_eq!(relaxed.status(), NetStatus::Degraded);
+        let report = RouteReport {
+            nets: vec![routed("clk", 8.0, 12.0), relaxed],
+            failures: vec![RouteFailure {
+                index: Some(2),
+                name: "bad".into(),
+                criticality: Criticality::Critical,
+                error: BmstError::internal("boom"),
+                attempts: vec![RelaxationStep {
+                    eps: 0.1,
+                    error: "internal invariant violation: boom".into(),
+                }],
+            }],
+            total_wirelength: 20.0,
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.degraded_count(), 1);
+        let text = report.to_string();
+        assert!(text.contains("degraded"), "{text}");
+        assert!(text.contains("failed"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert!(
+            text.contains("routed 2 of 3 nets (1 degraded, 1 failed)"),
+            "{text}"
+        );
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"failures\""), "{json}");
+        assert!(json.contains("\"relaxations\""), "{json}");
+    }
+
+    #[test]
+    fn spt_fallback_is_degraded() {
+        let mut n = routed("x", 8.0, 12.0);
+        n.fallback_spt = true;
+        assert_eq!(n.status(), NetStatus::Degraded);
+        assert_eq!(NetStatus::Failed.to_string(), "failed");
     }
 }

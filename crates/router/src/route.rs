@@ -1,11 +1,20 @@
-//! The routing pass itself.
+//! The routing pass itself: per-net fault isolation plus the degradation
+//! ladder.
+//!
+//! Every net is routed through [`bmst_core::TreeBuilder::try_build`], so a
+//! panicking construction surfaces as [`BmstError::Internal`] on that net
+//! alone. On a recoverable failure the ladder retries with a stepped
+//! eps-relaxation schedule ([`RelaxationPolicy`]) and finally falls back
+//! to the always-feasible shortest path tree; every rung is recorded in
+//! the report and as a `router.relax` observability event.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bmst_core::{BmstError, BuilderDescriptor, ProblemContext, TreeBuilder};
+use bmst_obs::Field;
 
-use crate::{Criticality, NamedNet, Netlist, RouteReport, RoutedNet};
+use crate::{Criticality, NamedNet, Netlist, RelaxationStep, RouteFailure, RouteReport, RoutedNet};
 
 /// Which construction routes each net: a handle to a registered
 /// [`TreeBuilder`] from `bmst_steiner::full_registry`.
@@ -98,6 +107,76 @@ impl fmt::Display for RouteAlgorithm {
     }
 }
 
+/// The degradation ladder's eps-relaxation schedule.
+///
+/// On a recoverable failure at eps `e`, the router retries at
+/// `max(e * factor, hint)` — where `hint` is the tightest feasible eps the
+/// failed attempt reported, when it could — up to `max_relaxations` times,
+/// then (when `include_unbounded`) once more fully unconstrained, and
+/// finally (when `spt_fallback`) swaps the construction for the shortest
+/// path tree, which satisfies any upper bound. The default schedule is the
+/// ISSUE's `eps -> 2eps -> inf` with the SPT last rung.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxationPolicy {
+    /// How many stepped eps-relaxations to attempt after the first failure.
+    pub max_relaxations: usize,
+    /// Multiplier applied to eps at each step.
+    pub factor: f64,
+    /// Whether to try a fully unconstrained (`eps = inf`) rung after the
+    /// stepped relaxations.
+    pub include_unbounded: bool,
+    /// Whether the shortest path tree serves as the always-feasible last
+    /// rung.
+    pub spt_fallback: bool,
+}
+
+impl Default for RelaxationPolicy {
+    fn default() -> Self {
+        RelaxationPolicy {
+            max_relaxations: 2,
+            factor: 2.0,
+            include_unbounded: true,
+            spt_fallback: true,
+        }
+    }
+}
+
+impl RelaxationPolicy {
+    /// Disables the ladder entirely: the first failure is final. Useful
+    /// when a degraded result is worse than no result (conformance tests,
+    /// strict timing signoff).
+    pub fn none() -> Self {
+        RelaxationPolicy {
+            max_relaxations: 0,
+            factor: 2.0,
+            include_unbounded: false,
+            spt_fallback: false,
+        }
+    }
+
+    /// The eps floor a relaxation steps up from when the requested eps is
+    /// zero (multiplying zero would never relax anything).
+    const MIN_STEP: f64 = 0.1;
+
+    /// The eps to try after a failure at `eps`, folding in the failed
+    /// attempt's tightest-feasible hint; `None` when stepping from an
+    /// already-unbounded eps (nothing left to relax).
+    fn next_eps(&self, eps: f64, hint: Option<f64>) -> Option<f64> {
+        if eps.is_infinite() {
+            return None;
+        }
+        let stepped = if eps <= 0.0 {
+            Self::MIN_STEP
+        } else {
+            eps * self.factor
+        };
+        Some(match hint {
+            Some(h) if h > stepped => h,
+            _ => stepped,
+        })
+    }
+}
+
 /// Per-criticality eps assignment and algorithm selection.
 ///
 /// The defaults encode the paper's trade-off curve: critical nets get a
@@ -113,6 +192,8 @@ pub struct RouterConfig {
     pub eps_relaxed: f64,
     /// The construction to use.
     pub algorithm: RouteAlgorithm,
+    /// The degradation ladder's relaxation schedule.
+    pub relaxation: RelaxationPolicy,
 }
 
 impl Default for RouterConfig {
@@ -122,6 +203,7 @@ impl Default for RouterConfig {
             eps_normal: 0.5,
             eps_relaxed: f64::INFINITY,
             algorithm: RouteAlgorithm::bkrus(),
+            relaxation: RelaxationPolicy::default(),
         }
     }
 }
@@ -137,13 +219,123 @@ impl RouterConfig {
     }
 }
 
-/// Routes one named net under `config`: builds its [`ProblemContext`] and
-/// runs the configured builder against it.
-fn route_named(n: &NamedNet, config: &RouterConfig) -> Result<RoutedNet, BmstError> {
-    let eps = config.eps_for(n.criticality);
-    let bound = n.net.path_bound(eps);
+/// Renders an eps for observability events (`"inf"` for unbounded, since
+/// non-finite numbers have no JSON representation).
+fn eps_field(eps: f64) -> Field {
+    if eps.is_finite() {
+        Field::from(eps)
+    } else {
+        Field::from("inf")
+    }
+}
+
+/// One rung: builds the net's [`ProblemContext`] at `eps` and runs
+/// `builder` through its fault-isolated [`TreeBuilder::try_build`] path.
+fn attempt(
+    n: &NamedNet,
+    builder: &'static dyn TreeBuilder,
+    eps: f64,
+    emit_diagnostics: bool,
+) -> Result<bmst_tree::RoutingTree, BmstError> {
     let cx = ProblemContext::new(&n.net, eps)?;
-    let tree = config.algorithm.builder.build(&cx)?;
+    if emit_diagnostics && bmst_obs::enabled() {
+        for diag in cx.diagnostics() {
+            bmst_obs::event(
+                "router.input_diagnostic",
+                &[
+                    ("net", Field::from(n.name.as_str())),
+                    ("detail", Field::from(diag.to_string())),
+                ],
+            );
+        }
+    }
+    builder.try_build(&cx)
+}
+
+/// Routes one named net under `config`, walking the degradation ladder on
+/// recoverable failures. `Err` carries the final error plus the full
+/// attempt trail for the report's failure log.
+fn route_named(
+    n: &NamedNet,
+    config: &RouterConfig,
+) -> Result<RoutedNet, (BmstError, Vec<RelaxationStep>)> {
+    let requested_eps = config.eps_for(n.criticality);
+    let policy = &config.relaxation;
+    let mut attempts: Vec<RelaxationStep> = Vec::new();
+    let mut eps = requested_eps;
+    let mut fallback_spt = false;
+
+    let tree = loop {
+        match attempt(n, config.algorithm.builder, eps, attempts.is_empty()) {
+            Ok(tree) => break tree,
+            Err(err) => {
+                attempts.push(RelaxationStep {
+                    eps,
+                    error: err.to_string(),
+                });
+                if !err.is_recoverable() || !policy.spt_fallback && !err.eps_relaxation_helps() {
+                    return Err((err, attempts));
+                }
+                let next = if err.eps_relaxation_helps() {
+                    if attempts.len() <= policy.max_relaxations {
+                        policy.next_eps(eps, err.min_feasible_eps())
+                    } else if policy.include_unbounded && eps.is_finite() {
+                        Some(f64::INFINITY)
+                    } else {
+                        None
+                    }
+                } else {
+                    // e.g. UnsupportedMetric: a larger eps changes nothing,
+                    // only the SPT fallback below can help.
+                    None
+                };
+                match next {
+                    Some(next_eps) => {
+                        if bmst_obs::enabled() {
+                            bmst_obs::event(
+                                "router.relax",
+                                &[
+                                    ("net", Field::from(n.name.as_str())),
+                                    ("from_eps", eps_field(eps)),
+                                    ("to_eps", eps_field(next_eps)),
+                                    ("error", Field::from(err.to_string())),
+                                ],
+                            );
+                        }
+                        eps = next_eps;
+                    }
+                    None if policy.spt_fallback => {
+                        // Last rung: the source star satisfies any upper
+                        // bound, so route it under the *requested* eps.
+                        eps = requested_eps;
+                        fallback_spt = true;
+                        if bmst_obs::enabled() {
+                            bmst_obs::event(
+                                "router.spt_fallback",
+                                &[
+                                    ("net", Field::from(n.name.as_str())),
+                                    ("eps", eps_field(eps)),
+                                    ("error", Field::from(err.to_string())),
+                                ],
+                            );
+                        }
+                        match attempt(n, spt_builder(), eps, false) {
+                            Ok(tree) => break tree,
+                            Err(spt_err) => {
+                                attempts.push(RelaxationStep {
+                                    eps,
+                                    error: spt_err.to_string(),
+                                });
+                                return Err((spt_err, attempts));
+                            }
+                        }
+                    }
+                    None => return Err((err, attempts)),
+                }
+            }
+        }
+    };
+
     let wirelength = tree.cost();
     // For Steiner trees the radius of interest is over terminals only;
     // terminal ids coincide with net node ids in both cases.
@@ -152,62 +344,131 @@ fn route_named(n: &NamedNet, config: &RouterConfig) -> Result<RoutedNet, BmstErr
         name: n.name.clone(),
         criticality: n.criticality,
         eps,
+        requested_eps,
         wirelength,
         radius,
-        bound,
+        bound: n.net.path_bound(eps),
+        relaxations: attempts,
+        fallback_spt,
         tree,
     })
 }
 
+/// The registry's SPT builder (the ladder's always-feasible last rung).
+#[allow(clippy::expect_used)] // registry invariant, justified inline
+fn spt_builder() -> &'static dyn TreeBuilder {
+    // lint: allow(no-panic) — resolving a name the registry is built with
+    bmst_steiner::find_builder("spt").expect("spt baseline is registered")
+}
+
+/// One net's outcome, before report assembly.
+type NetResult = Result<RoutedNet, (BmstError, Vec<RelaxationStep>)>;
+
 impl Netlist {
+    /// The failure-log entries for nets rejected at parse time, in file
+    /// order. Their [`RouteFailure::error`] is a typed
+    /// [`BmstError::DegenerateInput`] carrying the header line.
+    fn parse_failures(&self) -> Vec<RouteFailure> {
+        self.rejected
+            .iter()
+            .map(|r| {
+                if bmst_obs::enabled() {
+                    bmst_obs::event(
+                        "router.net_rejected",
+                        &[
+                            ("net", Field::from(r.name.as_str())),
+                            ("line", Field::from(r.line)),
+                            ("error", Field::from(r.error.to_string())),
+                        ],
+                    );
+                }
+                RouteFailure {
+                    index: None,
+                    name: r.name.clone(),
+                    criticality: r.criticality,
+                    error: BmstError::DegenerateInput {
+                        detail: format!("line {}: {}", r.line, r.error),
+                    },
+                    attempts: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles the aggregate report from per-net outcomes in input
+    /// order. Shared by the serial and parallel passes so the two produce
+    /// byte-identical reports.
+    fn assemble(&self, results: Vec<(usize, NetResult)>) -> RouteReport {
+        let mut nets = Vec::with_capacity(results.len());
+        let mut failures = self.parse_failures();
+        let mut total_wirelength = 0.0;
+        for (i, res) in results {
+            match res {
+                Ok(routed) => {
+                    // Summed in input order: bit-identical for any job count.
+                    total_wirelength += routed.wirelength;
+                    nets.push(routed);
+                }
+                Err((error, attempts)) => {
+                    if bmst_obs::enabled() {
+                        bmst_obs::event(
+                            "router.net_failed",
+                            &[
+                                ("net", Field::from(self.nets[i].name.as_str())),
+                                ("error", Field::from(error.to_string())),
+                                ("attempts", Field::from(attempts.len())),
+                            ],
+                        );
+                    }
+                    failures.push(RouteFailure {
+                        index: Some(i),
+                        name: self.nets[i].name.clone(),
+                        criticality: self.nets[i].criticality,
+                        error,
+                        attempts,
+                    });
+                }
+            }
+        }
+        RouteReport {
+            nets,
+            failures,
+            total_wirelength,
+        }
+    }
+
     /// Routes every net under `config`, returning the aggregate report.
     ///
-    /// Nets are routed independently (classical global routing by nets);
-    /// the report records, per net, the wirelength, the longest source-sink
-    /// path, the bound it was routed under, and the slack between them.
-    ///
-    /// # Errors
-    ///
-    /// The first net that fails to route aborts the pass with that net's
-    /// [`BmstError`] (upper-bound-only routing cannot fail; the error paths
-    /// exist for exotic configurations).
-    pub fn route(&self, config: &RouterConfig) -> Result<RouteReport, BmstError> {
-        let mut nets = Vec::with_capacity(self.nets.len());
-        let mut total_wirelength = 0.0;
-        for n in &self.nets {
+    /// Nets are routed independently (classical global routing by nets)
+    /// and **fault-isolated**: a net that cannot route — degenerate
+    /// geometry, an infeasible window the degradation ladder could not
+    /// relax away, even a panicking construction — lands in the report's
+    /// failure log while every other net routes normally. The report
+    /// records, per net, the wirelength, the longest source-sink path, the
+    /// bound it was routed under, its status, and any relaxation trail.
+    pub fn route(&self, config: &RouterConfig) -> RouteReport {
+        let mut results = Vec::with_capacity(self.nets.len());
+        for (i, n) in self.nets.iter().enumerate() {
             let _obs_span = bmst_obs::span("router.net");
-            let routed = route_named(n, config)?;
-            total_wirelength += routed.wirelength;
-            nets.push(routed);
+            results.push((i, route_named(n, config)));
         }
-        Ok(RouteReport {
-            nets,
-            total_wirelength,
-        })
+        self.assemble(results)
     }
 
     /// Like [`Netlist::route`], but distributes nets over `jobs` worker
     /// threads (a shared atomic work queue over `std::thread::scope`).
     ///
-    /// The report is **bit-identical** to the serial one: results are
-    /// assembled in input order, so per-net values and the order-dependent
-    /// floating-point sum of `total_wirelength` cannot differ. Workers tag
-    /// their per-net observability spans `router.net.w<worker>`.
+    /// The report is **byte-identical** to the serial one: workers drain
+    /// the whole queue regardless of failures, and results (successes and
+    /// failures alike) are assembled in input order, so per-net values,
+    /// the failure log, and the order-dependent floating-point sum of
+    /// `total_wirelength` cannot differ. Workers tag their per-net
+    /// observability spans `router.net.w<worker>`.
     ///
     /// `jobs` is clamped to `[1, nets]`; `jobs <= 1` delegates to the
     /// serial pass.
-    ///
-    /// # Errors
-    ///
-    /// The same error the serial pass would report: the failure of the
-    /// first net (in input order) that cannot route. Workers stop pulling
-    /// new nets once any net has failed.
     #[allow(clippy::expect_used)] // worker panics are propagated, justified inline
-    pub fn route_parallel(
-        &self,
-        config: &RouterConfig,
-        jobs: usize,
-    ) -> Result<RouteReport, BmstError> {
+    pub fn route_parallel(&self, config: &RouterConfig, jobs: usize) -> RouteReport {
         let n = self.nets.len();
         let jobs = jobs.min(n).max(1);
         if jobs <= 1 {
@@ -215,70 +476,40 @@ impl Netlist {
         }
 
         let next = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
-        let batches: Vec<Vec<(usize, Result<RoutedNet, BmstError>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..jobs)
-                    .map(|worker| {
-                        let (next, failed) = (&next, &failed);
-                        let nets = &self.nets;
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            loop {
-                                if failed.load(Ordering::Relaxed) {
-                                    break;
-                                }
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= nets.len() {
-                                    break;
-                                }
-                                let _obs_span = bmst_obs::enabled()
-                                    .then(|| bmst_obs::span_dyn(&format!("router.net.w{worker}")));
-                                let res = route_named(&nets[i], config);
-                                if res.is_err() {
-                                    failed.store(true, Ordering::Relaxed);
-                                }
-                                out.push((i, res));
+        let batches: Vec<Vec<(usize, NetResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|worker| {
+                    let next = &next;
+                    let nets = &self.nets;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= nets.len() {
+                                break;
                             }
-                            out
-                        })
+                            let _obs_span = bmst_obs::enabled()
+                                .then(|| bmst_obs::span_dyn(&format!("router.net.w{worker}")));
+                            out.push((i, route_named(&nets[i], config)));
+                        }
+                        out
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        // lint: allow(no-panic) — re-raise worker panics instead of hiding them
-                        h.join().expect("routing worker panicked")
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // lint: allow(no-panic) — re-raise worker panics instead of hiding them
+                    h.join().expect("routing worker panicked")
+                })
+                .collect()
+        });
 
-        // Indices pulled from the queue form a contiguous prefix, so after
-        // scattering the batches every unfilled slot lies *after* every
-        // filled one; routing leftovers serially (only reachable when no
-        // earlier net failed) keeps error order identical to `route`.
-        let mut slots: Vec<Option<Result<RoutedNet, BmstError>>> = Vec::new();
-        slots.resize_with(n, || None);
-        for batch in batches {
-            for (i, res) in batch {
-                slots[i] = Some(res);
-            }
-        }
-        let mut nets = Vec::with_capacity(n);
-        let mut total_wirelength = 0.0;
-        for (i, slot) in slots.into_iter().enumerate() {
-            let routed = match slot {
-                Some(res) => res?,
-                None => route_named(&self.nets[i], config)?,
-            };
-            // Summed in input order: bit-identical to the serial pass.
-            total_wirelength += routed.wirelength;
-            nets.push(routed);
-        }
-        Ok(RouteReport {
-            nets,
-            total_wirelength,
-        })
+        // Workers drain the whole queue, so every index appears exactly
+        // once across the batches; sort back into input order.
+        let mut results: Vec<(usize, NetResult)> = batches.into_iter().flatten().collect();
+        results.sort_by_key(|(i, _)| *i);
+        self.assemble(results)
     }
 }
 
@@ -325,7 +556,8 @@ mod tests {
                 algorithm,
                 ..RouterConfig::default()
             };
-            let report = nl.route(&cfg).unwrap();
+            let report = nl.route(&cfg);
+            assert!(report.is_clean());
             assert_eq!(report.nets.len(), 9);
             for rn in &report.nets {
                 assert!(
@@ -351,18 +583,15 @@ mod tests {
     #[test]
     fn steiner_pass_is_cheapest() {
         let nl = random_netlist(2, 6);
-        let spanning = nl
-            .route(&RouterConfig {
-                algorithm: RouteAlgorithm::bkrus(),
-                ..Default::default()
-            })
-            .unwrap();
-        let steiner = nl
-            .route(&RouterConfig {
-                algorithm: RouteAlgorithm::steiner(),
-                ..Default::default()
-            })
-            .unwrap();
+        let spanning = nl.route(&RouterConfig {
+            algorithm: RouteAlgorithm::bkrus(),
+            ..Default::default()
+        });
+        let steiner = nl.route(&RouterConfig {
+            algorithm: RouteAlgorithm::steiner(),
+            ..Default::default()
+        });
+        assert!(spanning.is_clean() && steiner.is_clean());
         assert!(steiner.total_wirelength <= spanning.total_wirelength + 1e-9);
     }
 
@@ -373,22 +602,22 @@ mod tests {
             eps_critical: 0.0,
             eps_normal: 0.1,
             eps_relaxed: 0.2,
-            algorithm: RouteAlgorithm::bkrus(),
+            ..RouterConfig::default()
         };
         let loose = RouterConfig {
             eps_critical: 1.0,
             eps_normal: 2.0,
             eps_relaxed: f64::INFINITY,
-            algorithm: RouteAlgorithm::bkrus(),
+            ..RouterConfig::default()
         };
-        let a = nl.route(&tight).unwrap().total_wirelength;
-        let b = nl.route(&loose).unwrap().total_wirelength;
+        let a = nl.route(&tight).total_wirelength;
+        let b = nl.route(&loose).total_wirelength;
         assert!(b <= a + 1e-9, "loose {b} > tight {a}");
     }
 
     #[test]
     fn empty_netlist_routes_trivially() {
-        let report = Netlist::default().route(&RouterConfig::default()).unwrap();
+        let report = Netlist::default().route(&RouterConfig::default());
         assert_eq!(report.nets.len(), 0);
         assert_eq!(report.total_wirelength, 0.0);
         assert_eq!(report.worst_slack(), f64::INFINITY);
@@ -417,9 +646,15 @@ mod tests {
                 eps_normal: 1.5,
                 eps_relaxed: f64::INFINITY,
                 algorithm,
+                ..RouterConfig::default()
             };
             let report = nl.route(&cfg);
-            assert!(report.is_ok(), "{}: {report:?}", algorithm.name());
+            assert!(
+                report.failures.is_empty(),
+                "{}: {:?}",
+                algorithm.name(),
+                report.failures
+            );
         }
     }
 
@@ -427,15 +662,16 @@ mod tests {
     fn parallel_matches_serial_bit_for_bit() {
         let nl = random_netlist(5, 17);
         let cfg = RouterConfig::default();
-        let serial = nl.route(&cfg).unwrap();
+        let serial = nl.route(&cfg);
         for jobs in [1, 2, 4, 8, 32] {
-            let par = nl.route_parallel(&cfg, jobs).unwrap();
+            let par = nl.route_parallel(&cfg, jobs);
             assert_eq!(
                 par.total_wirelength.to_bits(),
                 serial.total_wirelength.to_bits(),
                 "jobs={jobs}"
             );
             assert_eq!(par.nets.len(), serial.nets.len());
+            assert!(par.failures.is_empty());
             for (a, b) in par.nets.iter().zip(&serial.nets) {
                 assert_eq!(a.name, b.name);
                 assert_eq!(a.wirelength.to_bits(), b.wirelength.to_bits());
@@ -447,12 +683,163 @@ mod tests {
 
     #[test]
     fn parallel_empty_and_oversubscribed() {
-        let empty = Netlist::default()
-            .route_parallel(&RouterConfig::default(), 8)
-            .unwrap();
+        let empty = Netlist::default().route_parallel(&RouterConfig::default(), 8);
         assert_eq!(empty.nets.len(), 0);
         let nl = random_netlist(6, 2);
-        let report = nl.route_parallel(&RouterConfig::default(), 64).unwrap();
+        let report = nl.route_parallel(&RouterConfig::default(), 64);
         assert_eq!(report.nets.len(), 2);
+    }
+
+    /// A net whose MST detours so far that eps = 0.1 is infeasible for the
+    /// `mst` algorithm: sink B attaches through A (16 against dist 14).
+    fn detour_net(name: &str) -> NamedNet {
+        NamedNet::new(
+            name,
+            Net::with_source_first(vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(9.0, 5.0),
+            ])
+            .unwrap(),
+            Criticality::Critical,
+        )
+    }
+
+    fn easy_net(name: &str, offset: f64) -> NamedNet {
+        NamedNet::new(
+            name,
+            Net::with_source_first(vec![
+                Point::new(offset, 0.0),
+                Point::new(offset + 3.0, 1.0),
+                Point::new(offset + 5.0, -1.0),
+            ])
+            .unwrap(),
+            Criticality::Normal,
+        )
+    }
+
+    fn mst_config(relaxation: RelaxationPolicy) -> RouterConfig {
+        RouterConfig {
+            algorithm: RouteAlgorithm::from_name("mst").unwrap(),
+            relaxation,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn infeasible_net_3_of_5_is_isolated_not_fatal() {
+        // Satellite regression: net 3 (index 2) cannot route at its
+        // requested eps; with the ladder disabled it must land in the
+        // failure log while the other four route — serial and parallel.
+        let nl = Netlist::new(vec![
+            easy_net("n0", 0.0),
+            easy_net("n1", 20.0),
+            detour_net("bad"),
+            easy_net("n3", 40.0),
+            easy_net("n4", 60.0),
+        ]);
+        let cfg = mst_config(RelaxationPolicy::none());
+        let serial = nl.route(&cfg);
+        assert_eq!(serial.nets.len(), 4);
+        assert_eq!(serial.failures.len(), 1);
+        let fail = &serial.failures[0];
+        assert_eq!(fail.index, Some(2));
+        assert_eq!(fail.name, "bad");
+        assert!(matches!(fail.error, BmstError::Infeasible { .. }));
+        assert_eq!(fail.attempts.len(), 1);
+        for jobs in [2, 4, 8] {
+            let par = nl.route_parallel(&cfg, jobs);
+            assert_eq!(par.nets.len(), 4, "jobs={jobs}");
+            assert_eq!(par.failures.len(), 1, "jobs={jobs}");
+            assert_eq!(par.failures[0].index, Some(2));
+            assert_eq!(
+                par.total_wirelength.to_bits(),
+                serial.total_wirelength.to_bits()
+            );
+            for (a, b) in par.nets.iter().zip(&serial.nets) {
+                assert_eq!(a.tree.edges(), b.tree.edges());
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_recovers_infeasible_net_as_degraded() {
+        let nl = Netlist::new(vec![detour_net("bad")]);
+        let report = nl.route(&mst_config(RelaxationPolicy::default()));
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let net = &report.nets[0];
+        assert_eq!(net.status(), crate::NetStatus::Degraded);
+        assert!(
+            !net.fallback_spt,
+            "ladder should succeed before the SPT rung"
+        );
+        assert_eq!(net.requested_eps, 0.1);
+        // One failed rung at 0.1, success at max(0.2, hint 16/14-1 = 0.142…).
+        assert_eq!(net.relaxations.len(), 1);
+        assert_eq!(net.relaxations[0].eps, 0.1);
+        assert!(net.eps > 0.1 && net.eps <= 0.2, "{}", net.eps);
+        assert!(net.slack() >= -1e-9);
+    }
+
+    #[test]
+    fn ladder_hint_jumps_past_factor_when_tighter() {
+        // With factor 1.0 the schedule alone would retry 0.1 forever; the
+        // min_feasible_eps hint (16/14 - 1 ≈ 0.1429) must pull it feasible.
+        let policy = RelaxationPolicy {
+            max_relaxations: 1,
+            factor: 1.0,
+            include_unbounded: false,
+            spt_fallback: false,
+        };
+        let nl = Netlist::new(vec![detour_net("bad")]);
+        let report = nl.route(&mst_config(policy));
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!((report.nets[0].eps - (16.0 / 14.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spt_fallback_is_last_rung() {
+        // steiner/bkst is rectilinear-only; an L2 net fails with
+        // UnsupportedMetric, which eps cannot fix — only the SPT rung can.
+        let net = Net::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 4.0),
+                Point::new(6.0, 0.0),
+            ],
+            0,
+            bmst_geom::Metric::L2,
+        )
+        .unwrap();
+        let nl = Netlist::new(vec![NamedNet::new("l2", net, Criticality::Normal)]);
+        let cfg = RouterConfig {
+            algorithm: RouteAlgorithm::steiner(),
+            ..RouterConfig::default()
+        };
+        let report = nl.route(&cfg);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let routed = &report.nets[0];
+        assert!(routed.fallback_spt);
+        assert_eq!(routed.status(), crate::NetStatus::Degraded);
+        assert_eq!(routed.relaxations.len(), 1);
+        // Without the fallback the same net is a typed failure.
+        let strict = nl.route(&RouterConfig {
+            relaxation: RelaxationPolicy::none(),
+            ..cfg
+        });
+        assert_eq!(strict.failures.len(), 1);
+        assert!(matches!(
+            strict.failures[0].error,
+            BmstError::UnsupportedMetric { .. }
+        ));
+    }
+
+    #[test]
+    fn relaxation_policy_next_eps_edges() {
+        let p = RelaxationPolicy::default();
+        assert_eq!(p.next_eps(0.1, None), Some(0.2));
+        assert_eq!(p.next_eps(0.0, None), Some(RelaxationPolicy::MIN_STEP));
+        assert_eq!(p.next_eps(0.1, Some(0.5)), Some(0.5));
+        assert_eq!(p.next_eps(f64::INFINITY, None), None);
     }
 }

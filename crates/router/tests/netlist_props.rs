@@ -46,9 +46,10 @@ proptest! {
     #[test]
     fn routing_meets_bounds(nets in proptest::collection::vec(arb_named_net(), 1..5)) {
         let nl = Netlist::new(nets);
-        let report = nl.route(&RouterConfig::default()).expect("routes");
+        let report = nl.route(&RouterConfig::default());
+        prop_assert!(report.failures.is_empty(), "{:?}", report.failures);
         prop_assert_eq!(report.nets.len(), nl.len());
-        let mut total = 0.0;
+        let mut total = 0.0f64;
         for rn in &report.nets {
             prop_assert!(rn.radius <= rn.bound + 1e-9, "{}", rn.name);
             prop_assert!(rn.slack() >= -1e-9);

@@ -255,6 +255,7 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
                 return Err(BmstError::Infeasible {
                     connected,
                     total: nt,
+                    min_feasible_eps: None,
                 });
             }
             edges_at_last_fallback = edges.len();
@@ -276,6 +277,7 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
                 return Err(BmstError::Infeasible {
                     connected,
                     total: nt,
+                    min_feasible_eps: None,
                 });
             }
             continue;
@@ -405,6 +407,7 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
         return Err(BmstError::Infeasible {
             connected: nt,
             total: nt,
+            min_feasible_eps: None,
         });
     }
     Ok(SteinerTree {

@@ -94,6 +94,7 @@ pub fn bkst_on_graph(
             return Err(BmstError::Infeasible {
                 connected: 1,
                 total: sinks.len() + 1,
+                min_feasible_eps: None,
             });
         }
         r = r.max(sp.dist[t]);
@@ -156,6 +157,7 @@ pub fn bkst_on_graph_with(
         return Err(BmstError::Infeasible {
             connected: 1,
             total: nt,
+            min_feasible_eps: None,
         });
     }
 
@@ -212,6 +214,7 @@ pub fn bkst_on_graph_with(
                 return Err(BmstError::Infeasible {
                     connected,
                     total: nt,
+                    min_feasible_eps: None,
                 });
             }
             edges_at_last_fallback = edges.len();
@@ -233,6 +236,7 @@ pub fn bkst_on_graph_with(
                 return Err(BmstError::Infeasible {
                     connected,
                     total: nt,
+                    min_feasible_eps: None,
                 });
             }
             continue;
@@ -323,6 +327,7 @@ pub fn bkst_on_graph_with(
         return Err(BmstError::Infeasible {
             connected: nt,
             total: nt,
+            min_feasible_eps: None,
         });
     }
     Ok(SteinerTree {

@@ -39,6 +39,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "router",
     "clock",
     "obs",
+    "cli",
 ];
 
 /// Crates whose raw float comparisons must go through `geom`'s tolerance

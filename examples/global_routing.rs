@@ -70,7 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = netlist.route(&RouterConfig {
             algorithm,
             ..Default::default()
-        })?;
+        });
+        assert!(report.is_clean(), "demo nets all route at requested eps");
         println!("== {label} ==");
         println!("{report}");
         println!();

@@ -1,0 +1,96 @@
+//! Adversarial-input fuzz harness (fixed-seed, CI-bounded): throws
+//! degenerate geometry — coincident points, collinear clusters, extreme
+//! aspect ratios and coordinates — combined with tiny/huge eps at every
+//! builder in the full registry through the fault-isolated
+//! `TreeBuilder::try_build` path.
+//!
+//! The contract under fuzz: **no panic, ever**. Each attempt either
+//! returns a tree that passes the structural auditor and sits inside the
+//! geometric window, or a typed, recoverable error — never
+//! `BmstError::Internal`, which is reserved for caught panics and
+//! invariant violations (i.e. real bugs).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
+use bmst_core::{audit_construction, BmstError, CostClass, ProblemContext};
+use bmst_geom::{Net, Point};
+use proptest::prelude::*;
+
+/// Degenerate point clouds by family. Coordinates come off integer
+/// lattices (ties and exact coincidences everywhere), then each family
+/// warps them into its own pathology.
+fn arb_degenerate_net() -> impl Strategy<Value = Net> {
+    let lattice = proptest::collection::vec((0i32..6, 0i32..6), 1..=9);
+    (0usize..5, lattice).prop_map(|(family, coords)| {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                let (x, y) = (f64::from(x), f64::from(y));
+                match family {
+                    // Everything piled on (almost) one spot.
+                    0 => Point::new(3.0 + if i % 3 == 0 { 0.0 } else { x * 1e-9 }, 3.0),
+                    // Collinear cluster on the x axis.
+                    1 => Point::new(x * 2.0 + y * 12.0, 0.0),
+                    // Extreme aspect ratio: a wire-shaped net.
+                    2 => Point::new(x * 1e6, y * 1e-6),
+                    // Huge offset far from the origin.
+                    3 => Point::new(1e12 + x, -1e12 + y),
+                    // The raw lattice: dense ties and duplicates.
+                    _ => Point::new(x, y),
+                }
+            })
+            .collect();
+        Net::with_source_first(pts).expect("lattice coordinates are finite")
+    })
+}
+
+/// Tiny, huge, zero, and unbounded eps — the window extremes.
+fn arb_eps() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(1e-12),
+        Just(0.07),
+        Just(0.5),
+        Just(1e9),
+        Just(f64::INFINITY),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The registry-wide no-panic / typed-error / audit-clean contract.
+    #[test]
+    fn registry_survives_degenerate_geometry(net in arb_degenerate_net(), eps in arb_eps()) {
+        let cx = match ProblemContext::new(&net, eps) {
+            Ok(cx) => cx,
+            Err(e) => {
+                // Only an eps problem may reject context construction.
+                prop_assert!(matches!(e, BmstError::InvalidEpsilon { .. }), "{e:?}");
+                return Ok(());
+            }
+        };
+        for &builder in bmst_steiner::full_registry() {
+            let d = builder.descriptor();
+            if d.cost_class == CostClass::Exact && net.len() > 7 {
+                continue; // exponential enumeration: keep the sweep bounded
+            }
+            match builder.try_build(&cx) {
+                Ok(tree) => {
+                    // A returned tree must be structurally sound. The
+                    // window itself was already enforced by try_build's
+                    // post-check; the auditor re-verifies structure,
+                    // path tables, and merge bookkeeping.
+                    if let Err(v) = audit_construction(&net, &tree, None) {
+                        prop_assert!(false, "{}: audit violation {v}", d.name);
+                    }
+                }
+                Err(BmstError::Internal { detail }) => {
+                    prop_assert!(false, "{}: internal error (panic or invariant): {detail}", d.name);
+                }
+                Err(_) => {} // typed rejection: exactly what the contract asks
+            }
+        }
+    }
+}
