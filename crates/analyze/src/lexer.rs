@@ -1,0 +1,541 @@
+//! A zero-dependency Rust lexer, sufficient for source-level lint rules.
+//!
+//! This is not a full grammar: it tokenises a file into identifiers,
+//! numbers, string/char literals, lifetimes, comments, and single-char
+//! punctuation, getting right exactly the cases that break line-regex
+//! linters:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and byte strings;
+//! * nested block comments (`/* /* … */ */`);
+//! * lifetimes (`'a`) vs. char literals (`'x'`, `'\n'`);
+//! * doc comments, which are comments — rule patterns inside `///`
+//!   examples never fire.
+//!
+//! Every token carries its 1-based start line and byte span, so rules can
+//! reconstruct adjacency (`==` is two contiguous `=` puncts) and report
+//! exact locations.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal (`1`, `0.5`, `1e-9`, `0xFF`, `2.0f64`).
+    Number,
+    /// A regular string literal, text includes the quotes.
+    Str,
+    /// A raw (or raw byte) string literal, text includes the delimiters.
+    RawStr,
+    /// A char or byte literal (`'x'`, `b'\n'`), text includes the quotes.
+    Char,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (including `/** … */`), possibly nested.
+    BlockComment,
+    /// A single punctuation character (`.`, `=`, `!`, `{`, …).
+    Punct(char),
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// The source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when the token is this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// For string literals, the content between the delimiters; `None` for
+    /// other kinds.
+    pub fn str_content(&self) -> Option<&str> {
+        match self.kind {
+            TokenKind::Str => {
+                let inner = self.text.strip_prefix('b').unwrap_or(&self.text);
+                inner
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .or(Some(""))
+            }
+            TokenKind::RawStr => {
+                let inner = self
+                    .text
+                    .trim_start_matches('b')
+                    .trim_start_matches('r')
+                    .trim_start_matches('#')
+                    .trim_end_matches('#');
+                inner
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .or(Some(""))
+            }
+            _ => None,
+        }
+    }
+
+    /// True when a numeric literal is floating-point: it has a decimal
+    /// point, a decimal exponent, or an `f32`/`f64` suffix.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = self.text.as_str();
+        if t.starts_with("0x") || t.starts_with("0X") {
+            return false;
+        }
+        if t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        if t.ends_with("u8")
+            || t.ends_with("u16")
+            || t.ends_with("u32")
+            || t.ends_with("u64")
+            || t.ends_with("usize")
+            || t.ends_with("i8")
+            || t.ends_with("i16")
+            || t.ends_with("i32")
+            || t.ends_with("i64")
+            || t.ends_with("isize")
+        {
+            return false;
+        }
+        t.contains('.') || t.contains(['e', 'E'])
+    }
+}
+
+/// Lexes `src` into tokens. Unknown bytes become single-char puncts, so
+/// lexing never fails; rules simply see what is there.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map_or(self.src.len(), |&(byte, _)| byte)
+    }
+
+    /// Advances one char, counting newlines.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start_idx: usize, start_line: usize) {
+        let start = self.byte_at(start_idx);
+        let end = self.byte_at(self.pos);
+        self.out.push(Token {
+            kind,
+            text: self.src[start..end].to_owned(),
+            line: start_line,
+            start,
+            end,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while depth > 0 && self.peek(0).is_some() {
+                        if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokenKind::BlockComment, start, line);
+                }
+                '"' => self.string(start, line),
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_alphabetic() || c == '_' => {
+                    if matches!(c, 'r' | 'b') && self.raw_or_byte_prefix() {
+                        continue;
+                    }
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line);
+                }
+                c if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct(c), start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw idents
+    /// (`r#match`). Returns `true` when it consumed something; `false`
+    /// leaves the `r`/`b` to be lexed as a plain identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let first = self.peek(0);
+        // b"..." / b'...'
+        if first == Some('b') {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    self.string(start, line);
+                    return true;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.bump(); // consume the opening quote
+                    self.char_body(start, line);
+                    return true;
+                }
+                Some('r') => {
+                    // br"…" / br#"…"#
+                    let mut ahead = 2;
+                    while self.peek(ahead) == Some('#') {
+                        ahead += 1;
+                    }
+                    if self.peek(ahead) == Some('"') {
+                        self.bump();
+                        self.raw_string(start, line);
+                        return true;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // r"…" / r#"…"# / r#ident
+        if first == Some('r') {
+            let mut ahead = 1;
+            while self.peek(ahead) == Some('#') {
+                ahead += 1;
+            }
+            if self.peek(ahead) == Some('"') {
+                self.raw_string(start, line);
+                return true;
+            }
+            if ahead == 2 && self.peek(1) == Some('#') {
+                // Raw identifier r#match: lex as an identifier.
+                self.bump();
+                self.bump();
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    self.bump();
+                }
+                self.emit(TokenKind::Ident, start, line);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes a raw string starting at the current `r`.
+    fn raw_string(&mut self, start: usize, line: usize) {
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        self.emit(TokenKind::RawStr, start, line);
+    }
+
+    /// Consumes a regular string; the opening quote is at the current pos.
+    fn string(&mut self, start: usize, line: usize) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Str, start, line);
+    }
+
+    /// Disambiguates a `'`: lifetime (`'a`, `'static`) vs char (`'x'`).
+    fn char_or_lifetime(&mut self, start: usize, line: usize) {
+        // A char literal is '<escape-or-one-char>'. A lifetime is '<ident>
+        // with no closing quote right after the identifier.
+        if self.peek(1) == Some('\\') {
+            self.bump();
+            self.char_body(start, line);
+            return;
+        }
+        let is_ident_start = self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_');
+        if is_ident_start && self.peek(2) != Some('\'') {
+            // Lifetime: consume ' and the identifier.
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, line);
+            return;
+        }
+        self.bump();
+        self.char_body(start, line);
+    }
+
+    /// Consumes a char literal body after the opening quote.
+    fn char_body(&mut self, start: usize, line: usize) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('\'') => {
+                    self.bump();
+                    break;
+                }
+                Some('\n') => break, // unterminated; bail at line end
+                Some(_) => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Char, start, line);
+    }
+
+    /// Consumes a numeric literal, including float forms (`1.5`, `1e-9`,
+    /// `2.0f64`) without swallowing range operators (`0..n`).
+    fn number(&mut self, start: usize, line: usize) {
+        let hex = self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'o'));
+        self.bump();
+        if hex {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    // Decimal exponent may be signed: 1e-9.
+                    if !hex
+                        && (c == 'e' || c == 'E')
+                        && matches!(self.peek(1), Some('+' | '-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    self.bump();
+                }
+                Some('.')
+                    if !hex
+                        && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                        && self.peek(1) != Some('.') =>
+                {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.emit(TokenKind::Number, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = lex("let x = 1.5e-3 + 0x1F;");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "1.5e-3", "+", "0x1F", ";"]);
+        assert!(toks[3].is_float_literal());
+        assert!(!toks[5].is_float_literal());
+    }
+
+    #[test]
+    fn ranges_do_not_make_floats() {
+        let toks = lex("for i in 0..n {}");
+        let num = toks.iter().find(|t| t.kind == TokenKind::Number).unwrap();
+        assert_eq!(num.text, "0");
+        assert!(!num.is_float_literal());
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = lex(r####"let s = r#"x.unwrap()"#; let t = r"y";"####);
+        let raws: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raws.len(), 2);
+        assert_eq!(raws[0].str_content(), Some("x.unwrap()"));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* panic!() */ still comment */ fn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("still comment"));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = lex("let s: &'static str = \"\";");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// example: `x.unwrap()`\n//! panic!(\"no\")\nfn f() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn strings_hide_patterns_and_escapes() {
+        let toks = lex(r#"let s = "a \" .unwrap() b"; x.real();"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = lex(r#"let b = b"bytes"; let r = r#match;"#);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.text == "r#match"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let toks = lex("let s = \"one\ntwo\";\nlet y = 3;");
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+        assert_eq!(kinds("\"\n\"")[0], TokenKind::Str);
+    }
+}

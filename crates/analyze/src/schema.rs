@@ -1,0 +1,367 @@
+//! The obs-schema contract: extract every event/counter/histogram/span
+//! name passed to `bmst-obs` from the token streams, parse the checked-in
+//! `crates/obs/events.toml` registry, and diff the two — unknown emissions
+//! and dead registry entries are both failures.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+/// Which `bmst_obs` entry point an emission flows through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmissionKind {
+    /// `bmst_obs::event(name, fields)`.
+    Event,
+    /// `bmst_obs::counter(name, n)`.
+    Counter,
+    /// `bmst_obs::histogram(name, v)`.
+    Histogram,
+    /// `bmst_obs::span(name)` / `bmst_obs::span_dyn(name)`.
+    Span,
+}
+
+impl EmissionKind {
+    /// The `events.toml` section this kind is registered under.
+    pub fn section(self) -> &'static str {
+        match self {
+            EmissionKind::Event => "events",
+            EmissionKind::Counter => "counters",
+            EmissionKind::Histogram => "histograms",
+            EmissionKind::Span => "spans",
+        }
+    }
+
+    fn of(fn_name: &str) -> Option<Self> {
+        match fn_name {
+            "event" => Some(EmissionKind::Event),
+            "counter" => Some(EmissionKind::Counter),
+            "histogram" => Some(EmissionKind::Histogram),
+            "span" | "span_dyn" => Some(EmissionKind::Span),
+            _ => None,
+        }
+    }
+}
+
+/// The names `bmst_obs::` exposes for emitting; importing these unqualified
+/// would let emissions escape the extractor, so the obs-schema rule forbids
+/// it outside the obs crate.
+pub const EMISSION_FNS: &[&str] = &["event", "counter", "histogram", "span", "span_dyn"];
+
+/// One name literal observed flowing into `bmst-obs`.
+#[derive(Debug, Clone)]
+pub struct Emission {
+    /// File the emission was found in.
+    pub path: PathBuf,
+    /// 1-based line of the name literal.
+    pub line: usize,
+    /// Which entry point it flows through.
+    pub kind: EmissionKind,
+    /// The name, verbatim — format-string emissions keep their `{...}`
+    /// placeholders (e.g. `router.net.w{worker}`).
+    pub name: String,
+}
+
+/// Extracts every emission from `file` by matching qualified calls
+/// `bmst_obs::<fn>(...)` and collecting **all** string literals inside the
+/// first top-level argument. Collecting all of them (not just the first)
+/// keeps conditional names — `if ok { "a" } else { "b" }` — and names
+/// wrapped in `format!` visible to the diff.
+pub fn extract_emissions(file: &SourceFile) -> Vec<Emission> {
+    let mut out = Vec::new();
+    let n = file.sig.len();
+    for i in 0..n {
+        if !file.s(i).is_some_and(|t| t.is_ident("bmst_obs")) {
+            continue;
+        }
+        let path_is = |a: usize, ch: char| file.s(a).is_some_and(|t| t.is_punct(ch));
+        if !(path_is(i + 1, ':') && path_is(i + 2, ':')) {
+            continue;
+        }
+        let Some(fn_tok) = file.s(i + 3) else {
+            continue;
+        };
+        let Some(kind) = EmissionKind::of(&fn_tok.text) else {
+            continue;
+        };
+        if !path_is(i + 4, '(') {
+            continue;
+        }
+        // Scan the first top-level argument: up to a `,` at call depth, or
+        // the call's closing paren. Nested parens/brackets/braces (from
+        // `format!`, `if`/`else` blocks) are traversed, and every string
+        // literal inside is an emission name.
+        let mut depth = 1i32;
+        let mut k = i + 5;
+        while depth > 0 {
+            let Some(t) = file.s(k) else { break };
+            match t.kind {
+                TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokenKind::Punct(',') if depth == 1 => break,
+                TokenKind::Str | TokenKind::RawStr => {
+                    if let Some(name) = t.str_content() {
+                        out.push(Emission {
+                            path: file.path.clone(),
+                            line: t.line,
+                            kind,
+                            name: name.to_owned(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// The parsed `events.toml` registry: section → name → 1-based line.
+#[derive(Debug, Default)]
+pub struct EventsSchema {
+    /// Registered names per section, with the line each was declared on.
+    pub sections: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A syntax problem in `events.toml`.
+#[derive(Debug)]
+pub struct SchemaError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl EventsSchema {
+    /// Parses the TOML subset the registry uses: `[section]` headers,
+    /// `"name" = "description"` entries (bare keys allowed), `#` comments
+    /// and blank lines. Anything else is an error — the registry is a
+    /// contract, not a config file.
+    pub fn parse(text: &str) -> Result<Self, SchemaError> {
+        let mut schema = EventsSchema::default();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(inner) = trimmed.strip_prefix('[') {
+                let Some(name) = inner.strip_suffix(']') else {
+                    return Err(SchemaError {
+                        line,
+                        message: format!("malformed section header `{trimmed}`"),
+                    });
+                };
+                let name = name.trim().to_owned();
+                if schema.sections.contains_key(&name) {
+                    return Err(SchemaError {
+                        line,
+                        message: format!("duplicate section `[{name}]`"),
+                    });
+                }
+                schema.sections.insert(name.clone(), BTreeMap::new());
+                current = Some(name);
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(SchemaError {
+                    line,
+                    message: format!("expected `\"name\" = \"description\"`, got `{trimmed}`"),
+                });
+            };
+            let key = key.trim().trim_matches('"').to_owned();
+            let value = value.trim();
+            if key.is_empty()
+                || !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2)
+            {
+                return Err(SchemaError {
+                    line,
+                    message: format!("expected `\"name\" = \"description\"`, got `{trimmed}`"),
+                });
+            }
+            let Some(section) = current.as_ref() else {
+                return Err(SchemaError {
+                    line,
+                    message: format!("entry `{key}` appears before any [section] header"),
+                });
+            };
+            if let Some(entries) = schema.sections.get_mut(section) {
+                if entries.insert(key.clone(), line).is_some() {
+                    return Err(SchemaError {
+                        line,
+                        message: format!("duplicate entry `{key}` in [{section}]"),
+                    });
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Whether `name` is registered under `section`.
+    pub fn contains(&self, section: &str, name: &str) -> bool {
+        self.sections
+            .get(section)
+            .is_some_and(|entries| entries.contains_key(name))
+    }
+}
+
+/// Result of diffing live emissions against the registry.
+#[derive(Debug, Default)]
+pub struct SchemaDiff {
+    /// Emissions whose name is not registered under the matching section.
+    pub unknown: Vec<Emission>,
+    /// Registered `(section, name, line)` entries nothing emits.
+    pub dead: Vec<(String, String, usize)>,
+}
+
+impl SchemaDiff {
+    /// True when the registry round-trips: zero unknown, zero dead.
+    pub fn is_clean(&self) -> bool {
+        self.unknown.is_empty() && self.dead.is_empty()
+    }
+}
+
+/// Diffs `emissions` against `schema`, both directions.
+pub fn diff(schema: &EventsSchema, emissions: &[Emission]) -> SchemaDiff {
+    let mut out = SchemaDiff::default();
+    for e in emissions {
+        if !schema.contains(e.kind.section(), &e.name) {
+            out.unknown.push(e.clone());
+        }
+    }
+    for (section, entries) in &schema.sections {
+        for (name, &line) in entries {
+            let live = emissions
+                .iter()
+                .any(|e| e.kind.section() == section && &e.name == name);
+            if !live {
+                out.dead.push((section.clone(), name.clone(), line));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+    use std::path::Path;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from("test.rs"), "test".to_owned(), src)
+    }
+
+    #[test]
+    fn simple_emissions_are_extracted() {
+        let f = file(
+            "fn f() {\n    bmst_obs::counter(\"a.b\", 1);\n    let _s = bmst_obs::span(\"sp\");\n}\n",
+        );
+        let ems = extract_emissions(&f);
+        assert_eq!(ems.len(), 2);
+        assert_eq!(ems[0].name, "a.b");
+        assert_eq!(ems[0].kind, EmissionKind::Counter);
+        assert_eq!(ems[1].name, "sp");
+        assert_eq!(ems[1].kind, EmissionKind::Span);
+    }
+
+    #[test]
+    fn conditional_names_yield_both_literals() {
+        let f = file(
+            "fn f(ok: bool) {\n    bmst_obs::counter(\n        if ok { \"x.accept\" } else { \"x.reject\" },\n        1,\n    );\n}\n",
+        );
+        let names: Vec<String> = extract_emissions(&f).into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["x.accept", "x.reject"]);
+    }
+
+    #[test]
+    fn format_span_names_are_kept_verbatim() {
+        let f =
+            file("fn f(w: usize) {\n    let _s = bmst_obs::span_dyn(&format!(\"net.w{w}\"));\n}\n");
+        let ems = extract_emissions(&f);
+        assert_eq!(ems.len(), 1);
+        assert_eq!(ems[0].name, "net.w{w}");
+        assert_eq!(ems[0].kind, EmissionKind::Span);
+    }
+
+    #[test]
+    fn second_argument_literals_are_not_names() {
+        let f =
+            file("fn f() {\n    bmst_obs::event(\"e.name\", &[(\"key\", field(\"val\"))]);\n}\n");
+        let names: Vec<String> = extract_emissions(&f).into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e.name"]);
+    }
+
+    #[test]
+    fn unqualified_or_other_calls_are_ignored() {
+        let f = file("fn f() {\n    counter(\"loose\", 1);\n    other::span(\"x\");\n    bmst_obs::install(r);\n}\n");
+        assert!(extract_emissions(&f).is_empty());
+    }
+
+    #[test]
+    fn emissions_in_comments_and_strings_are_ignored() {
+        let f = file(
+            "//! bmst_obs::counter(\"doc.example\", 1);\nfn f() {\n    let _s = \"bmst_obs::span(\\\"fake\\\")\";\n}\n",
+        );
+        assert!(extract_emissions(&f).is_empty());
+    }
+
+    #[test]
+    fn schema_parses_and_diffs_both_directions() {
+        let toml = "# registry\n[counters]\n\"a.b\" = \"things\"\n\"dead.one\" = \"unused\"\n\n[spans]\n\"sp\" = \"a span\"\n";
+        let schema = EventsSchema::parse(toml).unwrap();
+        assert!(schema.contains("counters", "a.b"));
+        let ems = vec![
+            Emission {
+                path: Path::new("x.rs").to_owned(),
+                line: 1,
+                kind: EmissionKind::Counter,
+                name: "a.b".into(),
+            },
+            Emission {
+                path: Path::new("x.rs").to_owned(),
+                line: 2,
+                kind: EmissionKind::Counter,
+                name: "new.one".into(),
+            },
+            Emission {
+                path: Path::new("x.rs").to_owned(),
+                line: 3,
+                kind: EmissionKind::Span,
+                name: "sp".into(),
+            },
+        ];
+        let d = diff(&schema, &ems);
+        assert_eq!(d.unknown.len(), 1);
+        assert_eq!(d.unknown[0].name, "new.one");
+        assert_eq!(d.dead, vec![("counters".into(), "dead.one".into(), 4)]);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn kind_section_mismatch_is_unknown() {
+        let toml = "[counters]\n\"x\" = \"c\"\n";
+        let schema = EventsSchema::parse(toml).unwrap();
+        let ems = vec![Emission {
+            path: Path::new("x.rs").to_owned(),
+            line: 1,
+            kind: EmissionKind::Histogram,
+            name: "x".into(),
+        }];
+        let d = diff(&schema, &ems);
+        assert_eq!(d.unknown.len(), 1);
+        assert_eq!(d.dead.len(), 1);
+    }
+
+    #[test]
+    fn schema_rejects_malformed_lines() {
+        assert!(EventsSchema::parse("\"orphan\" = \"x\"\n").is_err());
+        assert!(EventsSchema::parse("[events\n").is_err());
+        assert!(EventsSchema::parse("[events]\nnot a pair\n").is_err());
+        assert!(EventsSchema::parse("[events]\n\"a\" = \"x\"\n\"a\" = \"y\"\n").is_err());
+        assert!(EventsSchema::parse("[events]\n[events]\n").is_err());
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified single-threaded cell in the router crate.
+fn memoised() -> usize {
+    // lint: allow(concurrency) — serial-only diagnostics path, never crosses route_parallel
+    let cell = std::cell::RefCell::new(0usize);
+    *cell.borrow()
+}

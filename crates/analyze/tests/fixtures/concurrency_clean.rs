@@ -1,0 +1,20 @@
+// Fixture: shared-nothing parallel state, with the Send/Sync assertions
+// next to the algorithm handle.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static ROUTED: AtomicUsize = AtomicUsize::new(0);
+
+pub struct RouteAlgorithm {
+    builder: &'static dyn TreeBuilder,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RouteAlgorithm>();
+};
+
+fn bump(shared: &Arc<AtomicUsize>) {
+    shared.fetch_add(1, Ordering::Relaxed);
+    ROUTED.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,13 @@
+// Fixture: shared mutable state in the parallel routing crate.
+static mut ROUTED: usize = 0;
+
+thread_local! {
+    static SCRATCH: Vec<usize> = Vec::new();
+}
+
+use std::rc::Rc;
+use std::cell::RefCell;
+
+pub struct RouteAlgorithm {
+    shared: Rc<RefCell<usize>>,
+}

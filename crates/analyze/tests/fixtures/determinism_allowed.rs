@@ -1,0 +1,7 @@
+// Fixture: a justified hash container in a hot path.
+fn lookup_only(keys: &[(u64, u64)]) -> usize {
+    // lint: allow(determinism) — lookup-only map, never iterated, so order cannot leak
+    let map: std::collections::HashMap<(u64, u64), usize> =
+        keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    map.len()
+}

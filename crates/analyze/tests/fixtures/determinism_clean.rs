@@ -1,0 +1,24 @@
+// Fixture: deterministic containers and sorts.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn collect(edges: &[(usize, usize)]) -> BTreeMap<usize, usize> {
+    edges.iter().copied().collect()
+}
+
+fn distinct(ids: &[usize]) -> usize {
+    let set: BTreeSet<usize> = ids.iter().copied().collect();
+    set.len()
+}
+
+fn by_id(v: &mut Vec<usize>) {
+    v.sort_unstable();
+}
+
+fn by_pair(v: &mut Vec<(usize, usize)>) {
+    v.sort_unstable_by(|a, b| b.cmp(a));
+}
+
+fn by_weight_stable(v: &mut Vec<(f64, usize)>) {
+    // A *stable* sort keeps equal keys in input order: deterministic.
+    v.sort_by(|a, b| a.0.total_cmp(&b.0));
+}

@@ -1,0 +1,20 @@
+// Fixture: nondeterministic iteration order and unstable float sorts in
+// a byte-identical hot path.
+use std::collections::HashMap;
+
+fn collect(edges: &[(usize, usize)]) -> HashMap<usize, usize> {
+    edges.iter().copied().collect()
+}
+
+fn distinct(ids: &[usize]) -> usize {
+    let set: std::collections::HashSet<usize> = ids.iter().copied().collect();
+    set.len()
+}
+
+fn by_weight(v: &mut Vec<(f64, usize)>) {
+    v.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn by_float_key(v: &mut Vec<Edge>) {
+    v.sort_unstable_by_key(|e| e.weight as f64);
+}

@@ -1,0 +1,3 @@
+// Fixture: an undocumented pub item with a justified marker.
+// lint: allow(doc-pub) — generated shim, documented at the module level
+pub fn generated_shim() {}

@@ -1,0 +1,18 @@
+// Fixture: documented public surface, restricted items, and re-exports.
+
+/// A documented struct.
+#[derive(Debug)]
+pub struct Documented;
+
+/// Documented even with a plain comment in between.
+// implementation note between doc and item
+pub fn documented_fn() {}
+
+/** Block-doc documented. */
+pub const LIMIT: usize = 8;
+
+pub(crate) fn restricted() {}
+
+pub use other::Thing;
+
+fn private() {}

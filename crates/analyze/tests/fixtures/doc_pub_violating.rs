@@ -1,0 +1,11 @@
+// Fixture: public items without doc comments.
+pub struct Undocumented {
+    pub field: usize,
+}
+
+#[derive(Debug)]
+pub enum AlsoUndocumented {
+    A,
+}
+
+pub fn no_docs() {}

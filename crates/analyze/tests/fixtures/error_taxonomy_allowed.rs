@@ -1,0 +1,10 @@
+// Fixture: justified taxonomy escapes.
+fn probe(cx: &Context) -> bool {
+    // lint: allow(error-taxonomy) — feasibility probe: the panic itself is the signal
+    std::panic::catch_unwind(|| build_inner(cx)).is_ok()
+}
+
+fn counter_of(r: Result<usize, ParseIntError>) -> usize {
+    // lint: allow(error-taxonomy) — a missing counter legitimately reads as zero
+    r.unwrap_or_default()
+}

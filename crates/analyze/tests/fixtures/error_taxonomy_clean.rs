@@ -1,0 +1,21 @@
+// Fixture: failures that stay inside the taxonomy.
+fn guarded(cx: &Context) -> Result<Tree, BmstError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build_inner(cx)))
+        .map_err(|_| BmstError::internal("builder panicked"))?
+}
+
+fn defaulted_option(x: Option<usize>) -> usize {
+    x.unwrap_or(0)
+}
+
+pub fn build(cx: &ProblemContext<'_>) -> Result<Tree, BmstError> {
+    build_inner(cx)
+}
+
+pub(crate) fn helper(cx: &ProblemContext<'_>) -> Tree {
+    build_unchecked(cx)
+}
+
+pub fn unrelated(n: usize) -> usize {
+    n + 1
+}

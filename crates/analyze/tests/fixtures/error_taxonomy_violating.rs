@@ -1,0 +1,12 @@
+// Fixture: failures escaping the BmstError taxonomy.
+fn swallowed_panic(cx: &Context) -> Option<Tree> {
+    std::panic::catch_unwind(|| build_inner(cx)).ok()
+}
+
+fn swallowed_error(r: Result<usize, BmstError>) -> usize {
+    r.unwrap_or_default()
+}
+
+pub fn build(cx: &ProblemContext<'_>) -> Tree {
+    build_inner(cx)
+}

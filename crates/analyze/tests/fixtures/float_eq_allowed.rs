@@ -1,0 +1,5 @@
+// Fixture: an intentional exact float comparison with its justification.
+fn exact_sentinel(x: f64) -> bool {
+    // lint: allow(float-eq) — comparing against the exact sentinel the encoder wrote
+    x == -1.0
+}

@@ -1,0 +1,25 @@
+// Fixture: comparisons float-eq must leave alone.
+fn integers(n: usize) -> bool {
+    n == 0
+}
+
+fn ranges(n: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}
+
+fn ordered(x: f64, y: f64) -> bool {
+    x <= y && y >= x && x < y + 1.0
+}
+
+fn tolerance_helpers(x: f64, y: f64) -> bool {
+    approx_eq(x, y)
+}
+
+fn strings() -> bool {
+    let s = "x == 0.0 in a string";
+    s.is_empty()
+}

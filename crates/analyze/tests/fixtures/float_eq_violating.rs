@@ -1,0 +1,16 @@
+// Fixture: raw float comparisons the float-eq rule must catch.
+fn against_literal(x: f64) -> bool {
+    x == 0.0
+}
+
+fn against_exponent(x: f64) -> bool {
+    x != 1e-9
+}
+
+fn against_const(x: f64) -> bool {
+    x == f64::INFINITY
+}
+
+fn negated_literal(x: f64) -> bool {
+    -1.5 == x
+}

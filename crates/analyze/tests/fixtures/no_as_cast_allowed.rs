@@ -1,0 +1,5 @@
+// Fixture: a justified cast.
+fn indexed(i: u32) -> usize {
+    // lint: allow(no-as-cast) — u32 always fits in usize on supported targets
+    i as usize
+}

@@ -1,0 +1,14 @@
+// Fixture: conversions that stay within the From/TryFrom vocabulary, and
+// casts to types the rule does not police.
+fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+fn narrow(n: u8) -> u32 {
+    n as u32
+}
+
+fn renamed_import() {
+    use std::collections::BTreeMap as usize_like;
+    let _m: usize_like<u8, u8> = usize_like::new();
+}

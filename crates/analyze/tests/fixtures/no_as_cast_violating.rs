@@ -1,0 +1,8 @@
+// Fixture: truncating casts in an algorithm crate.
+fn widen(n: u32) -> usize {
+    n as usize
+}
+
+fn to_float(n: u64) -> f64 {
+    n as f64
+}

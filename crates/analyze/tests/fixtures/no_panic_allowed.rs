@@ -1,0 +1,8 @@
+// Fixture: every panic site carries a justified allow marker.
+fn indexed(v: &[u8], i: usize) -> u8 {
+    // lint: allow(no-panic) — index is bounds-checked by the caller
+    let first = v.first().unwrap();
+    // lint: allow(no-panic) — invariant: builder registry always has the entry
+    let second = v.get(i).expect("registry entry");
+    first + second
+}

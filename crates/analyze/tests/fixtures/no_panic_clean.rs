@@ -1,0 +1,39 @@
+// Fixture: code the old regex pass falsely flagged — panic vocabulary in
+// doc-comment examples, strings, and non-panicking method names.
+
+/// Returns the value or a default.
+///
+/// ```
+/// let v = maybe.unwrap();      // doc example: fine
+/// if v == 0 { panic!("no"); }  // doc example: fine
+/// ```
+fn documented(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+fn strings_and_comments() -> &'static str {
+    // a comment mentioning .unwrap() and panic!(...) is not a violation
+    let raw = r#"panic!("inside a raw string") .expect("nope")"#;
+    let plain = ".unwrap() todo!(x) unimplemented!(y)";
+    if raw.len() > plain.len() {
+        raw
+    } else {
+        plain
+    }
+}
+
+fn fallible(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| "missing".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("unreachable in tests is fine");
+        }
+    }
+}

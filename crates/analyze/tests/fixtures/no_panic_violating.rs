@@ -1,0 +1,20 @@
+// Fixture: no-panic violations, including the regex pass's blind spot —
+// a `panic!` whose argument list is split across lines.
+fn split_macro(n: usize) {
+    if n == 0 {
+        panic!(
+            "empty input: {}",
+            n
+        );
+    }
+}
+
+fn unwrap_and_expect(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    a + b
+}
+
+fn other_macros() {
+    unreachable!("dead");
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified print in library code.
+fn progress(step: usize) {
+    // lint: allow(no-print) — progress line of a long-running helper, opt-in via --verbose
+    eprintln!("step {step}");
+}

@@ -1,0 +1,16 @@
+// Fixture: output routed correctly — into strings or recorders.
+use std::fmt::Write as _;
+
+fn report(n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "routed {n} nets");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: printing from library code.
+fn report(n: usize) {
+    println!("routed {n} nets");
+    eprintln!("warning: {n}");
+    let _peek = dbg!(n);
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified unqualified emission import.
+// lint: allow(obs-schema) — macro-generated call sites cannot use qualified paths here
+use bmst_obs::counter;
+
+fn record(n: u64) {
+    counter("fixture.generated", n);
+}

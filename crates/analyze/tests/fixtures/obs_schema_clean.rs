@@ -1,0 +1,8 @@
+// Fixture: qualified emissions and non-emission imports.
+use bmst_obs::{Field, SummaryRecorder};
+
+fn record(n: u64, ok: bool) {
+    bmst_obs::counter("fixture.count", n);
+    bmst_obs::event("fixture.event", &[("ok", Field::from(ok))]);
+    let _span = bmst_obs::span("fixture.span");
+}

@@ -1,0 +1,7 @@
+// Fixture: emission entry points imported unqualified — names would
+// escape the schema extractor.
+use bmst_obs::counter;
+
+fn record(n: u64) {
+    counter("hidden.from.extractor", n);
+}

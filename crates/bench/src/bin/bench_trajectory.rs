@@ -265,6 +265,45 @@ fn robustness_overhead(quick: bool, records: &mut Vec<BenchRecord>) {
     });
 }
 
+/// Times a full `bmst-analyze` workspace pass so the cost of the
+/// analysis gate stays visible in the trajectory: `lint.millis` is the
+/// wall-clock of `cargo xtask lint`'s engine (sans process spawn), and
+/// `lint.violations` must read zero on a healthy tree.
+fn lint_gate(records: &mut Vec<BenchRecord>) {
+    let mut root = bmst_analyze::workspace_root();
+    if !root.join("crates").is_dir() {
+        // Running from outside the checkout: fall back to the location
+        // this binary was compiled from.
+        root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or(root);
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!("lint gate skipped: workspace root not found");
+        return;
+    }
+    let (report, wall_s) = timed(|| bmst_analyze::analyze_workspace(&root));
+    records.push(BenchRecord {
+        bench: "workspace".to_owned(),
+        algorithm: "lint".to_owned(),
+        eps: 0.0,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s,
+        counters: [
+            ("lint.millis".to_owned(), (wall_s * 1000.0) as u64),
+            ("lint.files".to_owned(), report.files_scanned as u64),
+            ("lint.emissions".to_owned(), report.emissions_seen as u64),
+            ("lint.violations".to_owned(), report.violations.len() as u64),
+        ]
+        .into(),
+    });
+}
+
 fn main() {
     let quick = has_flag("--quick");
     let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| ".".to_owned()));
@@ -273,6 +312,7 @@ fn main() {
     sweep_registry(quick, &mut records);
     netlist_comparison(quick, &mut records);
     robustness_overhead(quick, &mut records);
+    lint_gate(&mut records);
 
     match write_bench_file(&out_dir, "table2", &records) {
         Ok(path) => println!("{} records -> {}", records.len(), path.display()),

@@ -27,6 +27,17 @@ pub struct RouteAlgorithm {
     builder: &'static dyn TreeBuilder,
 }
 
+// Compile-time Send/Sync assertions: `route_parallel` hands these types to
+// worker threads, so losing either bound (e.g. by adding an `Rc` field)
+// must be a compile error here, not a distant trait-solver error at the
+// spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RouteAlgorithm>();
+    assert_send_sync::<RouterConfig>();
+    assert_send_sync::<RelaxationPolicy>();
+};
+
 impl RouteAlgorithm {
     /// Resolves a registry name or alias (`bkrus`, `steiner`, `pd`, ...).
     pub fn from_name(name: &str) -> Option<Self> {

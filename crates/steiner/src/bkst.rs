@@ -1,7 +1,7 @@
 //! BKST: bounded path length Kruskal Steiner trees (paper §3.3).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use bmst_core::forest::KruskalForest;
 use bmst_core::{BmstError, PathConstraint};
@@ -184,7 +184,7 @@ pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, B
 
     let mut points: Vec<Point> = net.points().to_vec();
     let mut dist_s: Vec<f64> = points.iter().map(|p| p.manhattan(src_pt)).collect();
-    let mut node_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     for (id, &p) in points.iter().enumerate() {
         let key = grid
             .locate(p)

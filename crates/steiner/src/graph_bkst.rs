@@ -10,7 +10,7 @@
 //! distances in place of Manhattan ones.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use bmst_core::forest::KruskalForest;
 use bmst_core::{BmstError, PathConstraint};
@@ -144,7 +144,7 @@ pub fn bkst_on_graph_with(
     let mut graph_of: Vec<usize> = Vec::with_capacity(nt);
     graph_of.push(source);
     graph_of.extend_from_slice(sinks);
-    let mut forest_of: HashMap<usize, usize> =
+    let mut forest_of: BTreeMap<usize, usize> =
         graph_of.iter().enumerate().map(|(f, &g)| (g, f)).collect();
     let mut points: Vec<_> = graph_of.iter().map(|&g| graph.point(g)).collect();
 

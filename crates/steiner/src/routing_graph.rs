@@ -8,7 +8,7 @@
 //! substrate — any rectilinear node/edge graph, in particular one with
 //! routing blockages — driven by [`crate::bkst_on_graph`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bmst_geom::{BoundingBox, Point};
 use bmst_graph::{dijkstra, AdjacencyList, ShortestPaths};
@@ -37,7 +37,7 @@ use crate::HananGrid;
 pub struct RoutingGraph {
     points: Vec<Point>,
     adj: AdjacencyList,
-    index: HashMap<(u64, u64), usize>,
+    index: BTreeMap<(u64, u64), usize>,
 }
 
 fn key(p: Point) -> (u64, u64) {
@@ -91,7 +91,7 @@ impl RoutingGraph {
         let grid = HananGrid::new(&all);
 
         let mut points = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         let mut id_of = vec![vec![usize::MAX; grid.height()]; grid.width()];
         for (xi, column) in id_of.iter_mut().enumerate() {
             for (yi, slot) in column.iter_mut().enumerate() {

@@ -1,115 +1,23 @@
-//! Repo-specific source-level lints for the BMST workspace.
+//! Thin driver over the `bmst-analyze` engine.
 //!
-//! `cargo xtask lint` walks `crates/*/src` and enforces rules that sit
-//! above what `clippy` can express — per-crate scoping, an allow-marker
-//! convention that forces a written justification, and a documentation
-//! gate on the algorithm crates' public API:
-//!
-//! | rule         | scope                                   | forbids |
-//! |--------------|-----------------------------------------|---------|
-//! | `no-panic`   | all library crates                      | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test code |
-//! | `float-eq`   | library crates except `geom`            | `==`/`!=` against float literals or `f64::` constants (use `geom`'s tolerance helpers) |
-//! | `doc-pub`    | `core`, `tree`, `graph`, `geom`, `obs`  | `pub` items without a doc comment |
-//! | `no-as-cast` | `core`, `tree`, `graph`, `obs`          | `as usize` / `as f64` truncating casts |
-//! | `no-print`   | all library crates incl. `cli`, `bench` | `println!` / `eprintln!` / `dbg!` in library sources (binaries — `src/bin/`, `main.rs` — and tests exempt; use `bmst-obs` or return strings) |
-//!
-//! A violating line may be kept by annotating it — same line or the line
-//! directly above — with:
-//!
-//! ```text
-//! // lint: allow(<rule>) — <reason>
-//! ```
-//!
-//! The reason is mandatory: a marker without one is itself a violation.
-//! `#[cfg(test)]` modules are exempt from every rule.
+//! The rules themselves — lexer, token models, the nine rule
+//! implementations, marker handling, and the `events.toml` diff — live in
+//! `crates/analyze`; this module only parses CLI arguments, runs the
+//! engine at the workspace root, and formats the report. See
+//! `DESIGN.md` §5e for the rule table and the marker convention.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Library crates whose non-test code must be panic-free.
-const PANIC_FREE_CRATES: &[&str] = &[
-    "core",
-    "tree",
-    "graph",
-    "geom",
-    "steiner",
-    "io",
-    "instances",
-    "router",
-    "clock",
-    "obs",
-    "cli",
-];
-
-/// Crates whose raw float comparisons must go through `geom`'s tolerance
-/// helpers (`approx_eq`, `le_tol`, `lt_tol`, ...). `geom` itself hosts
-/// those helpers and is exempt.
-const FLOAT_EQ_CRATES: &[&str] = &[
-    "core",
-    "tree",
-    "graph",
-    "steiner",
-    "io",
-    "instances",
-    "router",
-    "clock",
-    "obs",
-];
-
-/// Crates whose whole `pub` surface must carry doc comments.
-const DOC_CRATES: &[&str] = &["core", "tree", "graph", "geom", "obs"];
-
-/// Algorithm crates where `as usize` / `as f64` casts need justification.
-const CAST_CRATES: &[&str] = &["core", "tree", "graph", "obs"];
-
-/// Crates whose library sources must not print to stdout/stderr: output
-/// belongs to the caller (CLI report strings) or to `bmst-obs` recorders.
-/// Binary sources (`src/bin/`, `main.rs`) are exempt — printing is their
-/// job.
-const PRINT_FREE_CRATES: &[&str] = &[
-    "core",
-    "tree",
-    "graph",
-    "geom",
-    "steiner",
-    "io",
-    "instances",
-    "router",
-    "clock",
-    "obs",
-    "cli",
-    "bench",
-];
-
-/// Every crate the lint walks: the union of the per-rule scopes above.
-const ALL_CRATES: &[&str] = &[
-    "core",
-    "tree",
-    "graph",
-    "geom",
-    "steiner",
-    "io",
-    "instances",
-    "router",
-    "clock",
-    "obs",
-    "cli",
-    "bench",
-];
-
-/// One reported lint violation.
-struct Violation {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
+use bmst_analyze::{analyze_workspace, rule_table, workspace_root, Violation};
 
 /// Entry point for `cargo xtask lint`.
 pub fn run(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--list") {
-        print_rules();
+        for info in rule_table() {
+            println!("{:<15} {}", info.name, info.scope.join(", "));
+            println!("{:<15} {}", "", info.description);
+        }
+        println!("\nAnnotate intentional sites with: // lint: allow(<rule>) — <reason>");
         return ExitCode::SUCCESS;
     }
     if let Some(unknown) = args.iter().find(|a| *a != "--list") {
@@ -118,889 +26,66 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 
     let root = workspace_root();
-    let mut violations = Vec::new();
-    let mut files_scanned = 0usize;
-
-    for krate in ALL_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        for file in rust_files(&src) {
-            files_scanned += 1;
-            let Ok(text) = std::fs::read_to_string(&file) else {
-                violations.push(Violation {
-                    path: file.clone(),
-                    line: 0,
-                    rule: "io",
-                    message: "file could not be read".into(),
-                });
-                continue;
-            };
-            let analysis = FileAnalysis::new(&text);
-            if PANIC_FREE_CRATES.contains(krate) {
-                check_no_panic(&file, &analysis, &mut violations);
-            }
-            if FLOAT_EQ_CRATES.contains(krate) {
-                check_float_eq(&file, &analysis, &mut violations);
-            }
-            if DOC_CRATES.contains(krate) {
-                check_doc_pub(&file, &analysis, &mut violations);
-            }
-            if CAST_CRATES.contains(krate) {
-                check_as_cast(&file, &analysis, &mut violations);
-            }
-            if PRINT_FREE_CRATES.contains(krate) && !is_binary_source(&file) {
-                check_no_print(&file, &analysis, &mut violations);
-            }
-            check_markers(&file, &analysis, &mut violations);
-        }
-    }
-
-    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for v in &violations {
-        let rel = v.path.strip_prefix(&root).unwrap_or(&v.path);
-        eprintln!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
-    }
-    if violations.is_empty() {
-        println!("xtask lint: {files_scanned} files clean");
+    let report = analyze_workspace(&root);
+    print_violations(&report.violations, &root);
+    if report.is_clean() {
+        println!(
+            "xtask lint: {} files clean ({} obs emissions checked)",
+            report.files_scanned, report.emissions_seen
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "\nxtask lint: {} violation(s) in {files_scanned} files",
-            violations.len()
+            "\nxtask lint: {} violation(s) in {} files",
+            report.violations.len(),
+            report.files_scanned
         );
         ExitCode::FAILURE
     }
 }
 
-fn print_rules() {
-    println!(
-        "no-panic    {}\n            forbids .unwrap() / .expect( / panic! / unreachable! / \
-         todo! / unimplemented! in non-test code\n\
-         float-eq    {}\n            forbids ==/!= against float literals or f64:: constants; \
-         use bmst-geom's tolerance helpers\n\
-         doc-pub     {}\n            every `pub` item must carry a doc comment\n\
-         no-as-cast  {}\n            forbids `as usize` / `as f64` casts; use From/TryFrom or \
-         annotate\n\
-         no-print    {}\n            forbids println!/eprintln!/dbg! in library sources \
-         (src/bin/ and main.rs exempt)\n\
-         \nAnnotate intentional sites with: // lint: allow(<rule>) — <reason>",
-        PANIC_FREE_CRATES.join(", "),
-        FLOAT_EQ_CRATES.join(", "),
-        DOC_CRATES.join(", "),
-        CAST_CRATES.join(", "),
-        PRINT_FREE_CRATES.join(", "),
-    );
-}
-
-/// Locate the workspace root: the directory holding the top-level
-/// `Cargo.toml` with a `[workspace]` table, found by walking up from the
-/// current directory (cargo runs xtask from the workspace by default).
-fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return dir;
-            }
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
+/// Entry point for `cargo xtask check-events`: only the obs-schema
+/// round-trip, with a symmetric report (what the code emits vs. what the
+/// registry declares). `lint` already includes this check; the separate
+/// command gives CI and humans a focused view.
+pub fn run_check_events(args: &[String]) -> ExitCode {
+    if let Some(unknown) = args.first() {
+        eprintln!("xtask check-events: unexpected argument `{unknown}`");
+        return ExitCode::FAILURE;
+    }
+    let root = workspace_root();
+    let mut errors: Vec<Violation> = Vec::new();
+    let files = bmst_analyze::load_workspace(&root, &mut errors);
+    let emissions = bmst_analyze::workspace_emissions(&files);
+    let Some(schema) = bmst_analyze::load_events_schema(&root, &mut errors) else {
+        print_violations(&errors, &root);
+        return ExitCode::FAILURE;
+    };
+    let diff = bmst_analyze::schema::diff(&schema, &emissions);
+    errors.extend(bmst_analyze::diff_violations(&root, &diff));
+    print_violations(&errors, &root);
+    if errors.is_empty() {
+        let declared: usize = schema
+            .sections
+            .values()
+            .map(std::collections::BTreeMap::len)
+            .sum();
+        println!(
+            "xtask check-events: {} emission site(s) across {} file(s) round-trip against \
+             {declared} registry entr(ies)",
+            emissions.len(),
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nxtask check-events: {} problem(s)", errors.len());
+        ExitCode::FAILURE
     }
 }
 
-/// Recursively collect `.rs` files under `dir`, sorted for stable output.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Per-file pre-analysis shared by all rules: raw lines, a "code view"
-/// with comments and string/char literal contents blanked out, which lines
-/// fall inside `#[cfg(test)]` modules, and which lines belong to attribute
-/// invocations.
-struct FileAnalysis {
-    raw: Vec<String>,
-    code: Vec<String>,
-    in_test: Vec<bool>,
-    in_attr: Vec<bool>,
-}
-
-impl FileAnalysis {
-    fn new(text: &str) -> Self {
-        let code_text = blank_comments_and_strings(text);
-        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
-        let code: Vec<String> = code_text.lines().map(str::to_owned).collect();
-        let in_test = mark_test_regions(&code);
-        let in_attr = mark_attribute_lines(&code);
-        FileAnalysis {
-            raw,
-            code,
-            in_test,
-            in_attr,
-        }
-    }
-
-    /// True when `line` (0-based) carries — or is directly below — a
-    /// `// lint: allow(<rule>) — <reason>` marker naming `rule`.
-    fn has_marker(&self, line: usize, rule: &str) -> bool {
-        let here = marker_of(&self.raw[line]);
-        let above = line.checked_sub(1).and_then(|l| marker_of(&self.raw[l]));
-        [here, above]
-            .into_iter()
-            .flatten()
-            .any(|m| m.rule == rule && m.has_reason)
-    }
-}
-
-/// A parsed `lint: allow(...)` marker.
-struct Marker {
-    rule: String,
-    has_reason: bool,
-}
-
-/// Parse an allow marker out of a raw source line, if present.
-fn marker_of(raw_line: &str) -> Option<Marker> {
-    let comment_at = raw_line.find("//")?;
-    let comment = &raw_line[comment_at..];
-    let after = comment.split("lint: allow(").nth(1)?;
-    let (rule, rest) = after.split_once(')')?;
-    let rest = rest.trim_start();
-    let has_reason = ["—", "--", "-"]
-        .iter()
-        .any(|sep| rest.strip_prefix(sep).is_some_and(|r| !r.trim().is_empty()));
-    Some(Marker {
-        rule: rule.trim().to_owned(),
-        has_reason,
-    })
-}
-
-/// Replace comment bodies and string/char literal contents with spaces,
-/// preserving line structure, so rule matching never fires on prose.
-fn blank_comments_and_strings(text: &str) -> String {
-    #[derive(PartialEq)]
-    enum State {
-        Normal,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut out = String::with_capacity(text.len());
-    let chars: Vec<char> = text.chars().collect();
-    let mut state = State::Normal;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::Normal => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string: r"..." or r#"..."#.
-                    let mut hashes = 0u32;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        state = State::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c);
-                }
-                '\'' => {
-                    // Distinguish lifetimes ('a) from char literals ('x').
-                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
-                        && chars.get(i + 2) != Some(&'\'');
-                    if is_lifetime {
-                        out.push(c);
-                    } else {
-                        state = State::Char;
-                        out.push('\'');
-                    }
-                }
-                _ => out.push(c),
-            },
-            State::LineComment => {
-                if c == '\n' {
-                    state = State::Normal;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            State::BlockComment(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Normal
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(if next == Some('\n') { '\n' } else { ' ' });
-                        i += 2;
-                        continue;
-                    }
-                }
-                '"' => {
-                    state = State::Normal;
-                    out.push('"');
-                }
-                '\n' => out.push('\n'),
-                _ => out.push(' '),
-            },
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && chars.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        state = State::Normal;
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-            }
-            State::Char => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                }
-                '\'' => {
-                    state = State::Normal;
-                    out.push('\'');
-                }
-                '\n' => {
-                    // Unterminated char (was a lifetime after all).
-                    state = State::Normal;
-                    out.push('\n');
-                }
-                _ => out.push(' '),
-            },
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Mark every line that falls inside a `#[cfg(test)]` module (attribute
-/// line included) by tracking brace depth from the module opening.
-fn mark_test_regions(code: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        let trimmed = code[i].trim();
-        let is_test_attr =
-            trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test");
-        if !is_test_attr {
-            i += 1;
-            continue;
-        }
-        // Skip to the opening brace of the annotated item, then to its
-        // matching close, marking everything in between.
-        let mut depth = 0i32;
-        let mut opened = false;
-        let mut j = i;
-        while j < code.len() {
-            in_test[j] = true;
-            for ch in code[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if opened && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-    in_test
-}
-
-/// Mark lines belonging to attribute invocations (`#[...]`, possibly
-/// spanning lines), so the doc-presence walk can hop over them.
-fn mark_attribute_lines(code: &[String]) -> Vec<bool> {
-    let mut in_attr = vec![false; code.len()];
-    let mut depth = 0i32;
-    for (idx, line) in code.iter().enumerate() {
-        let trimmed = line.trim();
-        if depth > 0 {
-            in_attr[idx] = true;
-            for ch in trimmed.chars() {
-                match ch {
-                    '[' => depth += 1,
-                    ']' => depth -= 1,
-                    _ => {}
-                }
-            }
-            continue;
-        }
-        if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
-            in_attr[idx] = true;
-            let mut d = 0i32;
-            for ch in trimmed.chars() {
-                match ch {
-                    '[' => d += 1,
-                    ']' => d -= 1,
-                    _ => {}
-                }
-            }
-            if d > 0 {
-                depth = d;
-            }
-        }
-    }
-    in_attr
-}
-
-/// Patterns forbidden by `no-panic`, with the text reported for each.
-const PANIC_PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", ".unwrap()"),
-    (".expect(", ".expect(..)"),
-    ("panic!", "panic!"),
-    ("unreachable!", "unreachable!"),
-    ("todo!", "todo!"),
-    ("unimplemented!", "unimplemented!"),
-];
-
-fn check_no_panic(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    for (idx, code) in fa.code.iter().enumerate() {
-        if fa.in_test[idx] {
-            continue;
-        }
-        for (pattern, shown) in PANIC_PATTERNS {
-            let Some(at) = code.find(pattern) else {
-                continue;
-            };
-            // `panic!` must not match e.g. `core::panic::Location` or a
-            // word ending in the pattern.
-            if pattern.ends_with('!') {
-                let before = code[..at].chars().next_back();
-                if before.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':') {
-                    continue;
-                }
-                if !code[at + pattern.len()..]
-                    .trim_start()
-                    .starts_with(['(', '[', '{'])
-                {
-                    continue;
-                }
-            }
-            if fa.has_marker(idx, "no-panic") {
-                continue;
-            }
-            out.push(Violation {
-                path: path.to_owned(),
-                line: idx + 1,
-                rule: "no-panic",
-                message: format!(
-                    "{shown} in non-test library code; propagate an error or annotate \
-                     with `// lint: allow(no-panic) — <reason>`"
-                ),
-            });
-            break; // one report per line keeps output readable
-        }
-    }
-}
-
-/// True if `token` looks like a float operand: a literal with a decimal
-/// point or exponent, or an `f64::` associated constant.
-fn is_float_token(token: &str) -> bool {
-    if token.is_empty() || token.contains("..") {
-        return false;
-    }
-    for konst in ["INFINITY", "NEG_INFINITY", "NAN", "EPSILON"] {
-        if token.ends_with(konst) && (token.contains("f64::") || token.contains("f32::")) {
-            return true;
-        }
-    }
-    let body = token.strip_prefix('-').unwrap_or(token);
-    let has_digit = body.chars().next().is_some_and(|c| c.is_ascii_digit());
-    has_digit
-        && (body.contains('.')
-            || (body.contains(['e', 'E'])
-                && body
-                    .trim_end_matches(|c: char| c.is_ascii_digit() || c == '-')
-                    .len()
-                    < body.len()))
-        && !body.ends_with("u64")
-        && !body.ends_with("usize")
-}
-
-fn check_float_eq(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    for (idx, code) in fa.code.iter().enumerate() {
-        if fa.in_test[idx] {
-            continue;
-        }
-        let bytes = code.as_bytes();
-        let mut reported = false;
-        for (pos, win) in bytes.windows(2).enumerate() {
-            if reported {
-                break;
-            }
-            let op = match win {
-                b"==" => "==",
-                b"!=" => "!=",
-                _ => continue,
-            };
-            // Reject `<=`, `>=`, `===`-like neighborhoods and pattern arms.
-            let prev = pos.checked_sub(1).map(|p| bytes[p] as char);
-            let after = bytes.get(pos + 2).map(|&b| b as char);
-            if matches!(prev, Some('<' | '>' | '=' | '!')) || after == Some('=') {
-                continue;
-            }
-            let left_tok = code[..pos]
-                .trim_end()
-                .rsplit(|c: char| !(c.is_alphanumeric() || "_.:".contains(c)))
-                .next()
-                .unwrap_or("");
-            let right_text = code[pos + 2..].trim_start();
-            let right_tok = right_text
-                .split(|c: char| !(c.is_alphanumeric() || "_.:".contains(c) || c == '-'))
-                .next()
-                .unwrap_or("");
-            if (is_float_token(left_tok) || is_float_token(right_tok))
-                && !fa.has_marker(idx, "float-eq")
-            {
-                out.push(Violation {
-                    path: path.to_owned(),
-                    line: idx + 1,
-                    rule: "float-eq",
-                    message: format!(
-                        "raw float `{op}` comparison; use bmst-geom's tolerance helpers \
-                         (approx_eq/le_tol) or annotate with \
-                         `// lint: allow(float-eq) — <reason>`"
-                    ),
-                });
-                reported = true;
-            }
-        }
-    }
-}
-
-/// Item keywords that require a doc comment when `pub`.
-const DOC_ITEM_KEYWORDS: &[&str] = &[
-    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe",
-];
-
-fn check_doc_pub(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    for (idx, code) in fa.code.iter().enumerate() {
-        if fa.in_test[idx] || fa.in_attr[idx] {
-            continue;
-        }
-        let trimmed = code.trim_start();
-        let Some(rest) = trimmed.strip_prefix("pub ") else {
-            continue;
-        };
-        // `pub(crate)`/`pub(super)` are not public API; `pub use` re-exports
-        // inherit the source item's docs (matching rustc's missing_docs).
-        let first = rest.split_whitespace().next().unwrap_or("");
-        if first == "use" || trimmed.starts_with("pub(") {
-            continue;
-        }
-        if !DOC_ITEM_KEYWORDS.contains(&first) {
-            continue;
-        }
-        // Walk upward over attributes and blank lines to the nearest
-        // preceding source line; it must be a doc comment.
-        let mut j = idx;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let raw = fa.raw[j].trim();
-            if fa.in_attr[j] {
-                if raw.contains("#[doc") {
-                    documented = true;
-                    break;
-                }
-                continue;
-            }
-            if raw.is_empty() {
-                continue;
-            }
-            documented = raw.starts_with("///") || raw.starts_with("/**") || raw.starts_with("*");
-            break;
-        }
-        if !documented && !fa.has_marker(idx, "doc-pub") {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: idx + 1,
-                rule: "doc-pub",
-                message: format!(
-                    "public item `{}` lacks a doc comment",
-                    trimmed.split('{').next().unwrap_or(trimmed).trim()
-                ),
-            });
-        }
-    }
-}
-
-fn check_as_cast(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    for (idx, code) in fa.code.iter().enumerate() {
-        if fa.in_test[idx] {
-            continue;
-        }
-        for target in ["as usize", "as f64"] {
-            let mut search_from = 0usize;
-            let mut hit = None;
-            while let Some(rel) = code[search_from..].find(target) {
-                let at = search_from + rel;
-                let before = code[..at].chars().next_back();
-                let after = code[at + target.len()..].chars().next();
-                let word_boundary = !before.is_some_and(|c| c.is_alphanumeric() || c == '_')
-                    && !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
-                if word_boundary {
-                    hit = Some(at);
-                    break;
-                }
-                search_from = at + target.len();
-            }
-            if hit.is_some() && !fa.has_marker(idx, "no-as-cast") {
-                out.push(Violation {
-                    path: path.to_owned(),
-                    line: idx + 1,
-                    rule: "no-as-cast",
-                    message: format!(
-                        "`{target}` cast in algorithm crate; use From/TryFrom/f64::from \
-                         or annotate with `// lint: allow(no-as-cast) — <reason>`"
-                    ),
-                });
-                break;
-            }
-        }
-    }
-}
-
-/// True for sources that build into binaries: anything under `src/bin/`
-/// and crate-root `main.rs` files. These are the CLI/report surface where
-/// printing is the point.
-fn is_binary_source(path: &Path) -> bool {
-    if path.file_name().is_some_and(|n| n == "main.rs") {
-        return true;
-    }
-    let mut components = path.components().rev();
-    let _file = components.next();
-    // Any ancestor chain `src/bin/...` marks a cargo binary target.
-    let mut prev = None;
-    for c in components {
-        let name = c.as_os_str();
-        if name == "src" && prev.is_some_and(|p| p == "bin") {
-            return true;
-        }
-        prev = Some(name.to_owned());
-    }
-    false
-}
-
-/// Patterns forbidden by `no-print`.
-const PRINT_PATTERNS: &[&str] = &["println!", "eprintln!", "dbg!"];
-
-fn check_no_print(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    for (idx, code) in fa.code.iter().enumerate() {
-        if fa.in_test[idx] {
-            continue;
-        }
-        for pattern in PRINT_PATTERNS {
-            let Some(at) = code.find(pattern) else {
-                continue;
-            };
-            // `println!` must not match inside `eprintln!` (or any other
-            // identifier tail), so require a word boundary on the left.
-            let before = code[..at].chars().next_back();
-            if before.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':') {
-                continue;
-            }
-            if fa.has_marker(idx, "no-print") {
-                continue;
-            }
-            out.push(Violation {
-                path: path.to_owned(),
-                line: idx + 1,
-                rule: "no-print",
-                message: format!(
-                    "{pattern} in library code; return the text to the caller, record it \
-                     through bmst-obs, or annotate with `// lint: allow(no-print) — <reason>`"
-                ),
-            });
-            break; // one report per line keeps output readable
-        }
-    }
-}
-
-/// Every marker must name a known rule and carry a reason; this keeps the
-/// annotation inventory greppable and honest.
-fn check_markers(path: &Path, fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    const KNOWN: &[&str] = &["no-panic", "float-eq", "doc-pub", "no-as-cast", "no-print"];
-    for (idx, raw) in fa.raw.iter().enumerate() {
-        let Some(marker) = marker_of(raw) else {
-            continue;
-        };
-        if !KNOWN.contains(&marker.rule.as_str()) {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: idx + 1,
-                rule: "marker",
-                message: format!(
-                    "allow marker names unknown rule `{}` (known: {})",
-                    marker.rule,
-                    KNOWN.join(", ")
-                ),
-            });
-        } else if !marker.has_reason {
-            let mut msg = String::new();
-            let _ = write!(
-                msg,
-                "allow marker for `{}` is missing its reason: \
-                 `// lint: allow({}) — <reason>`",
-                marker.rule, marker.rule
-            );
-            out.push(Violation {
-                path: path.to_owned(),
-                line: idx + 1,
-                rule: "marker",
-                message: msg,
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
-    use super::*;
-
-    fn analysis(src: &str) -> FileAnalysis {
-        FileAnalysis::new(src)
-    }
-
-    #[test]
-    fn comments_and_strings_are_blanked() {
-        let src = "let x = \"panic!(no)\"; // .unwrap() in comment\nlet y = 1;\n";
-        let fa = analysis(src);
-        assert!(!fa.code[0].contains("panic!"));
-        assert!(!fa.code[0].contains(".unwrap()"));
-        assert_eq!(fa.code[1], "let y = 1;");
-    }
-
-    #[test]
-    fn raw_strings_and_chars_are_blanked() {
-        let src = "let s = r#\"x.unwrap()\"#;\nlet c = '\\'';\nlet lt: &'static str = \"\";\n";
-        let fa = analysis(src);
-        assert!(!fa.code[0].contains("unwrap"));
-        assert!(fa.code[2].contains("'static"));
-    }
-
-    #[test]
-    fn test_regions_are_marked() {
-        let src =
-            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
-        let fa = analysis(src);
-        assert!(!fa.in_test[0]);
-        assert!(fa.in_test[1] && fa.in_test[2] && fa.in_test[3] && fa.in_test[4]);
-        assert!(!fa.in_test[5]);
-    }
-
-    #[test]
-    fn no_panic_flags_and_marker_suppresses() {
-        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_panic(Path::new("f.rs"), &fa, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "no-panic");
-
-        let src = "// lint: allow(no-panic) — index is in range by construction\n\
-                   fn f(x: Option<u8>) { x.unwrap(); }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_panic(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn unwrap_or_is_not_flagged() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_panic(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn float_eq_flags_literals_but_not_ranges_or_ints() {
-        let cases = [
-            ("if x == 0.0 {}", 1),
-            ("if x != 1e-9 {}", 1),
-            ("if x == f64::INFINITY {}", 1),
-            ("if n == 0 {}", 0),
-            ("for i in 0..n {}", 0),
-            ("if a <= b {}", 0),
-            ("let eq = x == y;", 0), // type unknown: left to clippy's float_cmp
-        ];
-        for (src, expect) in cases {
-            let fa = analysis(&format!("fn f() {{ {src} }}\n"));
-            let mut v = Vec::new();
-            check_float_eq(Path::new("f.rs"), &fa, &mut v);
-            assert_eq!(v.len(), expect, "case: {src}");
-        }
-    }
-
-    #[test]
-    fn doc_pub_requires_docs_over_attributes() {
-        let src = "/// Documented.\n#[derive(Debug)]\npub struct A;\n\npub struct B;\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_doc_pub(Path::new("f.rs"), &fa, &mut v);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].message.contains('B'));
-    }
-
-    #[test]
-    fn pub_crate_and_pub_use_are_exempt() {
-        let src = "pub(crate) fn a() {}\npub use other::Thing;\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_doc_pub(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn as_cast_flagged_only_on_word_boundary() {
-        let src = "fn f(n: u32) -> usize { n as usize }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_as_cast(Path::new("f.rs"), &fa, &mut v);
-        assert_eq!(v.len(), 1);
-
-        let src = "fn f(n: u32) -> u64 { u64::from(n) }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_as_cast(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn no_print_flags_and_marker_suppresses() {
-        let src = "fn f() { println!(\"x\"); }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_print(Path::new("f.rs"), &fa, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "no-print");
-
-        let src = "// lint: allow(no-print) — progress line of a long-running helper\n\
-                   fn f() { eprintln!(\"x\"); }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_print(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn no_print_skips_tests_and_writeln() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"ok\"); }\n}\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_print(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-
-        let src = "fn f(w: &mut String) { writeln!(w, \"x\").ok(); }\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_no_print(Path::new("f.rs"), &fa, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn binary_sources_are_recognised() {
-        assert!(is_binary_source(Path::new("crates/cli/src/main.rs")));
-        assert!(is_binary_source(Path::new(
-            "crates/bench/src/bin/table2.rs"
-        )));
-        assert!(is_binary_source(Path::new("crates/bench/src/bin/x/y.rs")));
-        assert!(!is_binary_source(Path::new("crates/cli/src/commands.rs")));
-        assert!(!is_binary_source(Path::new("crates/obs/src/lib.rs")));
-    }
-
-    #[test]
-    fn markers_must_have_reasons_and_known_rules() {
-        let src = "// lint: allow(no-panic)\n// lint: allow(bogus) — because\n";
-        let fa = analysis(src);
-        let mut v = Vec::new();
-        check_markers(Path::new("f.rs"), &fa, &mut v);
-        assert_eq!(v.len(), 2);
+fn print_violations(violations: &[Violation], root: &std::path::Path) {
+    for v in violations {
+        let rel = v.path.strip_prefix(root).unwrap_or(&v.path);
+        eprintln!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
     }
 }

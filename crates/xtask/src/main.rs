@@ -1,9 +1,13 @@
 //! Workspace automation binary, invoked as `cargo xtask <command>`.
 //!
 //! * `lint` — the repo-specific static-analysis gate described in
-//!   `DESIGN.md`: source-level rules that `clippy` cannot express
-//!   (allow-marker conventions, per-crate rule scoping, doc-comment
-//!   presence on public items of the algorithm crates).
+//!   `DESIGN.md` §5e: the token-aware `bmst-analyze` engine enforcing
+//!   rules that `clippy` cannot express (allow-marker conventions,
+//!   per-crate rule scoping, determinism/error-taxonomy/obs-schema/
+//!   concurrency invariants).
+//! * `check-events` — the obs-schema round-trip on its own: every
+//!   emission name must exist in `crates/obs/events.toml` and every
+//!   registry entry must still be emitted somewhere.
 //! * `check-trace` / `check-bench` — validators for the observability
 //!   artifacts (`bmst route --trace` JSON-lines, `BENCH_*.json` bench
 //!   trajectories), used as CI gates.
@@ -21,6 +25,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("check-events") => lint::run_check_events(&args[1..]),
         Some("check-trace") => check::run_trace(&args[1..]),
         Some("check-bench") => check::run_bench(&args[1..]),
         Some("check-registry") => registry::run(&args[1..]),
@@ -41,8 +46,9 @@ fn print_usage() {
         "Usage: cargo xtask <command>\n\
          \n\
          Commands:\n\
-         \x20 lint                 run the repo-specific static-analysis gate\n\
+         \x20 lint                 run the token-aware static-analysis gate (bmst-analyze)\n\
          \x20 lint --list          describe every lint rule and its scope\n\
+         \x20 check-events         diff live obs emissions against crates/obs/events.toml\n\
          \x20 check-trace <FILE>   validate a `bmst route --trace` JSON-lines file\n\
          \x20 check-bench <FILE>   validate a BENCH_*.json bench trajectory\n\
          \x20 check-registry       verify the builder registry (unique kebab-case\n\
