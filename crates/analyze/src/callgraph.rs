@@ -1,0 +1,445 @@
+//! An approximate intra-workspace call graph over the item index.
+//!
+//! Call sites are recognised syntactically — an identifier directly
+//! followed by `(` — and resolved in three tiers:
+//!
+//! * **Free calls** (`go(...)`) resolve to same-file fns by name, then
+//!   through the file's `use` imports;
+//! * **Qualified calls** (`bmst_graph::complete_edges(...)`,
+//!   `crate::x::y(...)`, `Self::go(...)`) resolve by mapping the path
+//!   head to a crate and suffix-matching module paths;
+//! * **Method calls** (`x.cost(...)`) resolve conservatively to *every*
+//!   `self`-taking fn of that name in the caller's crate or its
+//!   workspace dependencies.
+//!
+//! Unresolved names (std, external crates) contribute no edges. Macro
+//! invocations never match (the `!` sits between name and `(`), and the
+//! panic-reachability pass accounts for panic macros separately.
+
+use std::ops::Range;
+
+use crate::items::ItemIndex;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+/// Keywords that read like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "move", "as", "let", "else", "unsafe",
+    "impl", "where", "use", "mod", "pub", "fn", "crate", "ref", "box", "yield", "dyn",
+];
+
+/// A syntactic callee reference, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalleeRef {
+    /// `go(...)` — a bare name.
+    Free(String),
+    /// `x.go(...)` — a method receiver call.
+    Method(String),
+    /// `a::b::go(...)` — path segments, leaf last.
+    Qualified(Vec<String>),
+}
+
+impl CalleeRef {
+    /// The leaf name being called.
+    pub fn name(&self) -> &str {
+        match self {
+            CalleeRef::Free(n) | CalleeRef::Method(n) => n,
+            CalleeRef::Qualified(segs) => segs.last().map(String::as_str).unwrap_or(""),
+        }
+    }
+}
+
+/// A call site inside a fn body, resolved to candidate callees.
+#[derive(Debug, Clone)]
+pub struct ResolvedSite {
+    /// Significant-token position of the callee name.
+    pub pos: usize,
+    /// The leaf name, for diagnostics.
+    pub name: String,
+    /// Indices into [`ItemIndex::fns`] the call may land on; empty for
+    /// external or unresolved targets.
+    pub callees: Vec<usize>,
+}
+
+/// The workspace call graph: per indexed fn, its resolved call sites.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Indexed parallel to [`ItemIndex::fns`].
+    pub sites: Vec<Vec<ResolvedSite>>,
+}
+
+impl CallGraph {
+    /// Extracts and resolves every call site of every indexed fn.
+    pub fn build(index: &ItemIndex<'_>) -> Self {
+        let mut sites = Vec::with_capacity(index.fns.len());
+        for id in 0..index.fns.len() {
+            let file = index.file(id);
+            let file_idx = index.fns[id].file;
+            let body = index.item(id).body.clone();
+            let resolved = call_sites(file, &body)
+                .into_iter()
+                .map(|(pos, callee)| ResolvedSite {
+                    pos,
+                    name: callee.name().to_owned(),
+                    callees: resolve(index, file_idx, &callee),
+                })
+                .collect();
+            sites.push(resolved);
+        }
+        CallGraph { sites }
+    }
+
+    /// Total resolved edges (call site → candidate callee pairs).
+    pub fn edge_count(&self) -> usize {
+        self.sites.iter().flatten().map(|s| s.callees.len()).sum()
+    }
+
+    /// All candidate callee fn ids of `id`, deduplicated.
+    pub fn callees_of(&self, id: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.sites[id]
+            .iter()
+            .flat_map(|s| s.callees.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Renders the graph in Graphviz dot syntax, qualified names as
+    /// nodes, one edge per resolved (caller, callee) pair.
+    pub fn to_dot(&self, index: &ItemIndex<'_>) -> String {
+        let mut out = String::from("digraph calls {\n  rankdir=LR;\n");
+        for (id, f) in index.fns.iter().enumerate() {
+            if index.item(id).in_test {
+                continue;
+            }
+            for callee in self.callees_of(id) {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    f.qualified(),
+                    index.fns[callee].qualified()
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts syntactic call sites from a body's significant-token range.
+pub fn call_sites(file: &SourceFile, body: &Range<usize>) -> Vec<(usize, CalleeRef)> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        let Some(t) = file.s(i) else { continue };
+        if t.kind != TokenKind::Ident || NON_CALL_KEYWORDS.contains(&t.ident_name()) {
+            continue;
+        }
+        if !file.s(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // `fn name(` is a nested definition, not a call.
+        if i > 0 && file.s(i - 1).is_some_and(|p| p.is_ident("fn")) {
+            continue;
+        }
+        let name = t.ident_name().to_owned();
+        let callee = match file.s(i.wrapping_sub(1)) {
+            Some(p) if i > 0 && p.is_punct('.') => CalleeRef::Method(name),
+            Some(p)
+                if i > 1 && p.is_punct(':') && file.s(i - 2).is_some_and(|q| q.is_punct(':')) =>
+            {
+                CalleeRef::Qualified(path_segments(file, i, name))
+            }
+            _ => CalleeRef::Free(name),
+        };
+        out.push((i, callee));
+    }
+    out
+}
+
+/// Walks back over `seg :: seg ::` pairs collecting the full path of a
+/// qualified call, leaf last. Stops at anything that is not an
+/// `Ident ::` pair (e.g. the `>` of `Vec::<u8>::new`), so a partial
+/// path degrades to its known suffix.
+fn path_segments(file: &SourceFile, name_pos: usize, name: String) -> Vec<String> {
+    let mut segs = vec![name];
+    let mut k = name_pos;
+    while k >= 3
+        && file.s(k - 1).is_some_and(|t| t.is_punct(':'))
+        && file.s(k - 2).is_some_and(|t| t.is_punct(':'))
+        && file
+            .s(k - 3)
+            .is_some_and(|t| t.kind == TokenKind::Ident && !t.is_ident("as"))
+    {
+        if let Some(t) = file.s(k - 3) {
+            segs.insert(0, t.ident_name().to_owned());
+        }
+        k -= 3;
+    }
+    segs
+}
+
+/// Resolves a callee reference to candidate fn ids (see module docs for
+/// the tiers). Empty means external/unresolved — no edge.
+fn resolve(index: &ItemIndex<'_>, file_idx: usize, callee: &CalleeRef) -> Vec<usize> {
+    let krate = index.files[file_idx].crate_name.as_str();
+    match callee {
+        CalleeRef::Free(name) => resolve_free(index, file_idx, name),
+        CalleeRef::Method(name) => index.methods_visible_from(krate, name),
+        CalleeRef::Qualified(segs) if segs.len() == 1 => {
+            // Degraded path (`Vec::<u8>::new` style): try free resolution.
+            resolve_free(index, file_idx, &segs[0])
+        }
+        CalleeRef::Qualified(segs) => resolve_qualified(index, file_idx, segs),
+    }
+}
+
+/// Free-call resolution: same-file fns by name first, then the file's
+/// imports.
+fn resolve_free(index: &ItemIndex<'_>, file_idx: usize, name: &str) -> Vec<usize> {
+    let local: Vec<usize> = index.fns_by_file[file_idx]
+        .iter()
+        .copied()
+        .filter(|&id| index.fns[id].name == name)
+        .collect();
+    if !local.is_empty() {
+        return local;
+    }
+    if let Some(path) = index.imports[file_idx].get(name) {
+        return index.resolve_path(path);
+    }
+    Vec::new()
+}
+
+/// Qualified-call resolution: map the head segment to a crate, then
+/// suffix-match. `Self::`/`Type::` associated calls fall back to
+/// same-file, then crate+deps `self`-less pools by leaf name.
+fn resolve_qualified(index: &ItemIndex<'_>, file_idx: usize, segs: &[String]) -> Vec<usize> {
+    let file = &index.files[file_idx];
+    let krate = file.crate_name.clone();
+    let module = crate::items::module_path(&file.path);
+    let head = segs[0].as_str();
+
+    // An imported alias: `use bmst_graph::edges; edges::go(...)`. A type
+    // import (`use crate::matrix::DistanceMatrix`) aliases the type, not
+    // a module — its associated fns live in the module declaring it, so
+    // the type segment itself is dropped from the path.
+    if let Some(prefix) = index.imports[file_idx].get(head) {
+        let type_import = head.starts_with(char::is_uppercase);
+        let keep = prefix.len() - usize::from(type_import);
+        let mut path = prefix[..keep].to_vec();
+        path.extend(segs[1..].iter().cloned());
+        let hits = index.resolve_path(&path);
+        if !hits.is_empty() || !type_import {
+            return hits;
+        }
+        // Re-exported types miss here; fall through to the pool below.
+    }
+
+    let mapped: Option<Vec<String>> = if let Some(rest) = head.strip_prefix("bmst_") {
+        Some(vec![rest.to_owned()])
+    } else {
+        match head {
+            "crate" => Some(vec![krate.clone()]),
+            "self" => {
+                let mut v = vec![krate.clone()];
+                v.extend(module.iter().cloned());
+                Some(v)
+            }
+            "super" => {
+                let mut v = vec![krate.clone()];
+                v.extend(module.iter().take(module.len().saturating_sub(1)).cloned());
+                Some(v)
+            }
+            _ => None,
+        }
+    };
+    if let Some(mut path) = mapped {
+        path.extend(segs[1..].iter().cloned());
+        return index.resolve_path(&path);
+    }
+
+    // `Self::go(...)` or `Type::go(...)`: associated fns live next to
+    // their impl block, so prefer same-file, then the crate+deps pool.
+    let leaf = segs.last().map(String::as_str).unwrap_or("");
+    if head == "Self" || head.starts_with(char::is_uppercase) {
+        let local = resolve_free(index, file_idx, leaf);
+        if !local.is_empty() {
+            return local;
+        }
+        let deps = crate::items::crate_deps(&krate);
+        return index
+            .by_name
+            .get(leaf)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        let f = &index.fns[id];
+                        f.krate == krate || deps.contains(&f.krate.as_str())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+    use crate::items::ItemIndex;
+    use std::path::PathBuf;
+
+    fn file(krate: &str, path: &str, src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from(path), krate.to_owned(), src)
+    }
+
+    fn graph(files: &[SourceFile]) -> (ItemIndex<'_>, CallGraph) {
+        let idx = ItemIndex::build(files);
+        let g = CallGraph::build(&idx);
+        (idx, g)
+    }
+
+    #[test]
+    fn free_calls_resolve_same_file_then_imports() {
+        let files = vec![
+            file(
+                "core",
+                "crates/core/src/lib.rs",
+                "use crate::util::helper;\nfn a() { b(); helper(); external(); }\nfn b() {}\n",
+            ),
+            file("core", "crates/core/src/util.rs", "pub fn helper() {}\n"),
+        ];
+        let (idx, g) = graph(&files);
+        let a = idx.by_name["a"][0];
+        let names: Vec<&str> = g
+            .callees_of(a)
+            .into_iter()
+            .map(|id| idx.fns[id].name.as_str())
+            .collect();
+        assert_eq!(names, ["b", "helper"]);
+    }
+
+    #[test]
+    fn qualified_calls_map_crate_heads() {
+        let files = vec![
+            file(
+                "core",
+                "crates/core/src/context.rs",
+                "fn m() { bmst_graph::complete_edges(); crate::context::local(); }\nfn local() {}\n",
+            ),
+            file(
+                "graph",
+                "crates/graph/src/lib.rs",
+                "pub fn complete_edges() {}\n",
+            ),
+        ];
+        let (idx, g) = graph(&files);
+        let m = idx.by_name["m"][0];
+        let mut names: Vec<String> = g
+            .callees_of(m)
+            .into_iter()
+            .map(|id| idx.fns[id].qualified())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["core::context::local", "graph::complete_edges"]);
+    }
+
+    #[test]
+    fn type_imports_resolve_associated_calls_to_the_declaring_module() {
+        // `use crate::matrix::DistanceMatrix` aliases a type; the
+        // associated call `DistanceMatrix::from_points(..)` must land in
+        // the module that declares the type, not treat the type name as
+        // a module segment.
+        let files = vec![
+            file(
+                "geom",
+                "crates/geom/src/net.rs",
+                "use crate::matrix::DistanceMatrix;\n\
+                 fn build() { DistanceMatrix::from_points(); }\n",
+            ),
+            file(
+                "geom",
+                "crates/geom/src/matrix.rs",
+                "pub fn from_points() {}\n",
+            ),
+        ];
+        let (idx, g) = graph(&files);
+        let b = idx.by_name["build"][0];
+        let names: Vec<String> = g
+            .callees_of(b)
+            .into_iter()
+            .map(|id| idx.fns[id].qualified())
+            .collect();
+        assert_eq!(names, ["geom::matrix::from_points"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_conservatively_within_deps() {
+        let files = vec![
+            file(
+                "core",
+                "crates/core/src/lib.rs",
+                "fn m(t: &Tree) { t.cost(); }\n",
+            ),
+            file(
+                "tree",
+                "crates/tree/src/lib.rs",
+                "pub fn cost(&self) -> f64 { 0.0 }\n",
+            ),
+            file(
+                "router",
+                "crates/router/src/lib.rs",
+                "pub fn cost(&self) -> f64 { 1.0 }\n",
+            ),
+        ];
+        let (idx, g) = graph(&files);
+        let m = idx.by_name["m"][0];
+        // tree is a core dep; router is not — only tree::cost is a candidate.
+        let names: Vec<String> = g
+            .callees_of(m)
+            .into_iter()
+            .map(|id| idx.fns[id].qualified())
+            .collect();
+        assert_eq!(names, ["tree::cost"]);
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_call_sites() {
+        let files = vec![file(
+            "core",
+            "crates/core/src/lib.rs",
+            "fn m() { vec![1]; format!(\"x\"); fn nested() {} if x() {} }\nfn x() -> bool { true }\n",
+        )];
+        let (idx, g) = graph(&files);
+        let m = idx.by_name["m"][0];
+        let names: Vec<&str> = g.sites[m].iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["x"], "only the real call survives");
+    }
+
+    #[test]
+    fn self_calls_prefer_same_file() {
+        let files = vec![file(
+            "core",
+            "crates/core/src/lib.rs",
+            "impl T { fn a(&self) { Self::b(); } fn b() {} }\n",
+        )];
+        let (idx, g) = graph(&files);
+        let a = idx.by_name["a"][0];
+        assert_eq!(g.callees_of(a), vec![idx.by_name["b"][0]]);
+    }
+
+    #[test]
+    fn dot_output_names_edges() {
+        let files = vec![file(
+            "core",
+            "crates/core/src/lib.rs",
+            "fn a() { b(); }\nfn b() {}\n",
+        )];
+        let (idx, g) = graph(&files);
+        let dot = g.to_dot(&idx);
+        assert!(dot.starts_with("digraph calls {"));
+        assert!(dot.contains("\"core::a\" -> \"core::b\";"));
+    }
+}

@@ -9,7 +9,12 @@
 //! * nested block comments (`/* /* … */ */`);
 //! * lifetimes (`'a`) vs. char literals (`'x'`, `'\n'`);
 //! * doc comments, which are comments — rule patterns inside `///`
-//!   examples never fire.
+//!   examples never fire;
+//! * raw identifiers (`r#type`), compared name-wise so `x.r#unwrap()`
+//!   cannot evade a rule that matches `unwrap`;
+//! * shebang lines (`#!/usr/bin/env …`), consumed as a comment rather
+//!   than a stream of stray puncts (`#![…]` inner attributes are not
+//!   shebangs and lex normally).
 //!
 //! Every token carries its 1-based start line and byte span, so rules can
 //! reconstruct adjacency (`==` is two contiguous `=` puncts) and report
@@ -59,9 +64,21 @@ impl Token {
         matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
     }
 
-    /// True when the token is an identifier with exactly this text.
+    /// True when the token is an identifier with exactly this name. Raw
+    /// identifiers compare by their name: `r#unwrap` is the same method
+    /// as `unwrap`, so `is_ident("unwrap")` matches both spellings.
     pub fn is_ident(&self, text: &str) -> bool {
-        self.kind == TokenKind::Ident && self.text == text
+        self.kind == TokenKind::Ident && self.ident_name() == text
+    }
+
+    /// For identifiers, the name with any raw-identifier prefix (`r#`)
+    /// stripped; the raw text for every other kind.
+    pub fn ident_name(&self) -> &str {
+        if self.kind == TokenKind::Ident {
+            self.text.strip_prefix("r#").unwrap_or(&self.text)
+        } else {
+            &self.text
+        }
     }
 
     /// True when the token is this punctuation character.
@@ -184,6 +201,16 @@ impl<'a> Lexer<'a> {
     }
 
     fn run(mut self) -> Vec<Token> {
+        // A shebang (`#!…` at byte 0) covers the whole first line; consume
+        // it as a comment instead of a stream of stray puncts. `#![…]` is
+        // an inner attribute, not a shebang, and lexes normally.
+        if self.src.starts_with("#!") && !self.src.starts_with("#![") {
+            let line = self.line;
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.bump();
+            }
+            self.emit(TokenKind::LineComment, 0, line);
+        }
         while let Some(c) = self.peek(0) {
             let start = self.pos;
             let line = self.line;
@@ -522,6 +549,36 @@ mod tests {
         let toks = lex(r#"let b = b"bytes"; let r = r#match;"#);
         assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
         assert!(toks.iter().any(|t| t.text == "r#match"));
+    }
+
+    #[test]
+    fn raw_idents_compare_by_name() {
+        let toks = lex("let r#type = x.r#unwrap();");
+        let raw = toks.iter().find(|t| t.text == "r#type").unwrap();
+        assert_eq!(raw.kind, TokenKind::Ident);
+        assert!(raw.is_ident("type"));
+        assert_eq!(raw.ident_name(), "type");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn shebang_is_a_comment() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn f() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert!(toks[0].text.starts_with("#!/usr"));
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 2);
+        // No stray puncts from the shebang path survive.
+        assert!(!toks.iter().any(|t| t.is_ident("env")));
+    }
+
+    #[test]
+    fn inner_attributes_are_not_shebangs() {
+        let toks = lex("#![allow(dead_code)]\nfn f() {}\n");
+        assert!(toks[0].is_punct('#'));
+        assert!(toks[1].is_punct('!'));
+        assert!(toks.iter().any(|t| t.is_ident("allow")));
     }
 
     #[test]

@@ -23,15 +23,27 @@
 //! the rule it names actually produced a candidate on its line or the line
 //! below. A marker that suppresses nothing is itself a violation (stale),
 //! as is one missing its mandatory reason.
+//!
+//! On top of the per-file rules sits the **semantic engine** behind
+//! `cargo xtask analyze`: a workspace item index ([`items`]), an
+//! approximate call graph ([`callgraph`]), panic-reachability over it
+//! ([`reach`]), and complexity-budget enforcement ([`complexity`]).
+//! Semantic passes use the parallel `// analyze: allow(<pass>)` /
+//! `// analyze: complexity(<budget>)` marker family with the same
+//! staleness discipline.
 
+pub mod callgraph;
+pub mod complexity;
+pub mod items;
 pub mod lexer;
 pub mod model;
+pub mod reach;
 pub mod rules;
 pub mod schema;
 
 use std::path::{Path, PathBuf};
 
-use model::SourceFile;
+use model::{Marker, SourceFile};
 use rules::Candidate;
 use schema::{EventsSchema, SchemaDiff};
 
@@ -169,20 +181,39 @@ pub fn load_events_schema(root: &Path, errors: &mut Vec<Violation>) -> Option<Ev
     }
 }
 
-/// Filters `candidates` through the file's allow markers, then reports
-/// marker problems: unknown rule, missing reason, stale (suppresses
-/// nothing). Returns the surviving violations.
-pub fn apply_markers(file: &SourceFile, mut candidates: Vec<Candidate>) -> Vec<Violation> {
+/// One marker family's application parameters: which markers to consult,
+/// which rule names they may cite, the comment syntax for messages, and
+/// the per-file scope predicate used by staleness.
+struct MarkerFamily<'a> {
+    markers: &'a [Marker],
+    known: &'a [&'static str],
+    syntax: &'static str,
+    in_scope: fn(&SourceFile, &str) -> bool,
+}
+
+/// Filters `candidates` through one marker family, then reports marker
+/// problems: unknown rule, missing reason, stale (suppresses nothing).
+/// Returns the surviving violations.
+fn apply_family(
+    file: &SourceFile,
+    mut candidates: Vec<Candidate>,
+    fam: MarkerFamily<'_>,
+) -> Vec<Violation> {
     // One report per (rule, line) keeps output readable when a construct
     // matches multiple ways.
     candidates.sort_by_key(|c| (c.line, c.rule));
     candidates.dedup_by_key(|c| (c.line, c.rule));
 
-    let mut used = vec![false; file.markers.len()];
+    let mut used = vec![false; fam.markers.len()];
     candidates.retain(|c| {
-        let suppressed = file.markers.iter().enumerate().find_map(|(mi, m)| {
+        let suppressed = fam.markers.iter().enumerate().find_map(|(mi, m)| {
             let covers = m.line == c.line || m.line + 1 == c.line;
-            (covers && m.rule == c.rule && m.has_reason).then_some(mi)
+            // A marker inside a `#[cfg(test)]` region may only waive a
+            // candidate that is itself on a test-region line: a marker on
+            // the last line of a test module must not silently swallow a
+            // violation in the non-test code directly below it.
+            let same_side = !m.in_test || file.line_in_test(c.line);
+            (covers && same_side && m.rule == c.rule && m.has_reason).then_some(mi)
         });
         match suppressed {
             Some(mi) => {
@@ -203,8 +234,8 @@ pub fn apply_markers(file: &SourceFile, mut candidates: Vec<Candidate>) -> Vec<V
         })
         .collect();
 
-    for (mi, m) in file.markers.iter().enumerate() {
-        if !rules::KNOWN_RULES.contains(&m.rule.as_str()) {
+    for (mi, m) in fam.markers.iter().enumerate() {
+        if !fam.known.contains(&m.rule.as_str()) {
             out.push(Violation {
                 path: file.path.clone(),
                 line: m.line,
@@ -212,7 +243,7 @@ pub fn apply_markers(file: &SourceFile, mut candidates: Vec<Candidate>) -> Vec<V
                 message: format!(
                     "allow marker names unknown rule `{}` (known: {})",
                     m.rule,
-                    rules::KNOWN_RULES.join(", ")
+                    fam.known.join(", ")
                 ),
             });
         } else if !m.has_reason {
@@ -222,11 +253,11 @@ pub fn apply_markers(file: &SourceFile, mut candidates: Vec<Candidate>) -> Vec<V
                 rule: "marker".to_owned(),
                 message: format!(
                     "allow marker for `{}` is missing its reason: \
-                     `// lint: allow({}) — <reason>`",
-                    m.rule, m.rule
+                     `// {}: allow({}) — <reason>`",
+                    m.rule, fam.syntax, m.rule
                 ),
             });
-        } else if !used[mi] && !m.in_test && rules::rule_in_scope(file, &m.rule) {
+        } else if !used[mi] && !m.in_test && (fam.in_scope)(file, &m.rule) {
             out.push(Violation {
                 path: file.path.clone(),
                 line: m.line,
@@ -242,6 +273,36 @@ pub fn apply_markers(file: &SourceFile, mut candidates: Vec<Candidate>) -> Vec<V
         }
     }
     out
+}
+
+/// Filters token-rule `candidates` through the file's `// lint: allow`
+/// markers (see [`apply_family`] for the shared mechanics).
+pub fn apply_markers(file: &SourceFile, candidates: Vec<Candidate>) -> Vec<Violation> {
+    apply_family(
+        file,
+        candidates,
+        MarkerFamily {
+            markers: &file.markers,
+            known: rules::KNOWN_RULES,
+            syntax: "lint",
+            in_scope: rules::rule_in_scope,
+        },
+    )
+}
+
+/// Filters semantic-pass `candidates` through the file's
+/// `// analyze: allow` markers, with the same staleness discipline.
+pub fn apply_sem_markers(file: &SourceFile, candidates: Vec<Candidate>) -> Vec<Violation> {
+    apply_family(
+        file,
+        candidates,
+        MarkerFamily {
+            markers: &file.sem_markers,
+            known: rules::SEMANTIC_RULES,
+            syntax: "analyze",
+            in_scope: rules::semantic_rule_in_scope,
+        },
+    )
 }
 
 /// Analyses one file in isolation (no schema diff) — the entry point the
@@ -398,6 +459,95 @@ pub fn rule_table() -> Vec<RuleInfo> {
     ]
 }
 
+/// The result of running the semantic passes over a workspace.
+#[derive(Debug, Default)]
+pub struct SemanticReport {
+    /// Every violation, sorted by path then line.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `fn` items indexed.
+    pub fns_indexed: usize,
+    /// Number of resolved call edges.
+    pub call_edges: usize,
+}
+
+impl SemanticReport {
+    /// True when the workspace passes every semantic check.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the semantic passes (panic-reachability, complexity budgets)
+/// over an already-loaded file set — the entry point fixture tests use.
+pub fn analyze_semantic_files(files: &[SourceFile]) -> SemanticReport {
+    let index = items::ItemIndex::build(files);
+    let graph = callgraph::CallGraph::build(&index);
+    let info = reach::ReachInfo::compute(&index, &graph);
+    let mut per_file: Vec<Vec<Candidate>> = vec![Vec::new(); files.len()];
+    for (fi, c) in reach::candidates(&index, &graph, &info) {
+        per_file[fi].push(c);
+    }
+    for (fi, c) in complexity::candidates(&index, &graph) {
+        per_file[fi].push(c);
+    }
+    let mut violations = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        violations.extend(apply_sem_markers(file, std::mem::take(&mut per_file[fi])));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    SemanticReport {
+        violations,
+        files_scanned: files.len(),
+        fns_indexed: index.fns.len(),
+        call_edges: graph.edge_count(),
+    }
+}
+
+/// Runs the semantic passes over the workspace at `root`.
+pub fn analyze_semantic(root: &Path) -> SemanticReport {
+    let mut io_errors = Vec::new();
+    let files = load_workspace(root, &mut io_errors);
+    let mut report = analyze_semantic_files(&files);
+    if !io_errors.is_empty() {
+        report.violations.extend(io_errors);
+        report
+            .violations
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    }
+    report
+}
+
+/// Renders the workspace call graph in Graphviz dot syntax
+/// (`cargo xtask analyze --graph dot`).
+pub fn callgraph_dot(root: &Path) -> String {
+    let mut io_errors = Vec::new();
+    let files = load_workspace(root, &mut io_errors);
+    let index = items::ItemIndex::build(&files);
+    callgraph::CallGraph::build(&index).to_dot(&index)
+}
+
+/// The semantic-pass table shown by `cargo xtask analyze --list`.
+pub fn semantic_pass_table() -> Vec<RuleInfo> {
+    vec![
+        RuleInfo {
+            name: "panic-reach",
+            scope: rules::PANIC_REACH_CRATES,
+            description: "public builders taking &ProblemContext must not transitively reach \
+                          .unwrap()/.expect(/panic-family macros/indexing unless isolated by \
+                          catch_unwind or waived with a reason",
+        },
+        RuleInfo {
+            name: "complexity",
+            scope: rules::COMPLEXITY_CRATES,
+            description: "instance-loop nesting (call-graph aware) must stay within declared \
+                          `// analyze: complexity(<budget>)` markers; unbudgeted depth-2 nests \
+                          in hot crates fail",
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
@@ -466,6 +616,30 @@ mod tests {
     }
 
     #[test]
+    fn test_region_marker_cannot_waive_non_test_violation() {
+        // The marker sits on the closing line of the test module; the
+        // violation is on the first non-test line below it. The waiver
+        // must not cross the region boundary: the violation survives,
+        // and the in-test marker stays exempt from staleness.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n    // lint: allow(no-panic) — tests may panic\n}\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = analyze_file(&file("core", src));
+        let rules: Vec<&str> = v.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(rules, ["no-panic"], "got {v:?}");
+    }
+
+    #[test]
+    fn non_test_marker_aimed_into_test_region_is_stale() {
+        // The marker sits in non-test code directly above a test region.
+        // Rules skip test code, so there is no candidate to waive: the
+        // marker is stale and must be reported.
+        let src = "// lint: allow(no-panic) — covers the test below\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let v = analyze_file(&file("core", src));
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert_eq!(v[0].rule, "marker");
+        assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
     fn one_report_per_rule_per_line() {
         let src = "fn f(x: Option<u8>, y: Option<u8>) -> u8 { x.unwrap() + y.unwrap() }\n";
         let v = analyze_file(&file("core", src));
@@ -480,5 +654,47 @@ mod tests {
             assert!(rules::KNOWN_RULES.contains(&info.name));
             assert!(!info.scope.is_empty());
         }
+    }
+
+    #[test]
+    fn semantic_pass_table_covers_semantic_rules() {
+        let table = semantic_pass_table();
+        assert_eq!(table.len(), rules::SEMANTIC_RULES.len());
+        for info in &table {
+            assert!(rules::SEMANTIC_RULES.contains(&info.name));
+        }
+    }
+
+    #[test]
+    fn semantic_waiver_suppresses_and_staleness_is_tracked() {
+        let src = "// analyze: allow(panic-reach) — raw API; try_build isolates callers\n\
+                   pub fn build(cx: &ProblemContext) -> T { x.unwrap() }\n";
+        let r = analyze_semantic_files(&[file("core", src)]);
+        assert!(r.is_clean(), "got {:?}", r.violations);
+
+        let stale = "// analyze: allow(panic-reach) — no longer needed\n\
+                     pub fn build(cx: &ProblemContext) -> T { T::new() }\n";
+        let r = analyze_semantic_files(&[file("core", stale)]);
+        assert_eq!(r.violations.len(), 1, "got {:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "marker");
+        assert!(r.violations[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn semantic_marker_naming_lint_rule_is_unknown() {
+        let src = "// analyze: allow(no-panic) — wrong family\npub fn f() {}\n";
+        let r = analyze_semantic_files(&[file("core", src)]);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("unknown rule"));
+        assert!(r.violations[0].message.contains("panic-reach"));
+    }
+
+    #[test]
+    fn semantic_report_counts_fns_and_edges() {
+        let src = "fn a() { b(); }\nfn b() {}\n";
+        let r = analyze_semantic_files(&[file("core", src)]);
+        assert_eq!(r.fns_indexed, 2);
+        assert_eq!(r.call_edges, 1);
+        assert_eq!(r.files_scanned, 1);
     }
 }

@@ -3,6 +3,15 @@
 //! tracking, `// lint: allow` markers attached to tokens, and a
 //! lightweight `fn` item walker (name, visibility, parameter and return
 //! token ranges, body span).
+//!
+//! Two marker families are collected:
+//!
+//! * `// lint: allow(<rule>) — <reason>` waives a token-rule violation
+//!   ([`SourceFile::markers`]);
+//! * `// analyze: allow(<pass>) — <reason>` waives a semantic-pass
+//!   violation ([`SourceFile::sem_markers`]), and
+//!   `// analyze: complexity(<budget>)` declares a complexity budget for
+//!   the `fn` item it precedes ([`SourceFile::budgets`]).
 
 use std::ops::Range;
 use std::path::{Path, PathBuf};
@@ -16,6 +25,20 @@ pub struct Marker {
     pub rule: String,
     /// Whether a non-empty reason follows the closing parenthesis.
     pub has_reason: bool,
+    /// 1-based line of the comment carrying the marker.
+    pub line: usize,
+    /// Whether the marker sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A parsed `// analyze: complexity(<budget>)` marker: a declared
+/// complexity budget for the `fn` item on the same or the next line.
+/// The budget text is interpreted by the complexity pass.
+#[derive(Debug, Clone)]
+pub struct BudgetMarker {
+    /// The budget text inside the parentheses (`1`, `n`, `n log n`,
+    /// `n^2`, …), whitespace-trimmed but otherwise unparsed.
+    pub spec: String,
     /// 1-based line of the comment carrying the marker.
     pub line: usize,
     /// Whether the marker sits inside a `#[cfg(test)]` region.
@@ -57,8 +80,12 @@ pub struct SourceFile {
     pub sig: Vec<usize>,
     /// Per raw-token flag: inside a `#[cfg(test)]` region.
     pub in_test: Vec<bool>,
-    /// Every allow marker in the file.
+    /// Every `// lint: allow` marker in the file.
     pub markers: Vec<Marker>,
+    /// Every `// analyze: allow` marker (semantic-pass waiver) in the file.
+    pub sem_markers: Vec<Marker>,
+    /// Every `// analyze: complexity(...)` budget declaration in the file.
+    pub budgets: Vec<BudgetMarker>,
     /// Every `fn` item in the file.
     pub fns: Vec<FnItem>,
 }
@@ -74,7 +101,7 @@ impl SourceFile {
             .map(|(i, _)| i)
             .collect();
         let in_test = mark_test_regions(&tokens, &sig);
-        let markers = collect_markers(&tokens, &in_test);
+        let (markers, sem_markers, budgets) = collect_markers(&tokens, &in_test);
         let mut file = SourceFile {
             path,
             crate_name,
@@ -82,6 +109,8 @@ impl SourceFile {
             sig,
             in_test,
             markers,
+            sem_markers,
+            budgets,
             fns: Vec::new(),
         };
         file.fns = walk_fns(&file);
@@ -98,6 +127,24 @@ impl SourceFile {
         self.sig
             .get(i)
             .is_some_and(|&idx| self.in_test.get(idx).copied().unwrap_or(false))
+    }
+
+    /// Whether any significant token starting on `line` lies inside a
+    /// `#[cfg(test)]` region — the line-level view markers need when
+    /// deciding whether they may waive a candidate on that line.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.sig
+            .iter()
+            .any(|&idx| self.tokens[idx].line == line && self.in_test[idx])
+    }
+
+    /// Finds the `fn` item a fn-level marker on `line` attaches to: the
+    /// item whose `fn` keyword sits on the marker's own line (trailing
+    /// comment) or the line directly below.
+    pub fn fn_on_or_after(&self, line: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .find(|f| f.line == line || f.line == line + 1)
     }
 
     /// True for sources that build into binaries (`src/bin/**`, `main.rs`),
@@ -143,8 +190,9 @@ pub fn is_binary_source(path: &Path) -> bool {
 /// Parses an allow marker out of a comment body, if present. Only plain
 /// `//` comments qualify: doc comments (`///`, `//!`) are documentation,
 /// and mentioning the convention there must not create a live marker.
-fn parse_marker(text: &str) -> Option<(String, bool)> {
-    let after = text.split("lint: allow(").nth(1)?;
+/// `prefix` selects the family: `"lint: allow("` or `"analyze: allow("`.
+fn parse_marker(text: &str, prefix: &str) -> Option<(String, bool)> {
+    let after = text.split(prefix).nth(1)?;
     let (rule, rest) = after.split_once(')')?;
     let rest = rest.trim_start();
     let has_reason = ["—", "--", "-"]
@@ -153,8 +201,21 @@ fn parse_marker(text: &str) -> Option<(String, bool)> {
     Some((rule.trim().to_owned(), has_reason))
 }
 
-fn collect_markers(tokens: &[Token], in_test: &[bool]) -> Vec<Marker> {
-    let mut out = Vec::new();
+/// Parses a complexity-budget declaration out of a comment body.
+fn parse_budget(text: &str) -> Option<String> {
+    let after = text.split("analyze: complexity(").nth(1)?;
+    let (spec, _) = after.split_once(')')?;
+    Some(spec.trim().to_owned())
+}
+
+type MarkerSets = (Vec<Marker>, Vec<Marker>, Vec<BudgetMarker>);
+
+/// Collects the three marker kinds in one comment walk: lint waivers,
+/// semantic-pass waivers, and complexity-budget declarations.
+fn collect_markers(tokens: &[Token], in_test: &[bool]) -> MarkerSets {
+    let mut lint = Vec::new();
+    let mut sem = Vec::new();
+    let mut budgets = Vec::new();
     for (idx, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::LineComment {
             continue;
@@ -162,16 +223,32 @@ fn collect_markers(tokens: &[Token], in_test: &[bool]) -> Vec<Marker> {
         if t.text.starts_with("///") || t.text.starts_with("//!") {
             continue;
         }
-        if let Some((rule, has_reason)) = parse_marker(&t.text) {
-            out.push(Marker {
+        let test = in_test.get(idx).copied().unwrap_or(false);
+        if let Some((rule, has_reason)) = parse_marker(&t.text, "lint: allow(") {
+            lint.push(Marker {
                 rule,
                 has_reason,
                 line: t.line,
-                in_test: in_test.get(idx).copied().unwrap_or(false),
+                in_test: test,
+            });
+        }
+        if let Some((rule, has_reason)) = parse_marker(&t.text, "analyze: allow(") {
+            sem.push(Marker {
+                rule,
+                has_reason,
+                line: t.line,
+                in_test: test,
+            });
+        }
+        if let Some(spec) = parse_budget(&t.text) {
+            budgets.push(BudgetMarker {
+                spec,
+                line: t.line,
+                in_test: test,
             });
         }
     }
-    out
+    (lint, sem, budgets)
 }
 
 /// Marks every raw token inside a `#[cfg(test)]`- or `#[cfg(all(test…))]`-
@@ -339,7 +416,7 @@ fn walk_fns(file: &SourceFile) -> Vec<FnItem> {
             k += 1;
         }
         out.push(FnItem {
-            name: name_tok.text.clone(),
+            name: name_tok.ident_name().to_owned(),
             is_pub,
             line,
             params,
@@ -422,6 +499,40 @@ mod tests {
         assert_eq!(f.markers[0].rule, "no-panic");
         assert!(f.markers[0].has_reason);
         assert_eq!(f.markers[0].line, 1);
+    }
+
+    #[test]
+    fn analyze_markers_and_budgets_are_collected() {
+        let src = "// analyze: allow(panic-reach) — raw API, try_build isolates\n\
+                   fn raw() {}\n\
+                   // analyze: complexity(n^2)\n\
+                   fn hot() { }\n";
+        let f = file(src);
+        assert!(f.markers.is_empty(), "lint markers unaffected");
+        assert_eq!(f.sem_markers.len(), 1);
+        assert_eq!(f.sem_markers[0].rule, "panic-reach");
+        assert!(f.sem_markers[0].has_reason);
+        assert_eq!(f.budgets.len(), 1);
+        assert_eq!(f.budgets[0].spec, "n^2");
+        assert_eq!(f.fn_on_or_after(f.budgets[0].line).unwrap().name, "hot");
+        assert_eq!(f.fn_on_or_after(f.sem_markers[0].line).unwrap().name, "raw");
+    }
+
+    #[test]
+    fn doc_comments_do_not_create_semantic_markers() {
+        let src = "/// analyze: complexity(n^2)\n/// analyze: allow(complexity) — doc\nfn a() {}\n";
+        let f = file(src);
+        assert!(f.budgets.is_empty());
+        assert!(f.sem_markers.is_empty());
+    }
+
+    #[test]
+    fn line_in_test_tracks_region_lines() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = file(src);
+        assert!(!f.line_in_test(1));
+        assert!(f.line_in_test(4));
+        assert!(!f.line_in_test(6));
     }
 
     #[test]

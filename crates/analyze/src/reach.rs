@@ -1,0 +1,304 @@
+//! Panic-reachability: the transitive set of fns that can reach a
+//! panic site, propagated over the approximate call graph.
+//!
+//! A fn is a **local** panic source when its body contains `.unwrap()`,
+//! `.expect(..)`, a panic-family macro (`panic!`, `assert!`, …), or a
+//! bare index expression (`xs[i]` — release builds keep bounds checks).
+//! Can-panic propagates caller-ward through call edges in a fixed point,
+//! except across **isolation boundaries**: a fn whose body invokes
+//! `catch_unwind` converts panics into values (the error-taxonomy rule
+//! separately checks those map to `BmstError::Internal`), so nothing
+//! propagates out of it.
+//!
+//! The enforced contract: every registry-facing builder in
+//! [`crate::rules::PANIC_REACH_CRATES`] — a `pub` fn taking
+//! `&ProblemContext`, or a `TreeBuilder` contract method
+//! (`build`/`build_geometry`/`try_build`, which trait impls expose
+//! publicly without a `pub` keyword) — must be panic-isolated or carry
+//! a reasoned `// analyze: allow(panic-reach) — <reason>` waiver. The
+//! conservative call graph means can-panic over-approximates; waivers
+//! are the pressure valve and must state why the path is actually safe
+//! (for raw `build` impls: registry consumers go through `try_build`).
+
+use crate::callgraph::CallGraph;
+use crate::items::ItemIndex;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+use crate::rules::{Candidate, PANIC_REACH_CRATES};
+
+/// Panic-family macros: anything that unwinds when its condition fails.
+/// `debug_assert*` is compiled out of release builds and deliberately
+/// excluded — the contract is about release behaviour.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Per-fn reachability facts, indexed parallel to [`ItemIndex::fns`].
+#[derive(Debug)]
+pub struct ReachInfo {
+    /// Whether the fn can reach a panic (post fixed-point).
+    pub can_panic: Vec<bool>,
+    /// The local panic source, if the fn itself contains one.
+    pub local: Vec<Option<String>>,
+    /// Whether the fn is an isolation boundary (`catch_unwind` in body).
+    pub boundary: Vec<bool>,
+}
+
+impl ReachInfo {
+    /// Computes local sources, boundaries, and the can-panic fixed point.
+    pub fn compute(index: &ItemIndex<'_>, graph: &CallGraph) -> Self {
+        let n = index.fns.len();
+        let mut local = Vec::with_capacity(n);
+        let mut boundary = Vec::with_capacity(n);
+        for id in 0..n {
+            let file = index.file(id);
+            let item = index.item(id);
+            boundary.push(
+                item.body
+                    .clone()
+                    .filter_map(|i| file.s(i))
+                    .any(|t| t.is_ident("catch_unwind")),
+            );
+            local.push(local_panic_source(file, id, index));
+        }
+        let mut can_panic: Vec<bool> = (0..n)
+            .map(|id| !boundary[id] && local[id].is_some())
+            .collect();
+        // Fixed point: propagate caller-ward until stable. Boundaries
+        // absorb; everything else ORs its callees.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                if can_panic[id] || boundary[id] {
+                    continue;
+                }
+                if graph.callees_of(id).iter().any(|&c| can_panic[c]) {
+                    can_panic[id] = true;
+                    changed = true;
+                }
+            }
+        }
+        ReachInfo {
+            can_panic,
+            local,
+            boundary,
+        }
+    }
+
+    /// Reconstructs a witness path `f → g → … (source)` for diagnostics:
+    /// follows can-panic callees until a local source is found.
+    pub fn witness(&self, index: &ItemIndex<'_>, graph: &CallGraph, id: usize) -> String {
+        let mut path = vec![index.fns[id].name.clone()];
+        let mut cur = id;
+        let mut seen = vec![id];
+        for _ in 0..8 {
+            if let Some(src) = &self.local[cur] {
+                return format!("{} ({src})", path.join(" → "));
+            }
+            let Some(next) = graph
+                .callees_of(cur)
+                .into_iter()
+                .find(|c| self.can_panic[*c] && !seen.contains(c))
+            else {
+                break;
+            };
+            path.push(index.fns[next].name.clone());
+            seen.push(next);
+            cur = next;
+        }
+        path.join(" → ")
+    }
+}
+
+/// Scans a fn body for the first local panic source, returning a short
+/// description of it.
+fn local_panic_source(file: &SourceFile, id: usize, index: &ItemIndex<'_>) -> Option<String> {
+    let item = index.item(id);
+    for i in item.body.clone() {
+        let t = file.s(i)?;
+        if t.kind == TokenKind::Ident {
+            let prev_dot = i > 0 && file.s(i - 1).is_some_and(|p| p.is_punct('.'));
+            match t.ident_name() {
+                "unwrap"
+                    if prev_dot
+                        && file.s(i + 1).is_some_and(|n| n.is_punct('('))
+                        && file.s(i + 2).is_some_and(|n| n.is_punct(')')) =>
+                {
+                    return Some("`.unwrap()`".to_owned());
+                }
+                "expect" if prev_dot && file.s(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                    return Some("`.expect(..)`".to_owned());
+                }
+                name if PANIC_MACROS.contains(&name)
+                    && file.s(i + 1).is_some_and(|n| n.is_punct('!')) =>
+                {
+                    return Some(format!("`{name}!`"));
+                }
+                _ => {}
+            }
+        }
+        // Bare indexing: `[` whose previous significant token closes an
+        // expression (identifier, `)`, or `]`). Attributes (`#[`), slice
+        // types (`&[`), and array literals (`= [`) don't match.
+        if t.is_punct('[') && i > 0 {
+            let indexes = file.s(i - 1).is_some_and(|p| {
+                p.kind == TokenKind::Ident && !p.is_ident("mut") && !p.is_ident("in")
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+            });
+            if indexes {
+                return Some("index expression".to_owned());
+            }
+        }
+    }
+    None
+}
+
+/// Trait-contract method names that are registry-facing even without a
+/// `pub` keyword (trait impls inherit the trait's visibility).
+const REGISTRY_METHODS: &[&str] = &["build", "build_geometry", "try_build"];
+
+/// Emits panic-reach candidates: one per registry-facing builder that
+/// can reach a panic, attached to its declaration line.
+pub fn candidates(
+    index: &ItemIndex<'_>,
+    graph: &CallGraph,
+    info: &ReachInfo,
+) -> Vec<(usize, Candidate)> {
+    let mut out = Vec::new();
+    for id in 0..index.fns.len() {
+        let f = &index.fns[id];
+        let item = index.item(id);
+        let registry_facing = item.is_pub || REGISTRY_METHODS.contains(&item.name.as_str());
+        if !PANIC_REACH_CRATES.contains(&f.krate.as_str())
+            || !registry_facing
+            || item.in_test
+            || item.body.is_empty()
+            || !info.can_panic[id]
+        {
+            continue;
+        }
+        let file = index.file(id);
+        let takes_context = item
+            .params
+            .clone()
+            .filter_map(|j| file.s(j))
+            .any(|t| t.is_ident("ProblemContext"));
+        if !takes_context {
+            continue;
+        }
+        let witness = info.witness(index, graph, id);
+        out.push((
+            f.file,
+            Candidate {
+                line: item.line,
+                rule: "panic-reach",
+                message: format!(
+                    "public builder `{}` can reach a panic: {witness}; isolate it behind a \
+                     `catch_unwind` boundary (try_build) or annotate with \
+                     `// analyze: allow(panic-reach) — <reason>`",
+                    f.name
+                ),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(krate: &str, path: &str, src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from(path), krate.to_owned(), src)
+    }
+
+    fn analyse(files: &[SourceFile]) -> Vec<String> {
+        let idx = ItemIndex::build(files);
+        let g = CallGraph::build(&idx);
+        let info = ReachInfo::compute(&idx, &g);
+        candidates(&idx, &g, &info)
+            .into_iter()
+            .map(|(_, c)| c.message)
+            .collect()
+    }
+
+    #[test]
+    fn transitive_panic_reaches_public_builder() {
+        let src = "pub fn build(cx: &ProblemContext) -> T { inner() }\n\
+                   fn inner() -> T { deep() }\n\
+                   fn deep() -> T { x.unwrap() }\n";
+        let msgs = analyse(&[file("core", "crates/core/src/b.rs", src)]);
+        assert_eq!(msgs.len(), 1);
+        assert!(
+            msgs[0].contains("build → inner → deep (`.unwrap()`)"),
+            "{}",
+            msgs[0]
+        );
+    }
+
+    #[test]
+    fn catch_unwind_boundary_absorbs_panics() {
+        let src = "pub fn try_build(cx: &ProblemContext) -> R { catch_unwind(|| raw(cx)) }\n\
+                   fn raw(cx: &ProblemContext) -> T { x.unwrap() }\n";
+        assert!(analyse(&[file("core", "crates/core/src/b.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn indexing_counts_assert_counts_debug_assert_does_not() {
+        let idx_src = "pub fn a(cx: &ProblemContext) -> f64 { xs[0] }\n";
+        assert_eq!(
+            analyse(&[file("core", "crates/core/src/x.rs", idx_src)]).len(),
+            1
+        );
+        let assert_src = "pub fn a(cx: &ProblemContext) { assert!(ok); }\n";
+        assert_eq!(
+            analyse(&[file("core", "crates/core/src/x.rs", assert_src)]).len(),
+            1
+        );
+        let dbg_src = "pub fn a(cx: &ProblemContext) { debug_assert!(ok); }\n";
+        assert!(analyse(&[file("core", "crates/core/src/x.rs", dbg_src)]).is_empty());
+    }
+
+    #[test]
+    fn slice_types_and_attributes_are_not_indexing() {
+        let src = "pub fn a(cx: &ProblemContext, xs: &[f64]) -> Vec<f64> { let v = [0.0; 4]; v.to_vec() }\n";
+        assert!(analyse(&[file("core", "crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn non_context_and_private_fns_are_not_flagged() {
+        let src = "pub fn helper(n: usize) -> usize { xs[n] }\n\
+                   fn private(cx: &ProblemContext) { x.unwrap() }\n";
+        assert!(analyse(&[file("core", "crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn trait_impl_build_methods_are_registry_facing() {
+        // No `pub` keyword, but `build(&self, &ProblemContext)` is the
+        // TreeBuilder contract: the impl is publicly reachable through
+        // the trait object. The bodyless trait declaration is not.
+        let src = "trait TreeBuilder { fn build(&self, cx: &ProblemContext<'_>) -> R; }\n\
+                   impl TreeBuilder for Mst {\n\
+                       fn build(&self, cx: &ProblemContext<'_>) -> R { xs[0] }\n\
+                   }\n";
+        let msgs = analyse(&[file("core", "crates/core/src/b.rs", src)]);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("`build`"));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let src = "pub fn build(cx: &ProblemContext) { x.unwrap() }\n";
+        assert!(analyse(&[file("geom", "crates/geom/src/x.rs", src)]).is_empty());
+    }
+}

@@ -116,6 +116,33 @@ pub const KNOWN_RULES: &[&str] = &[
     "concurrency",
 ];
 
+/// Crates whose hot paths carry `// analyze: complexity(...)` budgets:
+/// the unbudgeted-quadratic check of the complexity pass runs here.
+/// Budget declarations themselves are legal (and checked) in every crate.
+pub const COMPLEXITY_CRATES: &[&str] = &["core", "steiner", "tree", "router"];
+
+/// Crates whose `pub` ProblemContext entry points are checked for panic
+/// reachability — the same surface the error-taxonomy rule covers.
+pub const PANIC_REACH_CRATES: &[&str] = &["core", "steiner", "router"];
+
+/// Every semantic-pass name an `// analyze: allow(...)` waiver may
+/// reference.
+pub const SEMANTIC_RULES: &[&str] = &["panic-reach", "complexity"];
+
+/// Whether semantic pass `rule` is enforced at all for `file` — the
+/// staleness scoping for `analyze:` waivers, mirroring
+/// [`rule_in_scope`] for the `lint:` family.
+pub fn semantic_rule_in_scope(file: &SourceFile, rule: &str) -> bool {
+    let krate = file.crate_name.as_str();
+    match rule {
+        "panic-reach" => PANIC_REACH_CRATES.contains(&krate),
+        // Budget declarations (and hence budget-check waivers) are legal
+        // in every crate the engine walks.
+        "complexity" => ALL_CRATES.contains(&krate),
+        _ => false,
+    }
+}
+
 /// One matching site, before marker filtering.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -195,7 +222,7 @@ fn no_panic(file: &SourceFile, out: &mut Vec<Candidate>) {
             continue;
         }
         let prev_dot = i > 0 && file.s(i - 1).is_some_and(|p| p.is_punct('.'));
-        let shown = match t.text.as_str() {
+        let shown = match t.ident_name() {
             "unwrap"
                 if prev_dot
                     && file.s(i + 1).is_some_and(|n| n.is_punct('('))
@@ -452,7 +479,7 @@ fn no_print(file: &SourceFile, out: &mut Vec<Candidate>) {
             continue;
         }
         let Some(t) = file.s(i) else { continue };
-        if !(t.kind == TokenKind::Ident && PRINT_MACROS.contains(&t.text.as_str())) {
+        if !(t.kind == TokenKind::Ident && PRINT_MACROS.contains(&t.ident_name())) {
             continue;
         }
         if !file.s(i + 1).is_some_and(|n| n.is_punct('!')) {

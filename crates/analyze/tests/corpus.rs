@@ -172,6 +172,21 @@ fn concurrency_corpus() {
     expect_rules("concurrency_allowed.rs", "router", &[]);
 }
 
+// ---- lexer regressions pinned as fixtures ----
+
+#[test]
+fn raw_identifiers_cannot_evade_rules() {
+    // `.r#unwrap()` is the same call as `.unwrap()`; raw-identifier
+    // spelling must not slip past no-panic, while `r#type`/`r#match`
+    // used as ordinary bindings stay clean.
+    expect_rules("lexer_raw_ident.rs", "core", &["no-panic"]);
+}
+
+#[test]
+fn shebang_files_lex_cleanly() {
+    expect_rules("lexer_shebang.rs", "core", &[]);
+}
+
 // ---- scope checks: fixtures are inert outside their rule's crates ----
 
 #[test]

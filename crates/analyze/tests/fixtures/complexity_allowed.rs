@@ -1,0 +1,15 @@
+//! complexity fixture: a quadratic nest waived with a reason instead of
+//! budgeted — for sites whose bound is structural, not asymptotic.
+
+// analyze: allow(complexity) — rejected-net report, bounded by the reject cap (≤16)
+pub fn reject_report(nets: &[Net]) -> Vec<String> {
+    let mut out = Vec::new();
+    for net in nets {
+        for other in nets {
+            if conflicts(net, other) {
+                out.push(describe(net, other));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,34 @@
+//! complexity fixture: budgets declared and honoured. The quadratic
+//! nest carries its `n^2` marker; fixed-bound loops never count.
+
+// analyze: complexity(n^2)
+pub fn distance_matrix(sinks: &[Point]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for a in sinks {
+        for b in sinks {
+            out.push(dist(a, b));
+        }
+    }
+    out
+}
+
+/// Callers of a budgeted fn see an audited boundary, not depth 2.
+// analyze: complexity(n)
+pub fn per_sink(sinks: &[Point]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for s in sinks {
+        out.push(score(s));
+    }
+    out
+}
+
+/// Loops over fixed machine-width bounds are not instance loops.
+pub fn bit_walk(word: u64) -> u32 {
+    let mut count = 0;
+    for bit in 0..64 {
+        for phase in 0..2 {
+            count += probe(word, bit, phase);
+        }
+    }
+    count
+}

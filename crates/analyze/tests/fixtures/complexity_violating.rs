@@ -1,0 +1,26 @@
+//! complexity fixture: an unbudgeted quadratic nest and a declared
+//! budget the code outgrew.
+
+/// Quadratic over the sink set with no declared budget.
+pub fn all_pairs(sinks: &[Point]) -> f64 {
+    let mut total = 0.0;
+    for a in sinks {
+        for b in sinks {
+            total += dist(a, b);
+        }
+    }
+    total
+}
+
+// analyze: complexity(n)
+pub fn outgrown(edges: &[Edge]) -> usize {
+    let mut crossings = 0;
+    for e in edges {
+        for f in edges {
+            if crosses(e, f) {
+                crossings += 1;
+            }
+        }
+    }
+    crossings
+}

@@ -1,0 +1,14 @@
+//! lexer regression fixture: raw identifiers must compare by name, so
+//! `.r#unwrap()` cannot evade the no-panic rule, while `r#type` used as
+//! an ordinary field/binding lexes cleanly.
+
+/// `r#unwrap` is the same method as `unwrap`; the rule must see it.
+pub fn sneaky(x: Option<u8>) -> u8 {
+    x.r#unwrap()
+}
+
+/// Raw identifiers as bindings are ordinary code.
+pub fn configure(r#type: usize) -> usize {
+    let r#match = r#type + 1;
+    r#match
+}

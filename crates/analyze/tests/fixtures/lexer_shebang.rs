@@ -1,0 +1,10 @@
+#!/usr/bin/env run-cargo-script
+//! lexer regression fixture: a shebang line is consumed as a comment,
+//! so the rest of the file still lexes and the inner attribute below is
+//! not confused with one.
+#![allow(dead_code)]
+
+/// Clean code after the shebang.
+pub fn fine() -> usize {
+    1
+}

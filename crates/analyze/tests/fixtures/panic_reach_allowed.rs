@@ -1,0 +1,7 @@
+//! panic-reach fixture: a raw public builder carrying a reasoned waiver.
+
+// analyze: allow(panic-reach) — raw API by contract; try_build wraps it in catch_unwind
+pub fn build(cx: &ProblemContext<'_>) -> Tree {
+    let first = cx.sinks().first().unwrap();
+    Tree::rooted_at(first)
+}

@@ -1,0 +1,18 @@
+//! panic-reach fixture: the registry contract done right. The public
+//! surface is isolated behind a `catch_unwind` boundary; the raw path is
+//! private, so its panics never reach an unprotected public builder.
+
+/// The isolated entry point: panics inside `raw` become errors here.
+pub fn try_build(cx: &ProblemContext<'_>) -> Result<Tree, BmstError> {
+    std::panic::catch_unwind(|| raw(cx)).map_err(|_| BmstError::internal("builder panicked"))
+}
+
+fn raw(cx: &ProblemContext<'_>) -> Tree {
+    let first = cx.sinks().first().unwrap();
+    Tree::rooted_at(first)
+}
+
+/// Public but panic-free: only safe accessors, no indexing.
+pub fn summarize(cx: &ProblemContext<'_>) -> usize {
+    cx.sinks().len()
+}

@@ -1,0 +1,26 @@
+//! panic-reach fixture: public builders reaching panics transitively.
+
+/// Reaches `.unwrap()` two calls deep — the fixed point must carry the
+/// fact across both edges and name the witness path.
+pub fn build(cx: &ProblemContext<'_>) -> Tree {
+    let order = plan(cx);
+    assemble(order)
+}
+
+fn plan(cx: &ProblemContext<'_>) -> Vec<usize> {
+    pick(cx.sinks())
+}
+
+fn pick(sinks: &[Point]) -> Vec<usize> {
+    let first = sinks.first().unwrap();
+    vec![first.id]
+}
+
+fn assemble(order: Vec<usize>) -> Tree {
+    Tree::from_order(order)
+}
+
+/// A direct index expression is a release-mode panic source too.
+pub fn lookup(cx: &ProblemContext<'_>, i: usize) -> f64 {
+    cx.costs()[i]
+}

@@ -1,0 +1,164 @@
+//! The semantic-pass fixture corpus and the live-workspace meta-test.
+//!
+//! Each pass has a violating / clean / allowed fixture triple under
+//! `tests/fixtures/`, named `<pass>_*.rs` with `-` flattened to `_`
+//! (the prefix `cargo xtask analyze --list` counts). The meta-test runs
+//! the real passes over this repository: the workspace must stay clean,
+//! so every raw public builder carries its waiver and every known
+//! quadratic site its budget.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::path::PathBuf;
+
+use bmst_analyze::model::SourceFile;
+use bmst_analyze::{analyze_semantic_files, workspace_root, SemanticReport};
+
+/// Loads a fixture and runs the semantic passes as if it were a file of
+/// `crate_name`.
+fn analyze_fixture(name: &str, crate_name: &str) -> SemanticReport {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let file = SourceFile::new(path, crate_name.to_owned(), &text);
+    analyze_semantic_files(std::slice::from_ref(&file))
+}
+
+/// Asserts the fixture produces exactly `expected` rules (sorted).
+fn expect_rules(name: &str, crate_name: &str, expected: &[&str]) {
+    let report = analyze_fixture(name, crate_name);
+    let mut got: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+    got.sort_unstable();
+    let mut want = expected.to_vec();
+    want.sort_unstable();
+    assert_eq!(
+        got, want,
+        "fixture {name} (as crate `{crate_name}`): {:#?}",
+        report.violations
+    );
+}
+
+// ---- corpus: one violating / clean / allowed triple per pass ----
+
+#[test]
+fn panic_reach_corpus() {
+    expect_rules(
+        "panic_reach_violating.rs",
+        "core",
+        &["panic-reach", "panic-reach"],
+    );
+    expect_rules("panic_reach_clean.rs", "core", &[]);
+    expect_rules("panic_reach_allowed.rs", "core", &[]);
+}
+
+#[test]
+fn panic_reach_messages_carry_the_witness_path() {
+    let report = analyze_fixture("panic_reach_violating.rs", "core");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("build → plan → pick (`.unwrap()`)")),
+        "witness path names the transitive chain: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("index expression")),
+        "indexing source named: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn panic_reach_scope_is_per_crate() {
+    // geom is outside PANIC_REACH_CRATES: same source, no findings, and
+    // the complexity floor doesn't apply there either.
+    expect_rules("panic_reach_violating.rs", "geom", &[]);
+}
+
+#[test]
+fn complexity_corpus() {
+    expect_rules(
+        "complexity_violating.rs",
+        "core",
+        &["complexity", "complexity"],
+    );
+    expect_rules("complexity_clean.rs", "core", &[]);
+    expect_rules("complexity_allowed.rs", "core", &[]);
+}
+
+#[test]
+fn complexity_messages_distinguish_floor_from_budget() {
+    let report = analyze_fixture("complexity_violating.rs", "core");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("without a declared budget")),
+        "unbudgeted floor named: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("allowing depth 1")),
+        "budget overrun named: {:#?}",
+        report.violations
+    );
+}
+
+// ---- the live workspace ----
+
+#[test]
+fn live_workspace_passes_semantic_analysis() {
+    let root = workspace_root();
+    let report = bmst_analyze::analyze_semantic(&root);
+    assert!(
+        report.files_scanned > 50,
+        "expected a real workspace, scanned {}",
+        report.files_scanned
+    );
+    assert!(
+        report.fns_indexed > 300,
+        "expected a populated item index, got {} fns",
+        report.fns_indexed
+    );
+    assert!(
+        report.call_edges > 200,
+        "expected a connected call graph, got {} edges",
+        report.call_edges
+    );
+    assert!(
+        report.is_clean(),
+        "live workspace has semantic violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!(
+                "{}:{}: [{}] {}",
+                v.path.display(),
+                v.line,
+                v.rule,
+                v.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn live_callgraph_dot_is_well_formed() {
+    let dot = bmst_analyze::callgraph_dot(&workspace_root());
+    assert!(dot.starts_with("digraph calls {"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert!(
+        dot.lines().filter(|l| l.contains(" -> ")).count() > 100,
+        "expected a dense graph dump"
+    );
+}

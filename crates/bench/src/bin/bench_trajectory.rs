@@ -157,7 +157,12 @@ fn synthetic_netlist(num_nets: usize) -> Netlist {
 fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
     let num_nets = if quick { 8 } else { 24 };
     let netlist = synthetic_netlist(num_nets);
-    let config = RouterConfig::default();
+    // Threshold off: the jobs-4 record must measure the worker pool, not
+    // the small-netlist serial bypass.
+    let config = RouterConfig {
+        parallel_min_terminals: 0,
+        ..RouterConfig::default()
+    };
     let bench_name = format!("netlist{num_nets}");
 
     let (serial, serial_s) = timed(|| netlist.route(&config));
@@ -299,6 +304,34 @@ fn lint_gate(records: &mut Vec<BenchRecord>) {
             ("lint.files".to_owned(), report.files_scanned as u64),
             ("lint.emissions".to_owned(), report.emissions_seen as u64),
             ("lint.violations".to_owned(), report.violations.len() as u64),
+        ]
+        .into(),
+    });
+
+    // The semantic passes (call graph, panic-reach, complexity) cost
+    // more than the token rules; track their wall-clock separately so a
+    // regression in graph construction shows up in the trajectory.
+    let (sem, sem_wall_s) = timed(|| bmst_analyze::analyze_semantic(&root));
+    records.push(BenchRecord {
+        bench: "workspace".to_owned(),
+        algorithm: "analyze-semantic".to_owned(),
+        eps: 0.0,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s: sem_wall_s,
+        counters: [
+            (
+                "analyze.semantic.millis".to_owned(),
+                (sem_wall_s * 1000.0) as u64,
+            ),
+            ("analyze.semantic.fns".to_owned(), sem.fns_indexed as u64),
+            ("analyze.semantic.edges".to_owned(), sem.call_edges as u64),
+            (
+                "analyze.semantic.violations".to_owned(),
+                sem.violations.len() as u64,
+            ),
         ]
         .into(),
     });

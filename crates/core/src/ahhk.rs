@@ -58,6 +58,7 @@ pub fn prim_dijkstra(net: &Net, c: f64) -> Result<RoutingTree, BmstError> {
 
 /// Context-based AHHK driver; the blend parameter comes from
 /// [`ProblemContext::pd_blend`].
+// analyze: complexity(n^2)
 pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let net = cx.net();
     let c = cx.pd_blend();

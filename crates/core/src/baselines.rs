@@ -72,6 +72,7 @@ pub fn spt_tree(net: &Net) -> RoutingTree {
 /// It appears at the top of the paper's routing-cost chart (Figure 11) as
 /// the cost ceiling. Computed by running Prim on negated weights.
 #[allow(clippy::expect_used)] // construction invariant, justified inline
+                              // analyze: complexity(n^2)
 pub fn maximal_spanning_tree(net: &Net) -> RoutingTree {
     let n = net.len();
     let s = net.source();

@@ -181,6 +181,7 @@ pub(crate) fn exchange(
 /// feasible tree strictly cheaper than the iteration's root, if one is
 /// reachable through negative-prefix exchange sequences from `tree`.
 #[allow(clippy::expect_used)] // cycle-walk invariants, justified inline
+                              // analyze: complexity(n^3)
 fn dfs_exchange(
     net: &Net,
     d: &bmst_geom::DistanceMatrix,

@@ -50,6 +50,7 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
 
 /// Context-based BPRIM driver; the per-node budget uses the context's raw
 /// `eps`, the audit its validated constraint.
+// analyze: complexity(n^3)
 pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let net = cx.net();
     let eps = cx.eps();

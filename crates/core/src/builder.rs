@@ -109,6 +109,7 @@ pub trait TreeBuilder: Sync {
     /// # Errors
     ///
     /// Same conditions as [`TreeBuilder::build`].
+    // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
     fn build_geometry(&self, cx: &ProblemContext<'_>) -> Result<BuiltGeometry, BmstError> {
         let tree = self.build(cx)?;
         Ok(BuiltGeometry {
@@ -240,6 +241,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::bkrus::run(cx, None)
         }
@@ -266,6 +268,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             let mut trace = Vec::new();
             let tree = crate::bkrus::run(cx, Some(&mut trace))?;
@@ -310,6 +313,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::bkh2::run(cx)
         }
@@ -337,6 +341,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::bkex::run(cx, self.config)
         }
@@ -364,6 +369,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::gabow::run(cx, self.config).map(|o| o.tree)
         }
@@ -388,6 +394,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::bprim::run(cx)
         }
@@ -412,6 +419,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::brbc::run(cx)
         }
@@ -437,6 +445,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::ahhk::run(cx)
         }
@@ -462,6 +471,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             crate::elmore_bkrus::run(cx)
         }
@@ -486,6 +496,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             Ok(crate::baselines::mst_tree_cx(cx))
         }
@@ -510,6 +521,7 @@ pub mod builders {
             }
         }
 
+        // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
         fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
             Ok(crate::baselines::spt_tree(cx.net()))
         }

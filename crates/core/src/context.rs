@@ -210,12 +210,14 @@ impl<'a> ProblemContext<'a> {
     }
 
     /// The complete-graph distance matrix, computed on first use.
+    // analyze: complexity(n^2)
     pub fn matrix(&self) -> &DistanceMatrix {
         self.matrix.get_or_init(|| self.net.distance_matrix())
     }
 
     /// The complete-graph edge list in nondecreasing canonical
     /// `(weight, u, v)` order, computed on first use.
+    // analyze: complexity(n^2)
     pub fn sorted_edges(&self) -> &[Edge] {
         self.sorted_edges.get_or_init(|| {
             let mut edges = complete_edges(self.matrix());
@@ -235,6 +237,7 @@ impl<'a> ProblemContext<'a> {
     /// exact-coordinate duplicate sinks, sinks coincident with the source,
     /// and zero-radius nets. Empty for well-formed geometry. See
     /// [`InputDiagnostic`] for why these are warnings rather than errors.
+    // analyze: complexity(n^2)
     pub fn diagnostics(&self) -> &[InputDiagnostic] {
         self.diagnostics.get_or_init(|| {
             let mut found = Vec::new();

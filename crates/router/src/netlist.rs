@@ -244,6 +244,7 @@ impl Netlist {
 
     /// Serialises to the block format (round-trips with
     /// [`Netlist::from_str_block`]).
+    // analyze: allow(complexity) — nets × terminals is the rendered output size; serialisation is linear in the text it produces
     pub fn to_string_block(&self) -> String {
         let mut out = String::new();
         for n in &self.nets {

@@ -205,6 +205,10 @@ pub struct RouterConfig {
     pub algorithm: RouteAlgorithm,
     /// The degradation ladder's relaxation schedule.
     pub relaxation: RelaxationPolicy,
+    /// Minimum total terminal count before [`Netlist::route_parallel`]
+    /// spawns worker threads; netlists with less total work than this
+    /// route serially (thread setup would dominate). `0` never bypasses.
+    pub parallel_min_terminals: usize,
 }
 
 impl Default for RouterConfig {
@@ -215,6 +219,7 @@ impl Default for RouterConfig {
             eps_relaxed: f64::INFINITY,
             algorithm: RouteAlgorithm::bkrus(),
             relaxation: RelaxationPolicy::default(),
+            parallel_min_terminals: 64,
         }
     }
 }
@@ -477,12 +482,30 @@ impl Netlist {
     /// observability spans `router.net.w<worker>`.
     ///
     /// `jobs` is clamped to `[1, nets]`; `jobs <= 1` delegates to the
-    /// serial pass.
+    /// serial pass, as do netlists whose total terminal count falls below
+    /// [`RouterConfig::parallel_min_terminals`] (thread setup would cost
+    /// more than it buys — the bypass is recorded as a
+    /// `router.parallel_bypassed` event).
     #[allow(clippy::expect_used)] // worker panics are propagated, justified inline
     pub fn route_parallel(&self, config: &RouterConfig, jobs: usize) -> RouteReport {
         let n = self.nets.len();
         let jobs = jobs.min(n).max(1);
         if jobs <= 1 {
+            return self.route(config);
+        }
+        let terminals: usize = self.nets.iter().map(|n| n.net.len()).sum();
+        if terminals < config.parallel_min_terminals {
+            if bmst_obs::enabled() {
+                bmst_obs::event(
+                    "router.parallel_bypassed",
+                    &[
+                        ("terminals", Field::from(terminals)),
+                        ("threshold", Field::from(config.parallel_min_terminals)),
+                        ("nets", Field::from(n)),
+                        ("jobs", Field::from(jobs)),
+                    ],
+                );
+            }
             return self.route(config);
         }
 
@@ -669,10 +692,19 @@ mod tests {
         }
     }
 
+    /// The default config with the serial-bypass threshold disabled, so
+    /// small test netlists still exercise the worker pool.
+    fn parallel_config() -> RouterConfig {
+        RouterConfig {
+            parallel_min_terminals: 0,
+            ..RouterConfig::default()
+        }
+    }
+
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let nl = random_netlist(5, 17);
-        let cfg = RouterConfig::default();
+        let cfg = parallel_config();
         let serial = nl.route(&cfg);
         for jobs in [1, 2, 4, 8, 32] {
             let par = nl.route_parallel(&cfg, jobs);
@@ -694,11 +726,45 @@ mod tests {
 
     #[test]
     fn parallel_empty_and_oversubscribed() {
-        let empty = Netlist::default().route_parallel(&RouterConfig::default(), 8);
+        let empty = Netlist::default().route_parallel(&parallel_config(), 8);
         assert_eq!(empty.nets.len(), 0);
         let nl = random_netlist(6, 2);
-        let report = nl.route_parallel(&RouterConfig::default(), 64);
+        let report = nl.route_parallel(&parallel_config(), 64);
         assert_eq!(report.nets.len(), 2);
+    }
+
+    #[test]
+    fn parallel_bypasses_to_serial_below_terminal_threshold() {
+        use std::sync::Arc;
+        let nl = random_netlist(7, 3);
+        let terminals: usize = nl.nets.iter().map(|n| n.net.len()).sum();
+        let cfg = RouterConfig {
+            parallel_min_terminals: terminals + 1,
+            ..RouterConfig::default()
+        };
+        let recorder = Arc::new(bmst_obs::SummaryRecorder::new());
+        let par = {
+            let _guard = bmst_obs::scoped(recorder.clone());
+            nl.route_parallel(&cfg, 4)
+        };
+        assert_eq!(recorder.event_count("router.parallel_bypassed"), 1);
+        // The bypass is an optimisation, never a behaviour change.
+        let serial = nl.route(&cfg);
+        assert_eq!(
+            par.total_wirelength.to_bits(),
+            serial.total_wirelength.to_bits()
+        );
+        // At or above the threshold the pool runs and nothing is emitted.
+        let recorder = Arc::new(bmst_obs::SummaryRecorder::new());
+        {
+            let _guard = bmst_obs::scoped(recorder.clone());
+            let eager = RouterConfig {
+                parallel_min_terminals: terminals,
+                ..cfg
+            };
+            nl.route_parallel(&eager, 4);
+        }
+        assert_eq!(recorder.event_count("router.parallel_bypassed"), 0);
     }
 
     /// A net whose MST detours so far that eps = 0.1 is infeasible for the
@@ -733,7 +799,7 @@ mod tests {
         RouterConfig {
             algorithm: RouteAlgorithm::from_name("mst").unwrap(),
             relaxation,
-            ..RouterConfig::default()
+            ..parallel_config()
         }
     }
 

@@ -37,10 +37,12 @@ impl TreeBuilder for BkstBuilder {
         }
     }
 
+    // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
     fn build(&self, cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
         bkst_with(cx.net(), *cx.constraint()).map(|st| st.tree)
     }
 
+    // analyze: allow(panic-reach) — raw trait API; registry consumers go through try_build, which catch_unwinds into BmstError::Internal
     fn build_geometry(&self, cx: &ProblemContext<'_>) -> Result<BuiltGeometry, BmstError> {
         let st = bkst_with(cx.net(), *cx.constraint())?;
         Ok(BuiltGeometry {

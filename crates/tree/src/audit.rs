@@ -331,6 +331,7 @@ impl RoutingTree {
     }
 
     /// Coverage flags, parent/children cross-links, and acyclicity.
+    // analyze: complexity(n^2)
     fn audit_structure(&self) -> Result<(), AuditViolation> {
         let n = self.universe();
         let root = self.root();

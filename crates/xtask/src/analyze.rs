@@ -1,0 +1,98 @@
+//! Thin driver over the `bmst-analyze` semantic engine.
+//!
+//! The passes — item index, call graph, panic-reachability, complexity
+//! budgets — live in `crates/analyze`; this module only parses CLI
+//! arguments, runs the engine at the workspace root, and formats the
+//! report. See `DESIGN.md` §5f for the pass contracts and the
+//! `// analyze:` marker convention.
+
+use std::process::ExitCode;
+
+use bmst_analyze::{analyze_semantic, callgraph_dot, semantic_pass_table, workspace_root};
+
+use crate::lint::print_violations;
+
+/// Entry point for `cargo xtask analyze`.
+pub fn run(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--list") => list(),
+        Some("--graph") => match args.get(1).map(String::as_str) {
+            Some("dot") => graph(),
+            other => {
+                eprintln!(
+                    "xtask analyze: unsupported graph format `{}` (supported: dot)",
+                    other.unwrap_or("")
+                );
+                ExitCode::FAILURE
+            }
+        },
+        Some(unknown) => {
+            eprintln!(
+                "xtask analyze: unknown argument `{unknown}` (supported: --list, --graph dot)"
+            );
+            ExitCode::FAILURE
+        }
+        None => analyze(),
+    }
+}
+
+/// Default mode: run the semantic passes and report.
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    let report = analyze_semantic(&root);
+    print_violations(&report.violations, &root);
+    if report.is_clean() {
+        println!(
+            "xtask analyze: {} files clean ({} fns indexed, {} call edges)",
+            report.files_scanned, report.fns_indexed, report.call_edges
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nxtask analyze: {} violation(s) across {} fns",
+            report.violations.len(),
+            report.fns_indexed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `--list`: the pass table plus per-pass fixture counts, mirroring
+/// `lint --list`. Fixtures live in `crates/analyze/tests/fixtures` and
+/// are named `<pass>_*.rs` with `-` flattened to `_`.
+fn list() -> ExitCode {
+    let fixtures = workspace_root().join("crates/analyze/tests/fixtures");
+    for info in semantic_pass_table() {
+        let prefix = format!("{}_", info.name.replace('-', "_"));
+        let count = std::fs::read_dir(&fixtures)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".rs"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0);
+        println!(
+            "{:<15} {} ({} fixture(s))",
+            info.name,
+            info.scope.join(", "),
+            count
+        );
+        println!("{:<15} {}", "", info.description);
+    }
+    println!(
+        "\nWaive intentional sites with: // analyze: allow(<pass>) — <reason>\n\
+         Declare loop budgets with:    // analyze: complexity(<1|log n|n|n log n|n^k>)"
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--graph dot`: dump the approximate call graph for inspection.
+fn graph() -> ExitCode {
+    println!("{}", callgraph_dot(&workspace_root()));
+    ExitCode::SUCCESS
+}

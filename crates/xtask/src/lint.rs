@@ -83,7 +83,7 @@ pub fn run_check_events(args: &[String]) -> ExitCode {
     }
 }
 
-fn print_violations(violations: &[Violation], root: &std::path::Path) {
+pub(crate) fn print_violations(violations: &[Violation], root: &std::path::Path) {
     for v in violations {
         let rel = v.path.strip_prefix(root).unwrap_or(&v.path);
         eprintln!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);

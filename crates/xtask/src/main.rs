@@ -5,6 +5,9 @@
 //!   rules that `clippy` cannot express (allow-marker conventions,
 //!   per-crate rule scoping, determinism/error-taxonomy/obs-schema/
 //!   concurrency invariants).
+//! * `analyze` — the workspace-level semantic passes described in
+//!   `DESIGN.md` §5f: item index, approximate call graph,
+//!   panic-reachability, and complexity-budget enforcement.
 //! * `check-events` — the obs-schema round-trip on its own: every
 //!   emission name must exist in `crates/obs/events.toml` and every
 //!   registry entry must still be emitted somewhere.
@@ -15,6 +18,7 @@
 //!   registry (unique kebab-case names, every public construction
 //!   registered).
 
+mod analyze;
 mod check;
 mod lint;
 mod registry;
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("analyze") => analyze::run(&args[1..]),
         Some("check-events") => lint::run_check_events(&args[1..]),
         Some("check-trace") => check::run_trace(&args[1..]),
         Some("check-bench") => check::run_bench(&args[1..]),
@@ -48,6 +53,10 @@ fn print_usage() {
          Commands:\n\
          \x20 lint                 run the token-aware static-analysis gate (bmst-analyze)\n\
          \x20 lint --list          describe every lint rule and its scope\n\
+         \x20 analyze              run the semantic passes (call graph, panic-reach,\n\
+         \x20                      complexity budgets)\n\
+         \x20 analyze --list       describe every semantic pass, scope, fixture count\n\
+         \x20 analyze --graph dot  dump the approximate call graph (Graphviz)\n\
          \x20 check-events         diff live obs emissions against crates/obs/events.toml\n\
          \x20 check-trace <FILE>   validate a `bmst route --trace` JSON-lines file\n\
          \x20 check-bench <FILE>   validate a BENCH_*.json bench trajectory\n\
