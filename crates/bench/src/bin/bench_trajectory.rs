@@ -23,13 +23,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bmst_bench::emit::{write_bench_file, BenchRecord};
-use bmst_bench::{has_flag, timed, TABLE_EPS};
+use bmst_bench::{fit_scaling_exponent, has_flag, timed, TABLE_EPS};
 use bmst_core::{
     builders, mst_tree, spt_tree, BoundKind, CostClass, GabowConfig, ProblemContext, TreeBuilder,
     TreeReport,
 };
 use bmst_geom::Net;
-use bmst_instances::Benchmark;
+use bmst_instances::{scaled_net, Benchmark, ScaleStyle};
 use bmst_obs::SummaryRecorder;
 use bmst_router::{Criticality, NamedNet, Netlist, RouterConfig};
 use bmst_tree::RoutingTree;
@@ -150,11 +150,14 @@ fn synthetic_netlist(num_nets: usize) -> Netlist {
     Netlist::new(nets)
 }
 
-/// Routes the same synthetic netlist serially and with 4 workers, asserts
-/// the outputs are structurally identical, and records both timings. The
-/// jobs-4 record carries the observed speedup (x1000) as a counter —
-/// honest numbers for whatever machine ran the bench.
-fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
+/// Routes the same toy netlist serially and with 4 workers, asserts the
+/// outputs are structurally identical, and records both timings. The nets
+/// here are 6-15 sinks — far below `parallel_min_terminals` — so the
+/// observed "speedup" is dominated by thread-pool overhead; the records
+/// carry a `-toy` suffix (and the counter a `_toy` suffix) to say so.
+/// They are kept for trajectory continuity; `netlist_comparison` below
+/// holds the honest measurement.
+fn netlist_comparison_toy(quick: bool, records: &mut Vec<BenchRecord>) {
     let num_nets = if quick { 8 } else { 24 };
     let netlist = synthetic_netlist(num_nets);
     // Threshold off: the jobs-4 record must measure the worker pool, not
@@ -188,7 +191,7 @@ fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
         counters: [
             ("router.jobs".to_owned(), jobs),
             ("router.nets".to_owned(), num_nets as u64),
-            ("router.speedup_milli".to_owned(), speedup_milli),
+            ("router.speedup_milli_toy".to_owned(), speedup_milli),
         ]
         .into(),
     };
@@ -197,6 +200,85 @@ fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
     } else {
         0
     };
+    records.push(record("netlist-serial-toy", serial_s, 1, 1000));
+    records.push(record(
+        "netlist-jobs4-toy",
+        parallel_s,
+        jobs as u64,
+        speedup_milli,
+    ));
+}
+
+/// A netlist of `count` scaled `sinks`-sink nets — big enough that the
+/// default `parallel_min_terminals` threshold admits the worker pool, so
+/// parallel timings measure real work, not pool overhead.
+fn scaled_netlist(count: usize, sinks: usize) -> Netlist {
+    let classes = [
+        Criticality::Critical,
+        Criticality::Normal,
+        Criticality::Relaxed,
+    ];
+    let nets: Vec<NamedNet> = (0..count)
+        .map(|i| {
+            let net = scaled_net(sinks, 0x5CA7E + i as u64, ScaleStyle::ALL[i % 3]);
+            NamedNet::new(format!("s{i}"), net, classes[i % classes.len()])
+        })
+        .collect();
+    Netlist::new(nets)
+}
+
+/// The honest serial-vs-4-jobs comparison (the fix for the misleading
+/// `router.speedup_milli` record): a netlist whose terminal count clears
+/// the *default* `parallel_min_terminals` threshold by an order of
+/// magnitude, routed under the default config. Outputs are asserted
+/// byte-identical; `router.speedup_milli` is serial/parallel wall x1000,
+/// so > 1000 means parallel routing actually won.
+fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
+    // Per-net work must dwarf thread-pool startup for the comparison to
+    // measure routing rather than spawning: 120-sink nets take ~ms each.
+    let (num_nets, sinks) = if quick { (8, 150) } else { (24, 150) };
+    let netlist = scaled_netlist(num_nets, sinks);
+    let config = RouterConfig::default();
+    let total_terminals: usize = netlist.nets.iter().map(|n| n.net.len()).sum();
+    assert!(
+        total_terminals >= 10 * config.parallel_min_terminals,
+        "honest comparison must dwarf the parallel threshold"
+    );
+    let bench_name = format!("scaled-netlist{num_nets}");
+
+    let (serial, serial_s) = timed(|| netlist.route(&config));
+    assert!(serial.is_clean(), "scaled netlist must route cleanly");
+    let jobs = 4;
+    let (parallel, parallel_s) = timed(|| netlist.route_parallel(&config, jobs));
+    assert_eq!(
+        serial.to_json().to_string(),
+        parallel.to_json().to_string(),
+        "parallel routing must be byte-identical to serial"
+    );
+
+    let max_radius = serial.nets.iter().map(|n| n.radius).fold(0.0_f64, f64::max);
+    let speedup_milli = if parallel_s > 0.0 {
+        (serial_s / parallel_s * 1000.0) as u64
+    } else {
+        0
+    };
+    let record = |algorithm: &str, wall_s: f64, jobs: u64, speedup_milli: u64| BenchRecord {
+        bench: bench_name.clone(),
+        algorithm: algorithm.to_owned(),
+        eps: config.eps_normal,
+        cost: serial.total_wirelength,
+        longest_path: max_radius,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s,
+        counters: [
+            ("router.jobs".to_owned(), jobs),
+            ("router.nets".to_owned(), num_nets as u64),
+            ("router.terminals".to_owned(), total_terminals as u64),
+            ("router.speedup_milli".to_owned(), speedup_milli),
+        ]
+        .into(),
+    };
     records.push(record("netlist-serial", serial_s, 1, 1000));
     records.push(record(
         "netlist-jobs4",
@@ -204,6 +286,133 @@ fn netlist_comparison(quick: bool, records: &mut Vec<BenchRecord>) {
         jobs as u64,
         speedup_milli,
     ));
+}
+
+/// Representative bound for the scaling sweep: loose enough that every
+/// builder succeeds on uniform clouds, tight enough that the bound-check
+/// machinery stays on the measured path.
+const SCALING_EPS: f64 = 0.5;
+
+/// Times one construction on a scaled net and returns integer microseconds
+/// (the unit of the `scaling.*` trajectory records).
+fn time_scaled_build(builder: &dyn TreeBuilder, net: &Net) -> u64 {
+    let (tree, wall_s) = timed(|| {
+        let cx = ProblemContext::new(net, SCALING_EPS).expect("scaled nets are valid");
+        builder
+            .build(&cx)
+            .expect("scaled uniform nets are feasible at eps 0.5")
+    });
+    assert!(tree.cost() > 0.0, "scaling build produced an empty tree");
+    (wall_s * 1e6) as u64
+}
+
+/// One scaling record: `scaling.<algo>.<n>.micros` plus the size itself
+/// under `scaling.n`, so `cargo xtask check-perf` can rebuild the curve
+/// without parsing key strings for anything but the algorithm.
+fn scaling_record(algo: &str, n: usize, micros: u64, extra: &[(String, u64)]) -> BenchRecord {
+    let mut counters: std::collections::BTreeMap<String, u64> = [
+        ("scaling.n".to_owned(), n as u64),
+        (format!("scaling.{algo}.{n}.micros"), micros),
+    ]
+    .into();
+    counters.extend(extra.iter().cloned());
+    BenchRecord {
+        bench: format!("scale-{n}"),
+        algorithm: algo.to_owned(),
+        eps: SCALING_EPS,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s: micros as f64 / 1e6,
+        counters,
+    }
+}
+
+/// Fits the scaling exponent of a sweep and appends the
+/// `scaling.<algo>.exponent_milli` record (exponent x1000; ~2000 reads as
+/// quadratic). Skipped (with a stderr note) for degenerate sweeps.
+fn scaling_fit_record(algo: &str, points: &[(usize, u64)], records: &mut Vec<BenchRecord>) {
+    let float_points: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, us)| (n as f64, us as f64))
+        .collect();
+    let Some(exponent) = fit_scaling_exponent(&float_points) else {
+        eprintln!("scaling fit skipped for {algo}: degenerate sweep {points:?}");
+        return;
+    };
+    records.push(BenchRecord {
+        bench: "scaling-fit".to_owned(),
+        algorithm: algo.to_owned(),
+        eps: SCALING_EPS,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s: 0.0,
+        counters: [(
+            format!("scaling.{algo}.exponent_milli"),
+            (exponent.max(0.0) * 1000.0) as u64,
+        )]
+        .into(),
+    });
+}
+
+/// The n-sweep behind the scaling-curve regression gate: times BKRUS and
+/// BPRIM on uniform scaled nets across two orders of magnitude of sink
+/// count, and the router (serial and 4-jobs) on scaled netlists across two
+/// orders of magnitude of total terminals. Ladders are per-algorithm —
+/// BPRIM's near-cubic growth gets smaller sizes than BKRUS — and the quick
+/// (CI smoke) ladders are two sizes, enough to exercise the record schema
+/// without the multi-second builds.
+fn scaling_sweep(quick: bool, records: &mut Vec<BenchRecord>) {
+    let bkrus_ns: &[usize] = if quick { &[50, 200] } else { &[50, 500, 5000] };
+    let bprim_ns: &[usize] = if quick { &[20, 100] } else { &[20, 200, 2000] };
+    // Router sizes are total terminals: netlists of 50-sink nets.
+    let router_ns: &[usize] = if quick {
+        &[102, 510]
+    } else {
+        &[102, 1020, 10200]
+    };
+
+    for (algo, builder, ns) in [
+        ("bkrus", &builders::Bkrus as &dyn TreeBuilder, bkrus_ns),
+        ("bprim", &builders::Bprim, bprim_ns),
+    ] {
+        let mut points = Vec::new();
+        for &n in ns {
+            let net = scaled_net(n, 0x5CA1E + n as u64, ScaleStyle::Uniform);
+            let micros = time_scaled_build(builder, &net);
+            records.push(scaling_record(algo, n, micros, &[]));
+            points.push((n, micros));
+        }
+        scaling_fit_record(algo, &points, records);
+    }
+
+    let config = RouterConfig::default();
+    let jobs = 4;
+    let mut points = Vec::new();
+    for &n in router_ns {
+        // 51 terminals per net (50 sinks + source).
+        let netlist = scaled_netlist(n / 51, 50);
+        let (serial, serial_s) = timed(|| netlist.route(&config));
+        assert!(serial.is_clean(), "scaled netlist must route cleanly");
+        let (_, parallel_s) = timed(|| netlist.route_parallel(&config, jobs));
+        let micros = (serial_s * 1e6) as u64;
+        let speedup_milli = if parallel_s > 0.0 {
+            (serial_s / parallel_s * 1000.0) as u64
+        } else {
+            0
+        };
+        records.push(scaling_record(
+            "router",
+            n,
+            micros,
+            &[(format!("scaling.router.{n}.speedup_milli"), speedup_milli)],
+        ));
+        points.push((n, micros));
+    }
+    scaling_fit_record("router", &points, records);
 }
 
 /// Measures what the robustness layer costs when nothing goes wrong: the
@@ -343,7 +552,9 @@ fn main() {
     let mut records = Vec::new();
 
     sweep_registry(quick, &mut records);
+    netlist_comparison_toy(quick, &mut records);
     netlist_comparison(quick, &mut records);
+    scaling_sweep(quick, &mut records);
     robustness_overhead(quick, &mut records);
     lint_gate(&mut records);
 

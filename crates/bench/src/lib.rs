@@ -57,6 +57,37 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Least-squares slope of `ln(time)` against `ln(n)` — the empirical
+/// scaling exponent of a `(n, time)` sweep (`~2.0` for quadratic, `~1.0`
+/// for linear). Time units cancel out; only ratios matter.
+///
+/// Returns `None` when fewer than two *distinct* positive sizes remain
+/// after dropping non-positive points (log of zero is undefined; a
+/// zero-micros measurement means the clock under-resolved, not that the
+/// algorithm is free).
+pub fn fit_scaling_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(n, t)| *n > 0.0 && *t > 0.0)
+        .map(|(n, t)| (n.ln(), t.ln()))
+        .collect();
+    let k = logs.len() as f64;
+    let distinct = {
+        let mut xs: Vec<u64> = logs.iter().map(|(x, _)| x.to_bits()).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs.len()
+    };
+    if distinct < 2 {
+        return None;
+    }
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / k;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / k;
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    (sxx > 0.0).then(|| sxy / sxx)
+}
+
 /// Simple aggregate of a sample: average, maximum, minimum.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aggregate {
@@ -114,6 +145,29 @@ mod tests {
         let (v, secs) = timed(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_power_laws() {
+        // Exact quadratic: t = 3 n^2.
+        let quad: Vec<(f64, f64)> = [10.0, 100.0, 1000.0]
+            .iter()
+            .map(|&n: &f64| (n, 3.0 * n * n))
+            .collect();
+        assert!((fit_scaling_exponent(&quad).unwrap() - 2.0).abs() < 1e-9);
+        // Exact linear.
+        let lin: Vec<(f64, f64)> = [32.0, 64.0, 128.0].iter().map(|&n| (n, 5.0 * n)).collect();
+        assert!((fit_scaling_exponent(&lin).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_fit_rejects_degenerate_sweeps() {
+        assert!(fit_scaling_exponent(&[]).is_none());
+        assert!(fit_scaling_exponent(&[(100.0, 5.0)]).is_none());
+        // Same n twice is one distinct size.
+        assert!(fit_scaling_exponent(&[(100.0, 5.0), (100.0, 6.0)]).is_none());
+        // Zero-time points are dropped, leaving one usable point.
+        assert!(fit_scaling_exponent(&[(100.0, 0.0), (200.0, 5.0)]).is_none());
     }
 
     #[test]

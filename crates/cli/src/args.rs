@@ -118,8 +118,12 @@ pub struct RouteArgs {
     pub audit: bool,
     /// Write a JSON-lines observability trace to this path.
     pub trace: Option<String>,
-    /// Append an instrumentation profile (spans/counters) to the report.
+    /// Append an instrumentation profile (span tree + counters) to the
+    /// report.
     pub profile: bool,
+    /// Write collapsed-stack (flamegraph-compatible) profile lines to
+    /// this path.
+    pub profile_folded: Option<String>,
 }
 
 /// What `gen` should generate.
@@ -167,6 +171,8 @@ pub enum Command {
         trace: Option<String>,
         /// Append an instrumentation profile to the report.
         profile: bool,
+        /// Write collapsed-stack profile lines to this path.
+        profile_folded: Option<String>,
         /// Cap on the router's eps-relaxation rungs (`None` = policy
         /// default; `0` disables stepping, the unbounded/SPT rungs remain).
         max_relaxations: Option<usize>,
@@ -245,6 +251,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 audit: false,
                 trace: None,
                 profile: false,
+                profile_folded: None,
             };
             for (name, value) in flags {
                 let v = value.as_deref();
@@ -258,6 +265,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                     ("edges", _) => args.edges = true,
                     ("audit", _) => args.audit = true,
                     ("profile", _) => args.profile = true,
+                    ("profile-folded", Some(v)) => args.profile_folded = Some(v.to_owned()),
                     (other, _) => {
                         return Err(CliError::new(format!("route: unknown flag --{other}")))
                     }
@@ -319,6 +327,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut jobs = 1usize;
             let mut trace = None;
             let mut profile = false;
+            let mut profile_folded = None;
             let mut max_relaxations = None;
             let mut failure_log = None;
             let mut strict = false;
@@ -335,6 +344,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                     }
                     ("trace", Some(v)) => trace = Some(v.to_owned()),
                     ("profile", _) => profile = true,
+                    ("profile-folded", Some(v)) => profile_folded = Some(v.to_owned()),
                     ("max-relaxations", Some(v)) => {
                         max_relaxations = Some(v.parse().map_err(|_| {
                             CliError::new(format!("--max-relaxations: {v:?} is not a count"))
@@ -353,6 +363,7 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
                 jobs,
                 trace,
                 profile,
+                profile_folded,
                 max_relaxations,
                 failure_log,
                 strict,
@@ -482,6 +493,27 @@ mod tests {
         assert_eq!(jobs, 1);
         assert_eq!(trace.as_deref(), Some("t.jsonl"));
         assert!(profile);
+    }
+
+    #[test]
+    fn parse_profile_folded_takes_a_path() {
+        let Command::Route(a) = parse(&argv(
+            "route net.txt --profile --profile-folded prof.folded",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(a.profile);
+        assert_eq!(a.profile_folded.as_deref(), Some("prof.folded"));
+        // Works independently of --profile, and on netlist too.
+        let Command::Netlist { profile_folded, .. } =
+            parse(&argv("netlist nets.txt --profile-folded n.folded")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(profile_folded.as_deref(), Some("n.folded"));
+        // A value is required.
+        assert!(parse(&argv("route net.txt --profile-folded")).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
-use bmst_obs::{JsonLinesRecorder, MultiRecorder, Recorder, SummaryRecorder};
+use bmst_obs::{JsonLinesRecorder, MultiRecorder, Recorder, SpanTreeRecorder};
 
 use bmst_core::{
     audit_construction, lub_bkrus, mst_tree, spt_tree, BoundKind, BuilderDescriptor, CostClass,
@@ -35,7 +35,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Route(args) => {
             let trace = args.trace.clone();
             let profile = args.profile;
-            with_observability(trace.as_deref(), profile, || route(args))
+            let folded = args.profile_folded.clone();
+            with_observability(trace.as_deref(), profile, folded.as_deref(), || route(args))
         }
         Command::Netlist {
             file,
@@ -43,6 +44,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             jobs,
             trace,
             profile,
+            profile_folded,
             max_relaxations,
             failure_log,
             strict,
@@ -51,16 +53,17 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             // trace file is finished (counters line, flush) even when the
             // gate fails the invocation.
             let mut clean = true;
-            let out = with_observability(trace.as_deref(), profile, || {
-                route_netlist(
-                    &file,
-                    algorithm,
-                    jobs,
-                    max_relaxations,
-                    failure_log.as_deref(),
-                    &mut clean,
-                )
-            })?;
+            let out =
+                with_observability(trace.as_deref(), profile, profile_folded.as_deref(), || {
+                    route_netlist(
+                        &file,
+                        algorithm,
+                        jobs,
+                        max_relaxations,
+                        failure_log.as_deref(),
+                        &mut clean,
+                    )
+                })?;
             if strict && !clean {
                 return Err(CliError::with_code(
                     format!("netlist has failed or degraded nets (--strict)\n{out}"),
@@ -73,15 +76,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 }
 
 /// Runs `f` with the observability layer configured per `--trace` /
-/// `--profile`: a [`JsonLinesRecorder`] streaming to `trace`, an in-memory
-/// [`SummaryRecorder`] whose profile is appended to the report, both (fanned
-/// out), or — the common case — neither, leaving instrumentation disabled.
+/// `--profile` / `--profile-folded`: a [`JsonLinesRecorder`] streaming to
+/// `trace`, an in-memory [`SpanTreeRecorder`] whose span-tree profile is
+/// appended to the report (`--profile`) and/or written as collapsed-stack
+/// flamegraph lines (`--profile-folded PATH`), fanned out as needed — or,
+/// the common case, nothing, leaving instrumentation disabled.
 fn with_observability(
     trace: Option<&str>,
     profile: bool,
+    folded: Option<&str>,
     f: impl FnOnce() -> Result<String, CliError>,
 ) -> Result<String, CliError> {
-    if trace.is_none() && !profile {
+    if trace.is_none() && !profile && folded.is_none() {
         return f();
     }
     let jsonl = trace
@@ -91,13 +97,13 @@ fn with_observability(
                 .map_err(|e| CliError::new(format!("--trace {p}: {e}")))
         })
         .transpose()?;
-    let summary = profile.then(|| Arc::new(SummaryRecorder::new()));
+    let tree = (profile || folded.is_some()).then(|| Arc::new(SpanTreeRecorder::new()));
     let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
     if let Some(j) = &jsonl {
         sinks.push(j.clone());
     }
-    if let Some(s) = &summary {
-        sinks.push(s.clone());
+    if let Some(t) = &tree {
+        sinks.push(t.clone());
     }
     let recorder: Arc<dyn Recorder> = if sinks.len() == 1 {
         sinks.remove(0)
@@ -114,10 +120,17 @@ fn with_observability(
             .map_err(|e| CliError::new(format!("--trace {p}: {e}")))?;
         let _ = writeln!(out, "  trace -> {p}");
     }
-    if let Some(s) = &summary {
-        let _ = writeln!(out, "profile:");
-        for line in s.render_text().lines() {
-            let _ = writeln!(out, "  {line}");
+    if let Some(t) = &tree {
+        if profile {
+            let _ = writeln!(out, "profile:");
+            for line in t.render_text().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        if let Some(p) = folded {
+            std::fs::write(p, t.render_folded())
+                .map_err(|e| CliError::new(format!("--profile-folded {p}: {e}")))?;
+            let _ = writeln!(out, "  folded profile -> {p}");
         }
     }
     Ok(out)

@@ -56,6 +56,11 @@ NETLIST OPTIONS:
                     full relaxation attempt trail) as JSON lines to F
   --strict          exit with code 3 when any net fails or is routed
                     degraded (relaxed eps or SPT fallback)
+  --profile         append the span-tree profile to the report (per-worker
+                    spans are merged, so output is stable for every --jobs N)
+  --profile-folded <F>
+                    write collapsed-stack profile lines to F (feed to any
+                    flamegraph tool)
 
 ROUTE OPTIONS:
   --algorithm <A>   any name or alias from `bmst algorithms`, or zskew
@@ -69,8 +74,12 @@ ROUTE OPTIONS:
                     path tables, merge consistency, bound window)
   --trace <FILE>    write a JSON-lines observability trace: span timings,
                     structured events, then aggregated counters/histograms
-  --profile         append an instrumentation profile (span times, counters
-                    such as forest.cond3a/3b accept/reject) to the report
+  --profile         append the span-tree profile: per-path cumulative/self
+                    wall time, call counts, and counters (plus allocation
+                    columns when built with --features alloc-profile)
+  --profile-folded <F>
+                    write the profile as collapsed-stack lines to F
+                    (flamegraph-compatible: `path;to;span micros`)
 
 GEN OPTIONS:
   --sinks <N>       uniform random net with N sinks

@@ -2,6 +2,13 @@
 
 use std::process::ExitCode;
 
+/// With `--features alloc-profile`, the whole process runs under the
+/// counting allocator, which is what turns on the allocation columns in
+/// `--profile` output (spans report alloc/byte deltas per path).
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: bmst_obs::alloc::CountingAlloc = bmst_obs::alloc::CountingAlloc;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match bmst_cli::run_cli(&argv) {

@@ -209,18 +209,27 @@ impl<'a> ProblemContext<'a> {
         self.pd_blend
     }
 
-    /// The complete-graph distance matrix, computed on first use.
+    /// The complete-graph distance matrix, computed on first use. The
+    /// `context.matrix` span covers only the actual computation, not
+    /// cache hits.
     // analyze: complexity(n^2)
     pub fn matrix(&self) -> &DistanceMatrix {
-        self.matrix.get_or_init(|| self.net.distance_matrix())
+        self.matrix.get_or_init(|| {
+            let _span = bmst_obs::span("context.matrix");
+            self.net.distance_matrix()
+        })
     }
 
     /// The complete-graph edge list in nondecreasing canonical
-    /// `(weight, u, v)` order, computed on first use.
+    /// `(weight, u, v)` order, computed on first use. The
+    /// `context.sorted_edges` span covers only the actual build + sort,
+    /// not cache hits.
     // analyze: complexity(n^2)
     pub fn sorted_edges(&self) -> &[Edge] {
         self.sorted_edges.get_or_init(|| {
-            let mut edges = complete_edges(self.matrix());
+            let matrix = self.matrix();
+            let _span = bmst_obs::span("context.sorted_edges");
+            let mut edges = complete_edges(matrix);
             sort_edges(&mut edges);
             edges
         })

@@ -237,6 +237,8 @@ impl KruskalForest {
         let root_v = self.dsu.find(v);
         assert!(root_u != root_v, "merge({u}, {v}) would create a cycle");
 
+        let _span = bmst_obs::enabled().then(|| bmst_obs::span("forest.merge"));
+
         // Take both member lists out to appease the borrow checker.
         let mu = std::mem::take(&mut self.members[root_u]);
         let mv = std::mem::take(&mut self.members[root_v]);

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use bmst_core::{bkex, bkh2, bkrus, bprim, gabow_bmst, BkexConfig};
 use bmst_geom::{Net, Point};
-use bmst_obs::{NoopRecorder, SummaryRecorder};
+use bmst_obs::{NoopRecorder, SpanTreeRecorder, SummaryRecorder};
 use bmst_tree::RoutingTree;
 
 fn test_net() -> Net {
@@ -79,6 +79,58 @@ fn recorders_leave_outputs_bit_identical() {
             );
         }
     }
+}
+
+#[test]
+fn span_tree_recorder_is_transparent_and_sees_context_spans() {
+    let net = test_net();
+    for eps in [0.0, 0.3, f64::INFINITY] {
+        let baseline = run_all(&net, eps);
+        let tree = Arc::new(SpanTreeRecorder::new());
+        let with_tree = {
+            let _guard = bmst_obs::scoped(tree.clone());
+            run_all(&net, eps)
+        };
+        for (b, t) in baseline.iter().zip(&with_tree) {
+            assert_identical(b, t);
+        }
+        // The shared-context builders appear as spans in the profile...
+        let paths: Vec<String> = tree.nodes().into_iter().map(|(p, _)| p).collect();
+        assert!(
+            paths.iter().any(|p| p.ends_with("context.matrix")),
+            "context.matrix span missing: {paths:?}"
+        );
+        assert!(
+            paths.iter().any(|p| p.ends_with("context.sorted_edges")),
+            "context.sorted_edges span missing: {paths:?}"
+        );
+        // ...and sorted_edges must NOT nest the matrix build (it is hoisted
+        // out so each span reports honest self time).
+        assert!(
+            !paths.iter().any(|p| p.contains("context.sorted_edges/")),
+            "sorted_edges should be a leaf span: {paths:?}"
+        );
+        // Counters still flow through the embedded summary.
+        assert!(tree.summary().counter("bkrus.edges_scanned") > 0);
+    }
+}
+
+#[test]
+fn forest_merge_span_is_recorded_under_builders() {
+    let net = test_net();
+    let tree = Arc::new(SpanTreeRecorder::new());
+    {
+        let _guard = bmst_obs::scoped(tree.clone());
+        let _ = bkrus(&net, 0.3).unwrap();
+    }
+    let merged: u64 = tree
+        .nodes()
+        .into_iter()
+        .filter(|(p, _)| p.ends_with("forest.merge"))
+        .map(|(_, n)| n.count)
+        .sum();
+    // A 6-terminal net needs exactly 5 merges to connect the forest.
+    assert_eq!(merged, 5, "every accepted edge performs one merge");
 }
 
 #[test]

@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod scaled;
 mod special;
 mod stats;
 mod structured;
 mod synthetic;
 
+pub use scaled::{scaled_net, ScaleStyle};
 pub use special::{figure13_family, p1, p1_with_cluster, p2, p3, p4};
 pub use stats::InstanceStats;
 pub use structured::{clustered_net, ring_net, row_net};

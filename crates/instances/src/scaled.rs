@@ -1,0 +1,196 @@
+//! Scaling-study instance generators: nets sized for 100–50k sinks at
+//! constant point density, so n-sweeps measure algorithmic scaling rather
+//! than changing geometry.
+//!
+//! The die side grows as `sqrt(n)` (10 units of side per sqrt-sink), which
+//! keeps expected nearest-neighbour distance roughly constant across sizes
+//! — the regime the paper's Table 2 benchmarks and the sparsification
+//! papers in PAPERS.md assume. Three styles cover the placement shapes a
+//! router actually sees:
+//!
+//! * [`ScaleStyle::Uniform`] — i.i.d. uniform cloud, the baseline;
+//! * [`ScaleStyle::Clustered`] — Gaussian-ish blobs around `~sqrt(n)`
+//!   seeded centres, modelling macro-dominated placements;
+//! * [`ScaleStyle::Grid`] — jittered lattice, modelling datapath rows.
+//!
+//! All generators are `O(n)`, fully determined by `(n, seed, style)`, and
+//! put the source at node 0 in the die centre.
+
+use bmst_geom::{Net, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Placement style for [`scaled_net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleStyle {
+    /// I.i.d. uniform over the die.
+    Uniform,
+    /// Sinks gathered into `~sqrt(n)` uniform-square blobs.
+    Clustered,
+    /// Jittered lattice: one sink per cell, offset up to 30% of the pitch.
+    Grid,
+}
+
+impl ScaleStyle {
+    /// All styles, for sweep drivers.
+    pub const ALL: [ScaleStyle; 3] = [ScaleStyle::Uniform, ScaleStyle::Clustered, ScaleStyle::Grid];
+
+    /// Stable lowercase name (used in bench record keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleStyle::Uniform => "uniform",
+            ScaleStyle::Clustered => "clustered",
+            ScaleStyle::Grid => "grid",
+        }
+    }
+}
+
+/// Die side for `n` sinks: `10 * sqrt(n)`, clamped to at least 10, so
+/// density stays constant as `n` grows.
+fn die_side(num_sinks: usize) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    // lint: allow(no-as-cast) — usize→f64 for geometry sizing; exact below 2^53
+    let n = num_sinks.max(1) as f64;
+    10.0 * n.sqrt()
+}
+
+/// A deterministic `n`-sink net for scaling studies: constant density,
+/// source at node 0 in the die centre, style-dependent sink placement.
+///
+/// # Panics
+///
+/// Never for `num_sinks` in the supported range (the generators draw from
+/// finite ranges); the internal `expect` guards the finite-coordinate
+/// invariant of [`Net::with_source_first`].
+#[allow(clippy::expect_used)] // finite-coordinate invariant, justified inline
+pub fn scaled_net(num_sinks: usize, seed: u64, style: ScaleStyle) -> Net {
+    let side = die_side(num_sinks);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1_EDBE_u64.rotate_left(style as u32 * 8));
+    let mut pts = Vec::with_capacity(num_sinks + 1);
+    // Source first (node 0), centred in the die.
+    pts.push(Point::new(side / 2.0, side / 2.0));
+    match style {
+        ScaleStyle::Uniform => {
+            for _ in 0..num_sinks {
+                pts.push(Point::new(
+                    rng.gen_range(0.0..side),
+                    rng.gen_range(0.0..side),
+                ));
+            }
+        }
+        ScaleStyle::Clustered => {
+            // ~sqrt(n) blobs whose width is ~8% of the die: dense locally,
+            // spread globally.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // lint: allow(no-as-cast) — f64→usize of a sqrt of a small count, always in range
+            let clusters = ((num_sinks.max(1) as f64).sqrt().ceil() as usize).max(1);
+            let spread = (side * 0.08).max(1.0);
+            let centres: Vec<Point> = (0..clusters)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(spread..(side - spread).max(spread + 1.0)),
+                        rng.gen_range(spread..(side - spread).max(spread + 1.0)),
+                    )
+                })
+                .collect();
+            for i in 0..num_sinks {
+                let c = centres[i % clusters];
+                pts.push(Point::new(
+                    (c.x + rng.gen_range(-spread..spread)).clamp(0.0, side),
+                    (c.y + rng.gen_range(-spread..spread)).clamp(0.0, side),
+                ));
+            }
+        }
+        ScaleStyle::Grid => {
+            // Smallest square lattice with >= n cells; fill row-major and
+            // jitter each sink within 30% of the pitch.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // lint: allow(no-as-cast) — f64→usize of a sqrt of a small count, always in range
+            let cols = ((num_sinks.max(1) as f64).sqrt().ceil() as usize).max(1);
+            #[allow(clippy::cast_precision_loss)]
+            // lint: allow(no-as-cast) — usize→f64 for geometry sizing; exact below 2^53
+            let pitch = side / cols as f64;
+            let jitter = pitch * 0.3;
+            for i in 0..num_sinks {
+                #[allow(clippy::cast_precision_loss)]
+                // lint: allow(no-as-cast) — usize→f64 for geometry sizing; exact below 2^53
+                let (cx, cy) = (
+                    ((i % cols) as f64 + 0.5) * pitch,
+                    ((i / cols) as f64 + 0.5) * pitch,
+                );
+                pts.push(Point::new(
+                    (cx + rng.gen_range(-jitter..jitter)).clamp(0.0, side),
+                    (cy + rng.gen_range(-jitter..jitter)).clamp(0.0, side),
+                ));
+            }
+        }
+    }
+    // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
+    Net::with_source_first(pts).expect("generated points are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+    use super::*;
+
+    #[test]
+    fn sizes_and_source_position() {
+        for style in ScaleStyle::ALL {
+            let net = scaled_net(100, 1, style);
+            assert_eq!(net.num_sinks(), 100, "{style:?}");
+            assert_eq!(net.source(), 0);
+            let side = die_side(100);
+            assert_eq!(net.points()[0], Point::new(side / 2.0, side / 2.0));
+            let bb = net.bounding_box();
+            assert!(bb.hi.x <= side && bb.hi.y <= side, "{style:?}");
+            assert!(bb.lo.x >= 0.0 && bb.lo.y >= 0.0, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_style() {
+        for style in ScaleStyle::ALL {
+            assert_eq!(scaled_net(64, 9, style), scaled_net(64, 9, style));
+            assert_ne!(scaled_net(64, 9, style), scaled_net(64, 10, style));
+        }
+        // Styles must not alias each other under the same seed.
+        assert_ne!(
+            scaled_net(64, 9, ScaleStyle::Uniform),
+            scaled_net(64, 9, ScaleStyle::Clustered)
+        );
+        assert_ne!(
+            scaled_net(64, 9, ScaleStyle::Uniform),
+            scaled_net(64, 9, ScaleStyle::Grid)
+        );
+    }
+
+    #[test]
+    fn density_is_roughly_constant() {
+        // Side grows as sqrt(n): quadrupling n doubles the side.
+        assert!((die_side(400) / die_side(100) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn style_names_are_stable() {
+        assert_eq!(ScaleStyle::Uniform.name(), "uniform");
+        assert_eq!(ScaleStyle::Clustered.name(), "clustered");
+        assert_eq!(ScaleStyle::Grid.name(), "grid");
+    }
+
+    #[test]
+    fn large_sizes_stay_linear_time() {
+        // 50k sinks must generate near-instantly (O(n)); this is the upper
+        // end of the supported range.
+        let net = scaled_net(50_000, 2, ScaleStyle::Grid);
+        assert_eq!(net.num_sinks(), 50_000);
+    }
+
+    #[test]
+    fn tiny_nets_are_valid() {
+        for style in ScaleStyle::ALL {
+            let net = scaled_net(1, 3, style);
+            assert_eq!(net.num_sinks(), 1);
+        }
+    }
+}

@@ -14,11 +14,18 @@
 //!   (`audit.violation`).
 //!
 //! All four are no-ops costing roughly **one relaxed atomic load** until a
-//! [`Recorder`] is installed. Three recorders ship in-tree:
+//! [`Recorder`] is installed. Four recorders ship in-tree:
 //! [`NoopRecorder`] (discard), [`SummaryRecorder`] (in-memory aggregation,
-//! renderable as text or JSON) and [`JsonLinesRecorder`] (streams spans and
-//! events as JSON lines, dumping aggregated counters/histograms on
-//! [`JsonLinesRecorder::finish`]). [`MultiRecorder`] fans out to several.
+//! renderable as text or JSON), [`SpanTreeRecorder`] (profiling: nested
+//! spans aggregated into a path tree with self/cumulative time, renderable
+//! as a table or collapsed-stack flamegraph lines) and
+//! [`JsonLinesRecorder`] (streams spans and events as JSON lines, dumping
+//! aggregated counters/histograms on [`JsonLinesRecorder::finish`]).
+//! [`MultiRecorder`] fans out to several.
+//!
+//! With the `alloc` feature, the [`alloc`] module adds a counting global
+//! allocator; processes that install it get per-span allocation deltas
+//! reported through [`Recorder::record_span_alloc`].
 //!
 //! # Naming scheme
 //!
@@ -43,17 +50,25 @@
 //! assert!(recorder.span_nanos("work") > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the feature-gated `alloc` module implements
+// `GlobalAlloc` and carries its own scoped `#![allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Counting global allocator and scoped allocation snapshots
+/// (feature `alloc`).
+#[cfg(feature = "alloc")]
+pub mod alloc;
 /// Minimal JSON value model, writer, and parser (no external crates).
 pub mod json;
 mod jsonl;
+mod profile;
 mod recorder;
 mod span;
 mod summary;
 
 pub use jsonl::JsonLinesRecorder;
+pub use profile::{SpanNode, SpanTreeRecorder};
 pub use recorder::{Field, MultiRecorder, NoopRecorder, Recorder};
 pub use span::SpanGuard;
 pub use summary::{CounterSnapshot, Histogram, SpanStat, SummaryRecorder};

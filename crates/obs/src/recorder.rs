@@ -77,6 +77,16 @@ pub trait Recorder: Send + Sync {
     fn record_span(&self, path: &str, nanos: u64);
     /// Records a structured event.
     fn record_event(&self, name: &str, fields: &[(&str, Field)]);
+    /// Records the allocation delta observed over a completed span:
+    /// `allocs` heap allocations totalling `bytes` requested bytes on the
+    /// span's thread (cumulative — nested spans count in their parents).
+    ///
+    /// Only emitted when the `alloc` feature is on *and* the process runs
+    /// under [`crate::alloc::CountingAlloc`]; the default implementation
+    /// discards, so existing recorders are unaffected.
+    fn record_span_alloc(&self, path: &str, allocs: u64, bytes: u64) {
+        let _ = (path, allocs, bytes);
+    }
 }
 
 /// Discards everything. Installing it is equivalent to (but measurably more
@@ -135,6 +145,12 @@ impl Recorder for MultiRecorder {
     fn record_event(&self, name: &str, fields: &[(&str, Field)]) {
         for s in &self.sinks {
             s.record_event(name, fields);
+        }
+    }
+
+    fn record_span_alloc(&self, path: &str, allocs: u64, bytes: u64) {
+        for s in &self.sinks {
+            s.record_span_alloc(path, allocs, bytes);
         }
     }
 }

@@ -23,6 +23,12 @@ pub struct SpanGuard {
     /// Full nesting path; `None` when the guard was created disabled.
     path: Option<String>,
     start: Instant,
+    /// Thread-local allocation counters at entry, read *after* the path
+    /// string is built so the guard's own bookkeeping allocation does not
+    /// pollute the span's delta. Only meaningful when the process runs
+    /// under [`crate::alloc::CountingAlloc`]; zero-delta otherwise.
+    #[cfg(feature = "alloc")]
+    alloc_base: crate::alloc::AllocSnapshot,
 }
 
 impl SpanGuard {
@@ -31,6 +37,8 @@ impl SpanGuard {
             return SpanGuard {
                 path: None,
                 start: Instant::now(),
+                #[cfg(feature = "alloc")]
+                alloc_base: crate::alloc::AllocSnapshot::default(),
             };
         }
         let path = SPAN_STACK.with(|stack| {
@@ -45,6 +53,8 @@ impl SpanGuard {
         SpanGuard {
             path: Some(path),
             start: Instant::now(),
+            #[cfg(feature = "alloc")]
+            alloc_base: crate::alloc::snapshot(),
         }
     }
 
@@ -60,10 +70,20 @@ impl Drop for SpanGuard {
             return;
         };
         let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Read the allocation delta before any drop-path bookkeeping so the
+        // guard's own teardown does not inflate it.
+        #[cfg(feature = "alloc")]
+        let alloc_delta = crate::alloc::snapshot().delta_since(self.alloc_base);
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
-        crate::with_recorder(|r| r.record_span(&path, nanos));
+        crate::with_recorder(|r| {
+            r.record_span(&path, nanos);
+            #[cfg(feature = "alloc")]
+            if alloc_delta.allocs > 0 {
+                r.record_span_alloc(&path, alloc_delta.allocs, alloc_delta.bytes);
+            }
+        });
     }
 }
 

@@ -28,7 +28,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Histogram {
             buckets: vec![0; BUCKETS],
             count: 0,
@@ -38,7 +38,7 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: u64) {
+    pub(crate) fn observe(&mut self, value: u64) {
         let idx = if value == 0 {
             0
         } else {

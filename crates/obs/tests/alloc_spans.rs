@@ -1,0 +1,54 @@
+//! End-to-end test of the counting allocator: this test binary installs
+//! `CountingAlloc` as its global allocator, so spans must report real
+//! allocation deltas through `Recorder::record_span_alloc`.
+#![cfg(feature = "alloc")]
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::sync::Arc;
+
+use bmst_obs::alloc::{snapshot, CountingAlloc};
+use bmst_obs::SpanTreeRecorder;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn snapshots_count_real_allocations() {
+    let before = snapshot();
+    let v: Vec<u8> = vec![0; 4096];
+    let after = snapshot();
+    let delta = after.delta_since(before);
+    assert!(delta.allocs >= 1, "vec allocation not counted: {delta:?}");
+    assert!(delta.bytes >= 4096, "vec bytes not counted: {delta:?}");
+    drop(v);
+}
+
+#[test]
+fn spans_report_allocation_columns() {
+    let recorder = Arc::new(SpanTreeRecorder::new());
+    {
+        let _guard = bmst_obs::scoped(recorder.clone());
+        let _outer = bmst_obs::span("outer");
+        {
+            let _inner = bmst_obs::span("inner");
+            let buf: Vec<u64> = vec![7; 1000];
+            assert_eq!(buf.len(), 1000);
+        }
+        // Parent-only allocation after the child closed.
+        let s: String = "x".repeat(256);
+        assert_eq!(s.len(), 256);
+    }
+    let inner = recorder.node("outer/inner").expect("inner recorded");
+    assert!(inner.allocs >= 1, "inner span saw no allocations");
+    assert!(
+        inner.alloc_bytes >= 8000,
+        "inner bytes too small: {inner:?}"
+    );
+    let outer = recorder.node("outer").expect("outer recorded");
+    // Nested deltas are cumulative: the parent includes the child's bytes
+    // plus its own post-child allocation.
+    assert!(outer.alloc_bytes >= inner.alloc_bytes + 256);
+    // And the profile table grows allocation columns.
+    let table = recorder.render_table();
+    assert!(table.contains("allocs / KiB"), "{table}");
+}

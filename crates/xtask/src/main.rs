@@ -14,6 +14,10 @@
 //! * `check-trace` / `check-bench` — validators for the observability
 //!   artifacts (`bmst route --trace` JSON-lines, `BENCH_*.json` bench
 //!   trajectories), used as CI gates.
+//! * `check-perf` — the scaling-curve regression gate over the
+//!   `scaling.*` trajectory records: ladder coverage, fitted-exponent
+//!   budgets, parallel-routing sanity, and (opt-in) baseline wall-clock
+//!   comparison.
 //! * `check-registry` — consistency gate for the construction builder
 //!   registry (unique kebab-case names, every public construction
 //!   registered).
@@ -21,6 +25,7 @@
 mod analyze;
 mod check;
 mod lint;
+mod perf;
 mod registry;
 
 use std::process::ExitCode;
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
         Some("check-events") => lint::run_check_events(&args[1..]),
         Some("check-trace") => check::run_trace(&args[1..]),
         Some("check-bench") => check::run_bench(&args[1..]),
+        Some("check-perf") => perf::run(&args[1..]),
         Some("check-registry") => registry::run(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
@@ -60,6 +66,9 @@ fn print_usage() {
          \x20 check-events         diff live obs emissions against crates/obs/events.toml\n\
          \x20 check-trace <FILE>   validate a `bmst route --trace` JSON-lines file\n\
          \x20 check-bench <FILE>   validate a BENCH_*.json bench trajectory\n\
+         \x20 check-perf <FILE>    gate the scaling-curve records (coverage, exponent\n\
+         \x20                      budgets, parallel sanity; `--against <BASE>\n\
+         \x20                      [--tolerance-pct N]` adds wall-clock comparison)\n\
          \x20 check-registry       verify the builder registry (unique kebab-case\n\
          \x20                      names, every construction registered)\n\
          \x20 help                 show this message"
