@@ -25,8 +25,8 @@ use std::sync::Arc;
 use bmst_bench::emit::{write_bench_file, BenchRecord};
 use bmst_bench::{fit_scaling_exponent, has_flag, timed, TABLE_EPS};
 use bmst_core::{
-    builders, mst_tree, spt_tree, BoundKind, CostClass, GabowConfig, ProblemContext, TreeBuilder,
-    TreeReport,
+    builders, mst_tree, spt_tree, BoundKind, CostClass, EdgeSupply, GabowConfig, ProblemContext,
+    TreeBuilder, TreeReport,
 };
 use bmst_geom::Net;
 use bmst_instances::{scaled_net, Benchmark, ScaleStyle};
@@ -295,9 +295,11 @@ const SCALING_EPS: f64 = 0.5;
 
 /// Times one construction on a scaled net and returns integer microseconds
 /// (the unit of the `scaling.*` trajectory records).
-fn time_scaled_build(builder: &dyn TreeBuilder, net: &Net) -> u64 {
+fn time_scaled_build(builder: &dyn TreeBuilder, net: &Net, supply: EdgeSupply) -> u64 {
     let (tree, wall_s) = timed(|| {
-        let cx = ProblemContext::new(net, SCALING_EPS).expect("scaled nets are valid");
+        let cx = ProblemContext::new(net, SCALING_EPS)
+            .expect("scaled nets are valid")
+            .with_edge_supply(supply);
         builder
             .build(&cx)
             .expect("scaled uniform nets are feasible at eps 0.5")
@@ -367,7 +369,13 @@ fn scaling_fit_record(algo: &str, points: &[(usize, u64)], records: &mut Vec<Ben
 /// without the multi-second builds.
 fn scaling_sweep(quick: bool, records: &mut Vec<BenchRecord>) {
     let bkrus_ns: &[usize] = if quick { &[50, 200] } else { &[50, 500, 5000] };
-    let bprim_ns: &[usize] = if quick { &[20, 100] } else { &[20, 200, 2000] };
+    // BPRIM's sparse path carries no dense matrix, so its gated (Auto)
+    // ladder reaches past the dense-era ceiling.
+    let bprim_ns: &[usize] = if quick {
+        &[20, 100]
+    } else {
+        &[20, 200, 2000, 8000]
+    };
     // Router sizes are total terminals: netlists of 50-sink nets.
     let router_ns: &[usize] = if quick {
         &[102, 510]
@@ -382,11 +390,50 @@ fn scaling_sweep(quick: bool, records: &mut Vec<BenchRecord>) {
         let mut points = Vec::new();
         for &n in ns {
             let net = scaled_net(n, 0x5CA1E + n as u64, ScaleStyle::Uniform);
-            let micros = time_scaled_build(builder, &net);
+            let micros = time_scaled_build(builder, &net, EdgeSupply::Auto);
             records.push(scaling_record(algo, n, micros, &[]));
             points.push((n, micros));
         }
         scaling_fit_record(algo, &points, records);
+    }
+
+    // Forced-supply comparison ladders. Keys embed the supply name
+    // (`scaling.<algo>.sparse.<n>.micros`), which `check-perf`'s parser
+    // skips (the size slot does not parse as an integer), so these inform
+    // without widening the gated ladders. Dense ladders stop at the sizes
+    // the O(n^2) matrix comfortably affords.
+    for (algo, builder) in [
+        ("bkrus", &builders::Bkrus as &dyn TreeBuilder),
+        ("bprim", &builders::Bprim),
+    ] {
+        for (supply, ns) in [
+            (
+                EdgeSupply::Sparse,
+                if quick {
+                    &[50usize, 200][..]
+                } else {
+                    &[50, 500, 5000][..]
+                },
+            ),
+            (
+                EdgeSupply::Dense,
+                if quick {
+                    &[50usize, 200][..]
+                } else {
+                    &[50, 500, 2000][..]
+                },
+            ),
+        ] {
+            let tagged = format!("{algo}.{}", supply.name());
+            let mut points = Vec::new();
+            for &n in ns {
+                let net = scaled_net(n, 0x5CA1E + n as u64, ScaleStyle::Uniform);
+                let micros = time_scaled_build(builder, &net, supply);
+                records.push(scaling_record(&tagged, n, micros, &[]));
+                points.push((n, micros));
+            }
+            scaling_fit_record(&tagged, &points, records);
+        }
     }
 
     let config = RouterConfig::default();

@@ -56,6 +56,10 @@ NETLIST OPTIONS:
                     full relaxation attempt trail) as JSON lines to F
   --strict          exit with code 3 when any net fails or is routed
                     degraded (relaxed eps or SPT fallback)
+  --sparse / --dense
+                    force the edge-candidate supply: --sparse streams
+                    candidates from the grid neighbor index, --dense builds
+                    the full O(n^2) matrix (default: auto by net size)
   --profile         append the span-tree profile to the report (per-worker
                     spans are merged, so output is stable for every --jobs N)
   --profile-folded <F>
@@ -80,6 +84,10 @@ ROUTE OPTIONS:
   --profile-folded <F>
                     write the profile as collapsed-stack lines to F
                     (flamegraph-compatible: `path;to;span micros`)
+  --sparse / --dense
+                    force the edge-candidate supply: --sparse streams
+                    candidates from the grid neighbor index, --dense builds
+                    the full O(n^2) matrix (default: auto by net size)
 
 GEN OPTIONS:
   --sinks <N>       uniform random net with N sinks

@@ -5,7 +5,7 @@
 //! `path ratio = longest path(T) / longest path(SPT)`.
 
 use bmst_geom::Net;
-use bmst_graph::{prim_mst, Edge};
+use bmst_graph::{prim_mst_with, Edge};
 use bmst_tree::RoutingTree;
 
 use crate::ProblemContext;
@@ -36,12 +36,15 @@ pub fn mst_tree(net: &Net) -> RoutingTree {
     mst_tree_cx(&ProblemContext::unbounded(net))
 }
 
-/// [`mst_tree`] over a shared [`ProblemContext`] (reuses the cached
-/// distance matrix).
+/// [`mst_tree`] over a shared [`ProblemContext`]. Distances come from
+/// `cx.dist` — a cached-matrix lookup when the dense supply already built
+/// one, the metric directly otherwise — so a baseline ratio report never
+/// forces the O(n²) matrix onto a sparse-supply run. Either way the bits
+/// (and the tree) are identical.
 #[allow(clippy::expect_used)] // construction invariant, justified inline
 pub(crate) fn mst_tree_cx(cx: &ProblemContext<'_>) -> RoutingTree {
     let net = cx.net();
-    let edges = prim_mst(cx.matrix(), net.source());
+    let edges = prim_mst_with(net.len(), net.source(), |i, j| cx.dist(i, j));
     let tree = RoutingTree::from_edges(net.len(), net.source(), edges)
         // lint: allow(no-panic) — Prim on a complete graph always spans
         .expect("Prim's algorithm produces a spanning tree");

@@ -105,8 +105,12 @@ pub(crate) fn run(
         return Ok(tree);
     }
 
-    let d = cx.matrix();
-    let dist_s: Vec<f64> = (0..n).map(|v| d[(source, v)]).collect();
+    let dist_s: Vec<f64> = (0..n).map(|v| cx.dist(source, v)).collect();
+
+    // Materialize the supply's shared state (dense: matrix + sorted list;
+    // sparse: the neighbor index) before opening the construction span,
+    // so its cost is attributed to the context, not this run.
+    let stream = cx.edge_stream();
 
     let mut forest = KruskalForest::new(n, source);
     let mut tree_edges: Vec<Edge> = Vec::with_capacity(n - 1);
@@ -115,10 +119,10 @@ pub(crate) fn run(
     let mut cycle_rejects = 0u64;
     let mut bound_rejects = 0u64;
 
-    // The shared cache is sorted by the total canonical (weight, u, v)
-    // order, so skipping Lemma 6.1 edges here visits the surviving edges in
+    // Both supplies yield the total canonical (weight, u, v) order, so
+    // skipping Lemma 6.1 edges here visits the surviving edges in
     // exactly the order the pre-context code produced by filtering first.
-    for &e in cx.sorted_edges() {
+    for e in stream {
         if tree_edges.len() == n - 1 {
             break; // early exit after V - 1 unions
         }

@@ -1,6 +1,9 @@
 //! BPRIM: the bounded-Prim baseline of Cong et al. (paper §2).
 
-use bmst_geom::{le_tol, Net};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use bmst_geom::{le_tol, NeighborIndex, Net};
 use bmst_graph::Edge;
 use bmst_tree::RoutingTree;
 
@@ -49,11 +52,14 @@ pub fn bprim(net: &Net, eps: f64) -> Result<RoutingTree, BmstError> {
 }
 
 /// Context-based BPRIM driver; the per-node budget uses the context's raw
-/// `eps`, the audit its validated constraint.
-// analyze: complexity(n^3)
+/// `eps`, the audit its validated constraint. Dispatches on the context's
+/// edge supply: the dense path scans the full distance matrix each step,
+/// the sparse path pulls nearest-neighbor candidates from the grid index
+/// through a per-tree-node candidate heap. Both produce bit-identical
+/// trees (the heap resolves ties with the same `(weight, u, v)` order the
+/// dense scan uses).
 pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let net = cx.net();
-    let eps = cx.eps();
     // BPRIM/BRBC promise only the upper bound; audit with the lower
     // bound dropped so a two-sided window is not mis-attributed to them.
     let constraint = PathConstraint {
@@ -67,6 +73,24 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
         crate::audit::debug_audit(net, &tree, Some(&constraint));
         return Ok(tree);
     }
+    let edges = if cx.sparse_active() {
+        run_sparse(cx)?
+    } else {
+        run_dense(cx)?
+    };
+    let tree = RoutingTree::from_edges(n, s, edges)?;
+    crate::audit::debug_audit(net, &tree, Some(&constraint));
+    Ok(tree)
+}
+
+/// The original dense scan: every step examines all (tree node, outside
+/// node) pairs through the distance matrix.
+// analyze: complexity(n^3)
+fn run_dense(cx: &ProblemContext<'_>) -> Result<Vec<Edge>, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let n = net.len();
+    let s = net.source();
     let d = cx.matrix();
 
     let mut in_tree = vec![false; n];
@@ -135,9 +159,180 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     }
     drop(obs_span);
 
-    let tree = RoutingTree::from_edges(n, s, edges)?;
-    crate::audit::debug_audit(net, &tree, Some(&constraint));
-    Ok(tree)
+    Ok(edges)
+}
+
+/// A candidate attachment `(w, u, v)`: tree node `u` offering outside
+/// node `v` at distance `w`. `Ord` is the dense scan's exact tie-break —
+/// weight (`total_cmp`), then `u`, then `v` — so the heap's minimum is
+/// always the pair the dense scan would have chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    w: f64,
+    u: usize,
+    v: usize,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.w
+            .total_cmp(&other.w)
+            .then(self.u.cmp(&other.u))
+            .then(self.v.cmp(&other.v))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Expanding nearest-neighbor enumeration for one tree node: yields all
+/// other terminals in exact increasing `(dist, id)` order by growing a
+/// half-open weight window over the grid index. Each refill appends a
+/// locally-sorted batch whose weights all exceed the previous window's
+/// cap, so the concatenated list stays globally sorted.
+struct NearestSearch {
+    list: Vec<(f64, usize)>,
+    cursor: usize,
+    lo: f64,
+    hi: f64,
+    exhausted: bool,
+}
+
+impl NearestSearch {
+    fn new(index: &NeighborIndex<'_>) -> Self {
+        let diameter = index.diameter_bound();
+        let first = index
+            .cell_size()
+            .max(diameter * 1e-6)
+            .max(f64::MIN_POSITIVE);
+        NearestSearch {
+            list: Vec::new(),
+            cursor: 0,
+            lo: -1.0,
+            hi: first.min(diameter),
+            exhausted: false,
+        }
+    }
+
+    /// The enumeration's next `(dist, id)` pair, expanding the window on
+    /// demand; `None` once every other terminal has been yielded.
+    fn next(&mut self, origin: usize, index: &NeighborIndex<'_>) -> Option<(f64, usize)> {
+        while self.cursor >= self.list.len() {
+            if self.exhausted {
+                return None;
+            }
+            let filled = self.list.len();
+            index.neighbors_in_annulus(origin, self.lo, self.hi, &mut self.list);
+            self.list[filled..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            if self.hi >= index.diameter_bound() {
+                self.exhausted = true;
+            } else {
+                self.lo = self.hi;
+                self.hi = (self.hi * 2.0).min(index.diameter_bound());
+            }
+        }
+        let pair = self.list[self.cursor];
+        self.cursor += 1;
+        Some(pair)
+    }
+}
+
+/// The sparse path: a min-heap holds, for every tree node `u`, `u`'s
+/// cheapest not-yet-dismissed outside neighbor. Stale candidates (target
+/// already absorbed) advance `u`'s enumeration and retry; bound-infeasible
+/// candidates are dismissed permanently — `path(S, u)` is fixed once `u`
+/// joins the tree and `v`'s per-node bound is fixed while `v` is outside,
+/// so an infeasible pair can never become feasible (the dense scan
+/// re-checks and re-rejects it every step; dismissing it is equivalent).
+// analyze: complexity(n^2)
+fn run_sparse(cx: &ProblemContext<'_>) -> Result<Vec<Edge>, BmstError> {
+    let net = cx.net();
+    let eps = cx.eps();
+    let n = net.len();
+    let s = net.source();
+    let index = cx.neighbor_index();
+    let dist_s: Vec<f64> = (0..n).map(|v| cx.dist(s, v)).collect();
+
+    let mut in_tree = vec![false; n];
+    let mut path_s = vec![0.0; n]; // path(S, x) for tree nodes
+    in_tree[s] = true;
+    let mut searches: Vec<Option<NearestSearch>> = (0..n).map(|_| None).collect();
+    let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::with_capacity(n);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    let obs_span = bmst_obs::span("bprim");
+    let mut scanned = 0u64;
+    let mut bound_rejects = 0u64;
+
+    // Offers a tree node's next enumerated neighbor to the heap.
+    let offer = |u: usize,
+                 searches: &mut Vec<Option<NearestSearch>>,
+                 heap: &mut BinaryHeap<Reverse<Cand>>| {
+        if let Some(search) = &mut searches[u] {
+            if let Some((w, v)) = search.next(u, index) {
+                heap.push(Reverse(Cand { w, u, v }));
+            }
+        }
+    };
+
+    searches[s] = Some(NearestSearch::new(index));
+    offer(s, &mut searches, &mut heap);
+
+    for _ in 1..n {
+        // Pop until the minimum candidate is live and feasible; by the
+        // dismissal argument above it is exactly the dense scan's pick.
+        let attachment = loop {
+            let Some(Reverse(cand)) = heap.pop() else {
+                break None;
+            };
+            offer(cand.u, &mut searches, &mut heap);
+            if in_tree[cand.v] {
+                continue; // stale: target joined through another node
+            }
+            scanned += 1;
+            let node_bound = if eps.is_infinite() {
+                f64::INFINITY
+            } else {
+                (1.0 + eps) * dist_s[cand.v]
+            };
+            if !le_tol(path_s[cand.u] + cand.w, node_bound) {
+                bound_rejects += 1;
+                continue; // permanently infeasible for this (u, v)
+            }
+            break Some(cand);
+        };
+        match attachment {
+            Some(Cand { w, u, v }) => {
+                in_tree[v] = true;
+                path_s[v] = path_s[u] + w;
+                edges.push(Edge::new(u, v, w));
+                searches[v] = Some(NearestSearch::new(index));
+                offer(v, &mut searches, &mut heap);
+            }
+            None => {
+                // Unreachable for eps >= 0 (direct source edges are always
+                // feasible); report rather than assert.
+                let connected = in_tree.iter().filter(|&&b| b).count();
+                return Err(BmstError::Infeasible {
+                    connected,
+                    total: n,
+                    min_feasible_eps: None,
+                });
+            }
+        }
+    }
+
+    if bmst_obs::enabled() {
+        bmst_obs::counter("bprim.attachments_scanned", scanned);
+        bmst_obs::counter("bprim.rejected_bound", bound_rejects);
+    }
+    drop(obs_span);
+
+    Ok(edges)
 }
 
 #[cfg(test)]

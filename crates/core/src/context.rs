@@ -10,11 +10,12 @@
 
 use std::sync::OnceLock;
 
-use bmst_geom::{DistanceMatrix, Net};
+use bmst_geom::{DistanceMatrix, NeighborIndex, Net};
 use bmst_graph::{complete_edges, sort_edges, Edge};
 use bmst_tree::ElmoreParams;
 
-use crate::{BmstError, PathConstraint};
+use crate::supply::EdgeStream;
+use crate::{BmstError, EdgeSupply, PathConstraint};
 
 /// Default Prim/Dijkstra trade-off parameter (the midpoint blend).
 pub(crate) const DEFAULT_PD_BLEND: f64 = 0.5;
@@ -108,8 +109,10 @@ pub struct ProblemContext<'a> {
     constraint: PathConstraint,
     eps: f64,
     pd_blend: f64,
+    supply: EdgeSupply,
     matrix: OnceLock<DistanceMatrix>,
     sorted_edges: OnceLock<Vec<Edge>>,
+    neighbor_index: OnceLock<NeighborIndex<'a>>,
     elmore: OnceLock<ElmoreParams>,
     diagnostics: OnceLock<Vec<InputDiagnostic>>,
 }
@@ -158,11 +161,23 @@ impl<'a> ProblemContext<'a> {
             constraint,
             eps,
             pd_blend: DEFAULT_PD_BLEND,
+            supply: EdgeSupply::Auto,
             matrix: OnceLock::new(),
             sorted_edges: OnceLock::new(),
+            neighbor_index: OnceLock::new(),
             elmore: OnceLock::new(),
             diagnostics: OnceLock::new(),
         }
+    }
+
+    /// Overrides the edge-candidate supply (default [`EdgeSupply::Auto`]).
+    ///
+    /// Both supplies produce bit-identical trees; see [`EdgeSupply`] for
+    /// the time/memory trade-off.
+    #[must_use]
+    pub fn with_edge_supply(mut self, supply: EdgeSupply) -> Self {
+        self.supply = supply;
+        self
     }
 
     /// Overrides the Prim/Dijkstra blend parameter `c` read by the
@@ -209,6 +224,55 @@ impl<'a> ProblemContext<'a> {
         self.pd_blend
     }
 
+    /// The configured edge-candidate supply knob.
+    #[inline]
+    pub fn edge_supply(&self) -> EdgeSupply {
+        self.supply
+    }
+
+    /// Whether the sparse (neighbor-index) supply is active for this net:
+    /// the knob resolved against the terminal count.
+    #[inline]
+    pub fn sparse_active(&self) -> bool {
+        self.supply.is_sparse_for(self.net.len())
+    }
+
+    /// Distance between terminals `i` and `j`: a matrix lookup when the
+    /// dense matrix is already cached, an on-demand metric evaluation
+    /// otherwise. Both give bit-identical values (the matrix stores the
+    /// same `Metric::dist` results), so callers never need to force the
+    /// `O(n²)` materialization just to read a handful of distances.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        match self.matrix.get() {
+            Some(m) => m[(i, j)],
+            None => self.net.dist(i, j),
+        }
+    }
+
+    /// The grid-bucket neighbor index over the net's terminals, built on
+    /// first use. The `context.neighbor_index` span covers only the
+    /// actual `O(n)` construction, not cache hits.
+    pub fn neighbor_index(&self) -> &NeighborIndex<'a> {
+        self.neighbor_index.get_or_init(|| {
+            let _span = bmst_obs::span("context.neighbor_index");
+            NeighborIndex::new(self.net.points(), self.net.metric())
+        })
+    }
+
+    /// The complete terminal graph's edges in canonical nondecreasing
+    /// `(weight, u, v)` order, served by the active supply: a walk over
+    /// the cached [`ProblemContext::sorted_edges`] list when dense,
+    /// lazy expanding-window generation from the neighbor index when
+    /// sparse. Both yield bit-identical sequences.
+    pub fn edge_stream(&self) -> EdgeStream<'_> {
+        if self.sparse_active() {
+            EdgeStream::sparse(self)
+        } else {
+            EdgeStream::dense(self.sorted_edges())
+        }
+    }
+
     /// The complete-graph distance matrix, computed on first use. The
     /// `context.matrix` span covers only the actual computation, not
     /// cache hits.
@@ -246,27 +310,36 @@ impl<'a> ProblemContext<'a> {
     /// exact-coordinate duplicate sinks, sinks coincident with the source,
     /// and zero-radius nets. Empty for well-formed geometry. See
     /// [`InputDiagnostic`] for why these are warnings rather than errors.
-    // analyze: complexity(n^2)
+    ///
+    /// Duplicate detection probes the neighbor index (a same-bucket
+    /// coincidence scan) instead of the former all-pairs sweep, so the
+    /// pass is output-sensitive: linear for clean geometry, and only
+    /// degenerate all-coincident nets pay for their duplicates.
+    // analyze: complexity(n log n)
     pub fn diagnostics(&self) -> &[InputDiagnostic] {
         self.diagnostics.get_or_init(|| {
             let mut found = Vec::new();
             let points = self.net.points();
             let source = self.net.source();
+            let index = self.neighbor_index();
             let mut coincident_with_source = 0usize;
-            let sinks: Vec<usize> = self.net.sinks().collect();
-            for (i, &a) in sinks.iter().enumerate() {
+            let mut num_sinks = 0usize;
+            let mut dups = Vec::new();
+            for a in self.net.sinks() {
+                num_sinks += 1;
                 if points[a] == points[source] {
                     coincident_with_source += 1;
                     found.push(InputDiagnostic::SourceCoincidentSink { sink: a });
                 }
-                for &b in &sinks[i + 1..] {
-                    if points[a] == points[b] {
-                        found.push(InputDiagnostic::DuplicateSinks { a, b });
-                        break;
-                    }
+                // First later sink sharing `a`'s coordinates — the same
+                // pair the old ascending all-pairs sweep reported.
+                dups.clear();
+                index.coincident(a, &mut dups);
+                if let Some(&b) = dups.iter().find(|&&b| b > a && b != source) {
+                    found.push(InputDiagnostic::DuplicateSinks { a, b });
                 }
             }
-            if !sinks.is_empty() && coincident_with_source == sinks.len() {
+            if num_sinks > 0 && coincident_with_source == num_sinks {
                 found.push(InputDiagnostic::ZeroRadius);
             }
             found
@@ -288,8 +361,10 @@ impl std::fmt::Debug for ProblemContext<'_> {
             .field("nodes", &self.net.len())
             .field("constraint", &self.constraint)
             .field("eps", &self.eps)
+            .field("supply", &self.supply)
             .field("matrix_cached", &self.matrix.get().is_some())
             .field("edges_cached", &self.sorted_edges.get().is_some())
+            .field("index_cached", &self.neighbor_index.get().is_some())
             .finish()
     }
 }

@@ -5,7 +5,7 @@
 //! The Steiner construction (`bmst-steiner`) reuses this machinery with a
 //! growing node universe, which is why the module is public.
 
-use bmst_geom::{le_tol, DistanceMatrix};
+use bmst_geom::{le_tol, DistanceMatrix, EPS_TOL};
 use bmst_graph::DisjointSets;
 
 /// Forest state maintained during a bounded-Kruskal construction.
@@ -37,6 +37,13 @@ pub struct KruskalForest {
     dsu: DisjointSets,
     members: Vec<Vec<usize>>,
     source: usize,
+    /// Per-root cache of `min over members x of dist_s[x] + r[x]`, used as an
+    /// O(1) necessary condition in the (3-b) scan. `NAN` marks a stale entry
+    /// (recomputed lazily); `merge` and `add_node` invalidate. Valid only
+    /// while the caller keeps feeding the same `dist_s` values for existing
+    /// nodes, which every construction does (`dist_s[x]` is the fixed
+    /// geometric source distance of node `x`).
+    potential: Vec<f64>,
 }
 
 impl KruskalForest {
@@ -53,6 +60,7 @@ impl KruskalForest {
             dsu: DisjointSets::new(n),
             members: (0..n).map(|i| vec![i]).collect(),
             source,
+            potential: vec![f64::NAN; n],
         }
     }
 
@@ -87,6 +95,7 @@ impl KruskalForest {
         self.p.grow(id + 1);
         self.r.push(0.0);
         self.members.push(vec![id]);
+        self.potential.push(f64::NAN);
         id
     }
 
@@ -195,16 +204,39 @@ impl KruskalForest {
             // (3-b): a feasible node must survive the merge.
             let root_u = self.dsu.find(u);
             let root_v = self.dsu.find(v);
+            // Two O(1) *necessary* conditions gate each O(|t|) member scan;
+            // both are lower bounds on every value the scan would test, so
+            // skipping a side never changes the boolean result:
+            //
+            // * Triangle inequality: for `x` in `t_u`, `P[x][u] >= d(x, u)`
+            //   (it is a sum of metric edge lengths) and
+            //   `dist_s[x] + d(x, u) >= dist_s[u]`, so every scanned value
+            //   is at least `dist_s[u] + w + r[v]` in exact arithmetic.
+            //   Floating-point re-association can shift that bound by a few
+            //   ulps, so the comparison gets an extra `EPS_TOL` of slack —
+            //   being overly permissive is safe (it just falls through to
+            //   the scan).
+            // * Cached component potential: `dist_s[x] + rad >= dist_s[x] +
+            //   r[x] >= potential` holds bit-exactly, because `rad` is
+            //   `r[x].max(..)` and f64 addition is monotone, so the cached
+            //   minimum is a true lower bound on the exact expressions the
+            //   scan evaluates.
+            let u_alive = le_tol(dist_s[u] + w + self.r[v], upper + EPS_TOL)
+                && le_tol(self.component_potential(root_u, dist_s), upper);
+            let v_alive = le_tol(dist_s[v] + w + self.r[u], upper + EPS_TOL)
+                && le_tol(self.component_potential(root_v, dist_s), upper);
             let check = |x: usize, anchor: usize, far_r: f64, p: &DistanceMatrix, r: &[f64]| {
                 let rad = r[x].max(p[(x, anchor)] + w + far_r);
                 le_tol(dist_s[x] + rad, upper)
             };
-            let ok = self.members[root_u]
-                .iter()
-                .any(|&x| check(x, u, self.r[v], &self.p, &self.r))
-                || self.members[root_v]
+            let ok = (u_alive
+                && self.members[root_u]
                     .iter()
-                    .any(|&x| check(x, v, self.r[u], &self.p, &self.r));
+                    .any(|&x| check(x, u, self.r[v], &self.p, &self.r)))
+                || (v_alive
+                    && self.members[root_v]
+                        .iter()
+                        .any(|&x| check(x, v, self.r[u], &self.p, &self.r)));
             bmst_obs::counter(
                 if ok {
                     "forest.cond3b.accept"
@@ -215,6 +247,22 @@ impl KruskalForest {
             );
             ok
         }
+    }
+
+    /// Cached `min over members x of dist_s[x] + r[x]` for the component
+    /// rooted at `root`, recomputed lazily after a `merge`/`add_node`
+    /// invalidation. `f64::min` is commutative over the finite inputs here,
+    /// so the fold is order-independent (deterministic).
+    fn component_potential(&mut self, root: usize, dist_s: &[f64]) -> f64 {
+        let cached = self.potential[root];
+        if !cached.is_nan() {
+            return cached;
+        }
+        let pot = self.members[root]
+            .iter()
+            .fold(f64::INFINITY, |m, &x| m.min(dist_s[x] + self.r[x]));
+        self.potential[root] = pot;
+        pot
     }
 
     /// Merges the components of `u` and `v` with an edge of length `w`:
@@ -277,6 +325,10 @@ impl KruskalForest {
         let mut merged = mu;
         merged.extend(mv);
         self.members[new_root] = merged;
+        // Radii and membership changed: stale both cache slots (only
+        // `new_root` is reachable through `find`, but keep both honest).
+        self.potential[root_u] = f64::NAN;
+        self.potential[root_v] = f64::NAN;
     }
 }
 

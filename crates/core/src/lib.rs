@@ -80,6 +80,7 @@ pub mod forest;
 mod gabow;
 mod lub;
 mod stats;
+mod supply;
 
 pub use ahhk::prim_dijkstra;
 pub use audit::audit_construction;
@@ -100,3 +101,4 @@ pub use error::BmstError;
 pub use gabow::{gabow_bmst, gabow_bmst_with, preprocess_edges, GabowConfig, GabowOutcome};
 pub use lub::lub_bkrus;
 pub use stats::TreeReport;
+pub use supply::{EdgeStream, EdgeSupply};

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use bmst_core::{bkex, bkh2, bkrus, bprim, gabow_bmst, BkexConfig};
+use bmst_core::{
+    bkex, bkh2, bkrus, bprim, find_builder, gabow_bmst, BkexConfig, EdgeSupply, ProblemContext,
+};
 use bmst_geom::{Net, Point};
 use bmst_obs::{NoopRecorder, SpanTreeRecorder, SummaryRecorder};
 use bmst_tree::RoutingTree;
@@ -131,6 +133,51 @@ fn forest_merge_span_is_recorded_under_builders() {
         .sum();
     // A 6-terminal net needs exactly 5 merges to connect the forest.
     assert_eq!(merged, 5, "every accepted edge performs one merge");
+}
+
+#[test]
+fn sparse_supply_is_bit_identical_and_emits_index_spans() {
+    let net = test_net();
+    for eps in [0.0, 0.3, f64::INFINITY] {
+        for name in ["bkrus", "bprim"] {
+            // Fresh contexts per builder: the neighbor index is cached in a
+            // OnceLock, and its construction span only fires on first use.
+            let dense_cx = ProblemContext::new(&net, eps)
+                .unwrap()
+                .with_edge_supply(EdgeSupply::Dense);
+            let sparse_cx = ProblemContext::new(&net, eps)
+                .unwrap()
+                .with_edge_supply(EdgeSupply::Sparse);
+            let builder = find_builder(name).unwrap();
+            let dense = builder.build(&dense_cx).unwrap();
+
+            // The sparse run is both instrumented and supplied from the
+            // neighbor index — it must still match the dense tree exactly.
+            let tree = Arc::new(SpanTreeRecorder::new());
+            let sparse = {
+                let _guard = bmst_obs::scoped(tree.clone());
+                builder.build(&sparse_cx).unwrap()
+            };
+            assert_identical(&dense, &sparse);
+
+            let paths: Vec<String> = tree.nodes().into_iter().map(|(p, _)| p).collect();
+            assert!(
+                paths.iter().any(|p| p.ends_with("context.neighbor_index")),
+                "{name}: context.neighbor_index span missing: {paths:?}"
+            );
+            if name == "bkrus" {
+                // BKRUS drains the lazy stream, so refill windows appear.
+                assert!(
+                    paths.iter().any(|p| p.ends_with("context.edge_stream")),
+                    "bkrus: context.edge_stream span missing: {paths:?}"
+                );
+            }
+            assert!(
+                !paths.iter().any(|p| p.ends_with("context.matrix")),
+                "{name}: sparse run must not build the dense matrix: {paths:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
 mod matrix;
 mod metric;
 mod net;
 mod point;
 
+pub use grid::NeighborIndex;
 pub use matrix::DistanceMatrix;
 pub use metric::Metric;
 pub use net::{GeomError, Net};

@@ -108,7 +108,29 @@ pub fn kruskal_mst(n: usize, edges: &[Edge]) -> Result<Vec<Edge>, GraphError> {
 /// assert_eq!(tree_cost(&mst), 2.0);
 /// ```
 pub fn prim_mst(d: &DistanceMatrix, root: usize) -> Vec<Edge> {
-    let n = d.len();
+    // Documented contract: panic on an empty matrix too, which the n == 0
+    // early return in `prim_mst_with` would otherwise soften.
+    assert!(
+        root < d.len(),
+        "root {root} out of bounds for {} nodes",
+        d.len()
+    );
+    prim_mst_with(d.len(), root, |i, j| d[(i, j)])
+}
+
+/// [`prim_mst`] over an on-demand distance oracle instead of a materialized
+/// matrix: `dist(i, j)` must return the edge weight between nodes `i` and
+/// `j` of a complete graph on `n` nodes. Same `O(V^2)` selection — and the
+/// same tree, bit for bit, when `dist` returns the bits the matrix would
+/// hold — but `O(V)` memory, which is what sparse-supply callers need.
+///
+/// # Panics
+///
+/// Panics if `root >= n` and `n > 0`.
+pub fn prim_mst_with<F: Fn(usize, usize) -> f64>(n: usize, root: usize, dist: F) -> Vec<Edge> {
+    if n == 0 {
+        return Vec::new();
+    }
     assert!(root < n, "root {root} out of bounds for {n} nodes");
     let mut in_tree = vec![false; n];
     let mut best = vec![f64::INFINITY; n];
@@ -116,7 +138,7 @@ pub fn prim_mst(d: &DistanceMatrix, root: usize) -> Vec<Edge> {
     in_tree[root] = true;
     for v in 0..n {
         if v != root {
-            best[v] = d[(root, v)];
+            best[v] = dist(root, v);
             best_from[v] = root;
         }
     }
@@ -135,9 +157,12 @@ pub fn prim_mst(d: &DistanceMatrix, root: usize) -> Vec<Edge> {
         in_tree[pick] = true;
         edges.push(Edge::new(best_from[pick], pick, pick_key));
         for v in 0..n {
-            if !in_tree[v] && d[(pick, v)] < best[v] {
-                best[v] = d[(pick, v)];
-                best_from[v] = pick;
+            if !in_tree[v] {
+                let w = dist(pick, v);
+                if w < best[v] {
+                    best[v] = w;
+                    best_from[v] = pick;
+                }
             }
         }
     }

@@ -5,13 +5,16 @@
 //! The die side grows as `sqrt(n)` (10 units of side per sqrt-sink), which
 //! keeps expected nearest-neighbour distance roughly constant across sizes
 //! — the regime the paper's Table 2 benchmarks and the sparsification
-//! papers in PAPERS.md assume. Three styles cover the placement shapes a
-//! router actually sees:
+//! papers in PAPERS.md assume. Four styles cover the placement shapes a
+//! router actually sees (plus one adversarial stress case):
 //!
 //! * [`ScaleStyle::Uniform`] — i.i.d. uniform cloud, the baseline;
 //! * [`ScaleStyle::Clustered`] — Gaussian-ish blobs around `~sqrt(n)`
 //!   seeded centres, modelling macro-dominated placements;
-//! * [`ScaleStyle::Grid`] — jittered lattice, modelling datapath rows.
+//! * [`ScaleStyle::Grid`] — jittered lattice, modelling datapath rows;
+//! * [`ScaleStyle::Pathological`] — half the sinks exactly collinear, the
+//!   rest packed into a near-degenerate cluster, stressing geometric
+//!   acceleration structures that assume benign density.
 //!
 //! All generators are `O(n)`, fully determined by `(n, seed, style)`, and
 //! put the source at node 0 in the die centre.
@@ -29,11 +32,21 @@ pub enum ScaleStyle {
     Clustered,
     /// Jittered lattice: one sink per cell, offset up to 30% of the pitch.
     Grid,
+    /// Adversarial layout for geometric indexes: half the sinks sit exactly
+    /// on one horizontal line, the other half are crammed into a cluster
+    /// whose diameter is a millionth of the die side.
+    Pathological,
 }
 
 impl ScaleStyle {
-    /// All styles, for sweep drivers.
-    pub const ALL: [ScaleStyle; 3] = [ScaleStyle::Uniform, ScaleStyle::Clustered, ScaleStyle::Grid];
+    /// All styles, for sweep drivers. `Pathological` is deliberately last so
+    /// drivers that sample `ALL[i % 3]` keep their historical composition.
+    pub const ALL: [ScaleStyle; 4] = [
+        ScaleStyle::Uniform,
+        ScaleStyle::Clustered,
+        ScaleStyle::Grid,
+        ScaleStyle::Pathological,
+    ];
 
     /// Stable lowercase name (used in bench record keys).
     pub fn name(self) -> &'static str {
@@ -41,6 +54,7 @@ impl ScaleStyle {
             ScaleStyle::Uniform => "uniform",
             ScaleStyle::Clustered => "clustered",
             ScaleStyle::Grid => "grid",
+            ScaleStyle::Pathological => "pathological",
         }
     }
 }
@@ -124,6 +138,26 @@ pub fn scaled_net(num_sinks: usize, seed: u64, style: ScaleStyle) -> Net {
                 ));
             }
         }
+        ScaleStyle::Pathological => {
+            // Worst case for grid-bucket indexes: the first half shares one
+            // exact y (an entire row of occupied cells on one line), the
+            // second half collapses into a cluster ~1e-6 of the die wide
+            // (thousands of points in a single cell).
+            let on_line = num_sinks / 2;
+            let line_y = side / 2.0;
+            for _ in 0..on_line {
+                pts.push(Point::new(rng.gen_range(0.0..side), line_y));
+            }
+            // `die_side` clamps to >= 10, so `blob` is always positive.
+            let blob = side * 1e-6;
+            let centre = Point::new(side * 0.25, side * 0.75);
+            for _ in on_line..num_sinks {
+                pts.push(Point::new(
+                    centre.x + rng.gen_range(-blob..blob),
+                    centre.y + rng.gen_range(-blob..blob),
+                ));
+            }
+        }
     }
     // lint: allow(no-panic) — generators draw from finite ranges, so coordinates are finite
     Net::with_source_first(pts).expect("generated points are finite")
@@ -163,6 +197,10 @@ mod tests {
             scaled_net(64, 9, ScaleStyle::Uniform),
             scaled_net(64, 9, ScaleStyle::Grid)
         );
+        assert_ne!(
+            scaled_net(64, 9, ScaleStyle::Uniform),
+            scaled_net(64, 9, ScaleStyle::Pathological)
+        );
     }
 
     #[test]
@@ -176,6 +214,57 @@ mod tests {
         assert_eq!(ScaleStyle::Uniform.name(), "uniform");
         assert_eq!(ScaleStyle::Clustered.name(), "clustered");
         assert_eq!(ScaleStyle::Grid.name(), "grid");
+        assert_eq!(ScaleStyle::Pathological.name(), "pathological");
+    }
+
+    #[test]
+    fn pathological_layout_shape() {
+        let net = scaled_net(1000, 7, ScaleStyle::Pathological);
+        let side = die_side(1000);
+        let pts = net.points();
+        // First half (after the source) collinear on y = side/2.
+        let on_line = pts[1..=500].iter().filter(|p| p.y == side / 2.0).count();
+        assert_eq!(on_line, 500);
+        // Second half confined to a blob of diameter ~2e-6 * side.
+        let blob = side * 1e-6;
+        for p in &pts[501..] {
+            assert!((p.x - side * 0.25).abs() <= blob, "{p:?}");
+            assert!((p.y - side * 0.75).abs() <= blob, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn pathological_snapshot_is_pinned() {
+        // Fixed-seed snapshot: any change to the generator (RNG stream,
+        // layout constants, ordering) must show up here as a diff, because
+        // bench records and golden tests key off these exact coordinates.
+        let net = scaled_net(4, 42, ScaleStyle::Pathological);
+        let rendered: Vec<String> = net
+            .points()
+            .iter()
+            .map(|p| format!("({:?}, {:?})", p.x, p.y))
+            .collect();
+        assert_eq!(
+            rendered,
+            [
+                "(10.0, 10.0)",
+                "(16.886500435780448, 10.0)",
+                "(15.617418478303438, 10.0)",
+                "(5.000002818493857, 14.999981718362438)",
+                "(4.999998125818847, 15.000000072886124)",
+            ],
+            "Pathological generator output drifted for (n=4, seed=42)"
+        );
+    }
+
+    #[test]
+    fn pathological_scales_to_a_million_sinks() {
+        // The adversarial generator must stay O(n) like the benign ones:
+        // a 1M-sink net generates in well under a second.
+        let net = scaled_net(1_000_000, 5, ScaleStyle::Pathological);
+        assert_eq!(net.num_sinks(), 1_000_000);
+        let net = scaled_net(10_000, 5, ScaleStyle::Pathological);
+        assert_eq!(net.num_sinks(), 10_000);
     }
 
     #[test]

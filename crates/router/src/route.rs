@@ -11,7 +11,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bmst_core::{BmstError, BuilderDescriptor, ProblemContext, TreeBuilder};
+use bmst_core::{BmstError, BuilderDescriptor, EdgeSupply, ProblemContext, TreeBuilder};
 use bmst_obs::Field;
 
 use crate::{Criticality, NamedNet, Netlist, RelaxationStep, RouteFailure, RouteReport, RoutedNet};
@@ -209,6 +209,10 @@ pub struct RouterConfig {
     /// spawns worker threads; netlists with less total work than this
     /// route serially (thread setup would dominate). `0` never bypasses.
     pub parallel_min_terminals: usize,
+    /// Edge-candidate supply handed to every per-net [`ProblemContext`]
+    /// (dense matrix vs. lazy neighbor-index stream; trees are
+    /// bit-identical either way).
+    pub edge_supply: EdgeSupply,
 }
 
 impl Default for RouterConfig {
@@ -220,6 +224,7 @@ impl Default for RouterConfig {
             algorithm: RouteAlgorithm::bkrus(),
             relaxation: RelaxationPolicy::default(),
             parallel_min_terminals: 64,
+            edge_supply: EdgeSupply::Auto,
         }
     }
 }
@@ -251,9 +256,10 @@ fn attempt(
     n: &NamedNet,
     builder: &'static dyn TreeBuilder,
     eps: f64,
+    supply: EdgeSupply,
     emit_diagnostics: bool,
 ) -> Result<bmst_tree::RoutingTree, BmstError> {
-    let cx = ProblemContext::new(&n.net, eps)?;
+    let cx = ProblemContext::new(&n.net, eps)?.with_edge_supply(supply);
     if emit_diagnostics && bmst_obs::enabled() {
         for diag in cx.diagnostics() {
             bmst_obs::event(
@@ -282,7 +288,13 @@ fn route_named(
     let mut fallback_spt = false;
 
     let tree = loop {
-        match attempt(n, config.algorithm.builder, eps, attempts.is_empty()) {
+        match attempt(
+            n,
+            config.algorithm.builder,
+            eps,
+            config.edge_supply,
+            attempts.is_empty(),
+        ) {
             Ok(tree) => break tree,
             Err(err) => {
                 attempts.push(RelaxationStep {
@@ -335,7 +347,7 @@ fn route_named(
                                 ],
                             );
                         }
-                        match attempt(n, spt_builder(), eps, false) {
+                        match attempt(n, spt_builder(), eps, config.edge_supply, false) {
                             Ok(tree) => break tree,
                             Err(spt_err) => {
                                 attempts.push(RelaxationStep {

@@ -32,8 +32,15 @@ use bmst_obs::json::Json;
 /// budgets in milli (fitted log-log slope x1000).
 const REQUIRED: &[(&str, u64, u64)] = &[
     // (algo, min exponent_milli, max exponent_milli)
-    ("bkrus", 500, 3500),
-    ("bprim", 500, 4500),
+    //
+    // The maxima lock in the sparse-supply + forest fast-reject wins from
+    // the dense-era ~2600 fits: clean-machine measurements are ~2000 for
+    // BKRUS (component-potential gating of condition 3-b) and ~1200 for
+    // BPRIM (grid nearest-neighbor candidates), so these budgets fail any
+    // change that reverts to dense-path scaling while leaving headroom for
+    // runner noise.
+    ("bkrus", 500, 2400),
+    ("bprim", 500, 1800),
     ("router", 500, 2500),
 ];
 

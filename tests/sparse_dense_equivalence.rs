@@ -1,0 +1,142 @@
+//! Sparse/dense edge-supply equivalence: the lazy neighbor-index supply
+//! must be an *exact* drop-in for the dense matrix — identical distances,
+//! identical edge stream order, identical trees from every registered
+//! builder. Property-tested over random lattice nets (lots of ties, the
+//! hardest case for a total order).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
+use bmst_core::{registry, EdgeSupply, ProblemContext};
+use bmst_geom::{Net, Point};
+use bmst_tree::RoutingTree;
+use proptest::prelude::*;
+
+/// Same strategy shape as `proptest_invariants`: small integer lattice
+/// scaled by 0.5 hits many exactly-equal distances, stressing tie-breaks.
+fn arb_net() -> impl Strategy<Value = Net> {
+    proptest::collection::vec((0i32..40, 0i32..40), 2..=12).prop_filter_map(
+        "needs >= 2 distinct points",
+        |coords| {
+            let pts: Vec<Point> = coords
+                .iter()
+                .map(|&(x, y)| Point::new(f64::from(x) * 0.5, f64::from(y) * 0.5))
+                .collect();
+            let net = Net::with_source_first(pts).ok()?;
+            (net.source_radius() > 0.0).then_some(net)
+        },
+    )
+}
+
+fn arb_eps() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(0.1),
+        Just(0.5),
+        Just(1.0),
+        Just(f64::INFINITY)
+    ]
+}
+
+fn trees_bit_identical(a: &RoutingTree, b: &RoutingTree) -> Result<(), String> {
+    if a.universe() != b.universe() || a.root() != b.root() {
+        return Err("shape differs".into());
+    }
+    for v in 0..a.universe() {
+        if a.parent(v) != b.parent(v) {
+            return Err(format!("parent of {v} differs"));
+        }
+        let (da, db) = (a.dist_from_root(v), b.dist_from_root(v));
+        if da.to_bits() != db.to_bits() && !(da.is_infinite() && db.is_infinite()) {
+            return Err(format!("dist_from_root({v}) differs: {da} vs {db}"));
+        }
+    }
+    if a.cost().to_bits() != b.cost().to_bits() {
+        return Err(format!("cost differs: {} vs {}", a.cost(), b.cost()));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On-demand `dist(i, j)` returns the same bits as the dense matrix
+    /// for every pair, in both supply modes.
+    #[test]
+    fn on_demand_distance_matches_matrix(net in arb_net()) {
+        let sparse = ProblemContext::new(&net, 0.5)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Sparse);
+        let dense = ProblemContext::new(&net, 0.5)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Dense);
+        let matrix = dense.matrix();
+        for i in 0..net.len() {
+            for (j, &expected) in matrix.row(i).iter().enumerate() {
+                prop_assert_eq!(
+                    sparse.dist(i, j).to_bits(),
+                    expected.to_bits(),
+                    "dist({}, {}) differs from the matrix", i, j
+                );
+                prop_assert_eq!(dense.dist(i, j).to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    /// The lazy expanding-window stream yields exactly the dense sorted
+    /// edge list: same edges, same canonical order, same weight bits.
+    #[test]
+    fn edge_stream_order_matches_sorted_edges(net in arb_net()) {
+        let sparse = ProblemContext::new(&net, 0.5)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Sparse);
+        let dense = ProblemContext::new(&net, 0.5)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Dense);
+        let streamed: Vec<_> = sparse.edge_stream().collect();
+        let sorted = dense.sorted_edges();
+        prop_assert_eq!(streamed.len(), sorted.len(), "edge count differs");
+        for (k, (s, d)) in streamed.iter().zip(sorted).enumerate() {
+            prop_assert_eq!((s.u, s.v), (d.u, d.v), "edge {} endpoints differ", k);
+            prop_assert_eq!(
+                s.weight.to_bits(),
+                d.weight.to_bits(),
+                "edge {} weight differs", k
+            );
+        }
+    }
+
+    /// Every registered builder produces a bit-identical tree whichever
+    /// supply feeds it. Builders that reject the instance (e.g. an
+    /// infeasible Elmore bound at this eps) must reject under both.
+    #[test]
+    fn registry_builders_agree_across_supplies(net in arb_net(), eps in arb_eps()) {
+        let dense_cx = ProblemContext::new(&net, eps)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Dense);
+        let sparse_cx = ProblemContext::new(&net, eps)
+            .unwrap()
+            .with_edge_supply(EdgeSupply::Sparse);
+        for builder in registry() {
+            let name = builder.descriptor().name;
+            let dense = builder.build(&dense_cx);
+            let sparse = builder.build(&sparse_cx);
+            match (dense, sparse) {
+                (Ok(d), Ok(s)) => {
+                    let outcome = trees_bit_identical(&d, &s);
+                    prop_assert!(
+                        outcome.is_ok(),
+                        "{}: {}", name, outcome.unwrap_err()
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (d, s) => {
+                    prop_assert!(
+                        false,
+                        "{}: feasibility diverged (dense ok={}, sparse ok={})",
+                        name, d.is_ok(), s.is_ok()
+                    );
+                }
+            }
+        }
+    }
+}
