@@ -67,6 +67,7 @@ pub fn crate_deps(krate: &str) -> &'static [&'static str] {
         "steiner" => &["geom", "graph", "tree", "core", "obs"],
         "io" => &["geom", "graph", "tree", "core"],
         "router" => &["geom", "graph", "tree", "core", "steiner", "obs"],
+        "serve" => &["geom", "graph", "tree", "core", "steiner", "router", "obs"],
         "clock" => &["geom", "graph", "tree", "core"],
         "cli" => &[
             "geom",

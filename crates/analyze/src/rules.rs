@@ -22,6 +22,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "clock",
     "obs",
     "cli",
+    "serve",
 ];
 
 /// Crates whose raw float comparisons must go through `geom`'s tolerance
@@ -36,6 +37,7 @@ pub const FLOAT_EQ_CRATES: &[&str] = &[
     "router",
     "clock",
     "obs",
+    "serve",
 ];
 
 /// Crates whose whole `pub` surface must carry doc comments.
@@ -58,14 +60,17 @@ pub const PRINT_FREE_CRATES: &[&str] = &[
     "obs",
     "cli",
     "bench",
+    "serve",
 ];
 
 /// The byte-identical guarantee's hot paths (BKRUS §3.1 tie-breaking):
 /// nondeterministic iteration order is a correctness bug class here.
-pub const DETERMINISM_CRATES: &[&str] = &["core", "steiner", "router", "tree"];
+/// `serve` rides along: its report cache must key and render requests
+/// byte-identically for the bit-parity guarantee to hold.
+pub const DETERMINISM_CRATES: &[&str] = &["core", "steiner", "router", "tree", "serve"];
 
 /// Crates whose failures must stay inside the `BmstError` taxonomy.
-pub const ERROR_TAXONOMY_CRATES: &[&str] = &["core", "steiner", "router"];
+pub const ERROR_TAXONOMY_CRATES: &[&str] = &["core", "steiner", "router", "serve"];
 
 /// Crates whose obs emissions are extracted and diffed against
 /// `crates/obs/events.toml` — everything except `obs` itself, which
@@ -82,10 +87,12 @@ pub const OBS_SCHEMA_CRATES: &[&str] = &[
     "clock",
     "cli",
     "bench",
+    "serve",
 ];
 
-/// The crate hosting the parallel routing path; shared-nothing only.
-pub const CONCURRENCY_CRATES: &[&str] = &["router"];
+/// Crates hosting thread-pooled paths (the parallel router, the serve
+/// worker pool); shared-nothing only.
+pub const CONCURRENCY_CRATES: &[&str] = &["router", "serve"];
 
 /// Every crate the lint walks: the union of the per-rule scopes above.
 pub const ALL_CRATES: &[&str] = &[
@@ -101,6 +108,7 @@ pub const ALL_CRATES: &[&str] = &[
     "obs",
     "cli",
     "bench",
+    "serve",
 ];
 
 /// Every rule name an allow marker may reference.

@@ -526,6 +526,106 @@ fn robustness_overhead(quick: bool, records: &mut Vec<BenchRecord>) {
     });
 }
 
+/// Times the serving layer end to end: an in-process `bmst-serve` server
+/// answers pipelined route requests over a real TCP loopback connection,
+/// once with the report cache bypassed (`serve.roundtrip.micros`: parse,
+/// admission, routing, render, write) and once against a warm LRU entry
+/// (`serve.cache_hit.micros`: everything but the routing). Both loops are
+/// guarded — every response must be `ok` with the expected `cached` flag,
+/// so a protocol or cache regression fails the bench instead of skewing
+/// the numbers.
+fn serve_roundtrip(quick: bool, records: &mut Vec<BenchRecord>) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = match bmst_serve::Server::bind(bmst_serve::ServeConfig {
+        workers: 2,
+        cache_entries: 16,
+        ..bmst_serve::ServeConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve bench skipped: cannot bind loopback: {e}");
+            return;
+        }
+    };
+    let addr = server.local_addr();
+    let run = std::thread::spawn(move || server.run());
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to in-process server");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("socket timeout");
+    // One write per request and no Nagle buffering: the bench measures
+    // the serving layer, not the kernel's delayed-ACK timer.
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut roundtrip = |line: &str, want_cached: &str| {
+        let mut framed = line.as_bytes().to_vec();
+        framed.push(b'\n');
+        stream.write_all(&framed).expect("write request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(response.contains(want_cached), "{response}");
+    };
+
+    let netlist = "net a critical\\n0 0\\n10 0\\n9 5\\n3 7\\nend\\n";
+    let uncached =
+        format!("{{\"id\":1,\"op\":\"route\",\"netlist\":\"{netlist}\",\"cache\":false}}");
+    let cached = format!("{{\"id\":2,\"op\":\"route\",\"netlist\":\"{netlist}\"}}");
+    let rounds: u32 = if quick { 20 } else { 100 };
+
+    // Warm both paths: first JIT-ish costs (lazy statics, allocator), then
+    // the LRU entry the cached loop will hit.
+    roundtrip(&uncached, "\"cached\":false");
+    roundtrip(&cached, "\"cached\":false");
+
+    let ((), uncached_s) = timed(|| {
+        for _ in 0..rounds {
+            roundtrip(&uncached, "\"cached\":false");
+        }
+    });
+    let ((), cached_s) = timed(|| {
+        for _ in 0..rounds {
+            roundtrip(&cached, "\"cached\":true");
+        }
+    });
+
+    roundtrip("{\"id\":9,\"op\":\"shutdown\"}", "\"ok\":true");
+    drop(stream);
+    drop(reader);
+    run.join()
+        .expect("server thread")
+        .expect("clean server shutdown");
+
+    let per_round = |total_s: f64| (total_s / f64::from(rounds) * 1e6) as u64;
+    let record = |algorithm: &str, wall_s: f64, counter: &str| BenchRecord {
+        bench: "serve-loopback".to_owned(),
+        algorithm: algorithm.to_owned(),
+        eps: 0.0,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s,
+        counters: [
+            (counter.to_owned(), per_round(wall_s)),
+            ("serve.rounds".to_owned(), u64::from(rounds)),
+        ]
+        .into(),
+    };
+    records.push(record(
+        "serve-roundtrip",
+        uncached_s,
+        "serve.roundtrip.micros",
+    ));
+    records.push(record(
+        "serve-cache-hit",
+        cached_s,
+        "serve.cache_hit.micros",
+    ));
+}
+
 /// Times a full `bmst-analyze` workspace pass so the cost of the
 /// analysis gate stays visible in the trajectory: `lint.millis` is the
 /// wall-clock of `cargo xtask lint`'s engine (sans process spawn), and
@@ -603,6 +703,7 @@ fn main() {
     netlist_comparison(quick, &mut records);
     scaling_sweep(quick, &mut records);
     robustness_overhead(quick, &mut records);
+    serve_roundtrip(quick, &mut records);
     lint_gate(&mut records);
 
     match write_bench_file(&out_dir, "table2", &records) {

@@ -190,8 +190,43 @@ pub enum Command {
     },
     /// `bmst algorithms` — list every registered construction.
     Algorithms,
+    /// `bmst serve` — run the long-lived routing service (DESIGN §5i).
+    Serve(ServeArgs),
     /// `bmst --help`
     Help,
+}
+
+/// Parsed `serve` arguments, mirroring `bmst_serve::ServeConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (`host:port`; port `0` picks a free port).
+    pub addr: String,
+    /// Worker threads routing admitted requests.
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue: usize,
+    /// Graceful-shutdown drain deadline in milliseconds.
+    pub drain_ms: u64,
+    /// LRU report-cache capacity in entries (`0` disables caching).
+    pub cache: usize,
+    /// Default per-request budget in milliseconds (`None` = unbounded).
+    pub budget_ms: Option<u64>,
+    /// Fault-injection seed (requires a `fault-inject` build).
+    pub fault_seed: Option<u64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7463".to_owned(),
+            workers: 4,
+            queue: 64,
+            drain_ms: 2000,
+            cache: 128,
+            budget_ms: None,
+            fault_seed: None,
+        }
+    }
 }
 
 /// A parsed `--flag value` pair (`None` for boolean flags).
@@ -242,6 +277,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
 fn parse_f64(name: &str, v: &str) -> Result<f64, CliError> {
     v.parse()
         .map_err(|_| CliError::new(format!("--{name}: {v:?} is not a number")))
+}
+
+/// Parses a non-negative integer flag value (`usize`/`u64` alike).
+fn parse_count<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, CliError> {
+    v.parse()
+        .map_err(|_| CliError::new(format!("--{name}: {v:?} is not a count")))
 }
 
 /// Parses a full invocation (program name already stripped).
@@ -406,6 +447,45 @@ pub(crate) fn parse(argv: &[String]) -> Result<Command, CliError> {
             })
         }
         "algorithms" => Ok(Command::Algorithms),
+        "serve" => {
+            if let Some(extra) = positional.first() {
+                return Err(CliError::new(format!(
+                    "serve takes no positional argument (got {extra:?})"
+                )));
+            }
+            let mut args = ServeArgs::default();
+            for (name, value) in flags {
+                match (name.as_str(), value.as_deref()) {
+                    ("addr", Some(v)) => args.addr = v.to_owned(),
+                    ("workers", Some(v)) => {
+                        args.workers = parse_count("workers", v)?;
+                        if args.workers == 0 {
+                            return Err(CliError::new("--workers must be at least 1"));
+                        }
+                    }
+                    ("queue", Some(v)) => {
+                        args.queue = parse_count("queue", v)?;
+                        if args.queue == 0 {
+                            return Err(CliError::new("--queue must be at least 1"));
+                        }
+                    }
+                    ("drain-ms", Some(v)) => args.drain_ms = parse_count("drain-ms", v)?,
+                    ("cache", Some(v)) => args.cache = parse_count("cache", v)?,
+                    ("budget-ms", Some(v)) => {
+                        args.budget_ms = Some(parse_count("budget-ms", v)?);
+                    }
+                    ("fault-seed", Some(v)) => {
+                        args.fault_seed = Some(v.parse().map_err(|_| {
+                            CliError::new(format!("--fault-seed: {v:?} is not a seed"))
+                        })?);
+                    }
+                    (other, _) => {
+                        return Err(CliError::new(format!("serve: unknown flag --{other}")))
+                    }
+                }
+            }
+            Ok(Command::Serve(args))
+        }
         other => Err(CliError::new(format!(
             "unknown command {other:?} (try `bmst --help`)"
         ))),
@@ -654,5 +734,37 @@ mod tests {
     #[test]
     fn empty_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_knobs() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve(ServeArgs::default())
+        );
+        let Command::Serve(a) = parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 2 --queue 8 --drain-ms 500 \
+             --cache 0 --budget-ms 250 --fault-seed 7",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.addr, "127.0.0.1:0");
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.queue, 8);
+        assert_eq!(a.drain_ms, 500);
+        assert_eq!(a.cache, 0);
+        assert_eq!(a.budget_ms, Some(250));
+        assert_eq!(a.fault_seed, Some(7));
+    }
+
+    #[test]
+    fn parse_serve_rejects_bad_knobs() {
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --queue 0")).is_err());
+        assert!(parse(&argv("serve --workers many")).is_err());
+        assert!(parse(&argv("serve --budget-ms -5")).is_err());
+        assert!(parse(&argv("serve extra")).is_err());
+        assert!(parse(&argv("serve --wat 3")).is_err());
     }
 }

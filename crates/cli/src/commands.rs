@@ -18,7 +18,7 @@ use bmst_tree::RoutingTree;
 use bmst_clock::zero_skew_tree;
 use bmst_router::{Netlist, RouteAlgorithm, RouterConfig};
 
-use crate::args::{Algorithm, CliError, Command, GenSource, RouteArgs};
+use crate::args::{Algorithm, CliError, Command, GenSource, RouteArgs, ServeArgs};
 use crate::USAGE;
 
 /// Runs a parsed command, returning the text to print.
@@ -30,6 +30,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
         Command::Algorithms => Ok(algorithms()),
+        Command::Serve(args) => serve(&args),
         Command::Stats { net } => stats(&net),
         Command::Gen { source, out } => gen(source, out),
         Command::Route(args) => {
@@ -227,6 +228,43 @@ fn algorithms() -> String {
         "zskew", "dme", "heuristic", "skew"
     );
     out
+}
+
+/// `bmst serve`: bind, announce the port, and block until a termination
+/// signal (or a `shutdown` request) drains the server. The summary text
+/// is returned for `main` to print after shutdown; the listening line is
+/// printed live because clients need the resolved port while the server
+/// blocks in `run`.
+fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let server = bmst_serve::Server::bind(bmst_serve::ServeConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        drain_ms: args.drain_ms,
+        cache_entries: args.cache,
+        default_budget_ms: args.budget_ms,
+        fault_seed: args.fault_seed,
+    })
+    .map_err(|e| CliError::new(e.to_string()))?;
+    bmst_serve::signal::install();
+    // lint: allow(no-print) — live announcement of the resolved port; run() blocks until shutdown
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let summary = server.run().map_err(|e| CliError::new(e.to_string()))?;
+    Ok(format!(
+        "shutdown complete\n\
+         accepted = {}  completed = {}  shed = {}  malformed = {}\n\
+         cache hits/misses = {}/{}  deadline exceeded = {}  internal = {}  cancelled at drain = {}\n",
+        summary.accepted,
+        summary.completed,
+        summary.shed,
+        summary.malformed,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.deadline_exceeded,
+        summary.internal_errors,
+        summary.cancelled_stragglers,
+    ))
 }
 
 fn load(path: &str) -> Result<Net, CliError> {

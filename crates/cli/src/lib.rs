@@ -42,6 +42,8 @@ USAGE:
   bmst algorithms                  list every registered construction
   bmst netlist <nets.txt> [--algorithm A] [--jobs N] [--trace F] [--profile]
                                    route a whole netlist, print the report
+  bmst serve [OPTIONS]             run the JSON-lines routing service until
+                                   SIGTERM/ctrl-c, then drain and summarise
 
 NETLIST OPTIONS:
   --algorithm <A>   any registered construction (see `bmst algorithms`)
@@ -88,6 +90,20 @@ ROUTE OPTIONS:
                     force the edge-candidate supply: --sparse streams
                     candidates from the grid neighbor index, --dense builds
                     the full O(n^2) matrix (default: auto by net size)
+
+SERVE OPTIONS:
+  --addr <A>        bind address (default: 127.0.0.1:7463; port 0 = free port)
+  --workers <N>     routing worker threads (default: 4)
+  --queue <N>       admission-queue capacity; requests beyond it are shed
+                    with a typed `overloaded` response (default: 64)
+  --drain-ms <MS>   graceful-shutdown drain deadline before in-flight work
+                    is cancelled through its tokens (default: 2000)
+  --cache <N>       LRU report-cache entries, bit-parity with cold routing
+                    (default: 128; 0 disables)
+  --budget-ms <MS>  default per-request deadline, queue wait included
+                    (default: unbounded; requests may set their own)
+  --fault-seed <S>  deterministic fault-injection seed (builds with
+                    --features fault-inject only)
 
 GEN OPTIONS:
   --sinks <N>       uniform random net with N sinks

@@ -1,0 +1,114 @@
+//! Process-level graceful shutdown: a real `bmst serve` child, a real
+//! SIGTERM. The in-process soak drives the same drain path through
+//! `signal::trigger`; this test covers the one piece that cannot be
+//! tested in-process — the installed handler catching an actual signal —
+//! and pins the typed exit codes.
+
+#![cfg(unix)]
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bmst() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bmst"))
+}
+
+/// Reads the `listening on 127.0.0.1:<port>` announcement line.
+fn read_port(child: &mut Child) -> (u16, BufReader<std::process::ChildStdout>) {
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"));
+    let port = addr.rsplit(':').next().unwrap().parse().unwrap();
+    (port, reader)
+}
+
+fn wait_with_timeout(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + limit;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("serve did not exit within {limit:?} of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let mut child = bmst()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let (port, mut reader) = read_port(&mut child);
+
+    // Serve one request end-to-end before the signal.
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            b"{\"id\":1,\"op\":\"route\",\"netlist\":\"net a critical\\n0 0\\n10 0\\n9 5\\nend\\n\"}\n",
+        )
+        .unwrap();
+    let mut conn_reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    conn_reader.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    // The real signal, delivered by the OS.
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "expected clean exit, got {status:?}");
+
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("shutdown complete"), "{rest}");
+    assert!(rest.contains("accepted = 1"), "{rest}");
+    assert!(rest.contains("completed = 1"), "{rest}");
+}
+
+#[test]
+fn bind_failure_exits_one() {
+    let output = bmst()
+        .args(["serve", "--addr", "definitely-not-an-address"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot bind"), "{stderr}");
+}
+
+#[test]
+fn fault_seed_without_feature_is_rejected() {
+    // The default CLI build carries no failpoints; asking for a seed must
+    // fail fast with a config error, not silently serve faultless.
+    if cfg!(feature = "fault-inject") {
+        return;
+    }
+    let output = bmst()
+        .args(["serve", "--addr", "127.0.0.1:0", "--fault-seed", "7"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("fault-inject"), "{stderr}");
+}

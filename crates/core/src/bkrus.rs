@@ -126,6 +126,11 @@ pub(crate) fn run(
         if tree_edges.len() == n - 1 {
             break; // early exit after V - 1 unions
         }
+        // Cooperative cancellation: poll at a stride so a never-token
+        // costs one branch and a live token's clock read is amortized.
+        if scanned & 0x3f == 0 {
+            cx.check_cancelled()?;
+        }
         if constraint.has_lower() && e.connects(source) && e.weight < constraint.lower {
             // Lemma 6.1: direct source edges shorter than the lower bound
             // can never appear in a feasible tree.
@@ -177,6 +182,10 @@ pub(crate) fn run(
     drop(obs_span);
 
     if tree_edges.len() != n - 1 {
+        // A fired token truncates the sparse edge stream, so an
+        // incomplete scan may mean cancellation rather than infeasibility
+        // — surface the deadline, not a bogus Infeasible.
+        cx.check_cancelled()?;
         return Err(BmstError::Infeasible {
             connected: tree_edges.len() + 1,
             total: n,

@@ -102,6 +102,9 @@ fn run_dense(cx: &ProblemContext<'_>) -> Result<Vec<Edge>, BmstError> {
     let mut bound_rejects = 0u64;
 
     for _ in 1..n {
+        // Each attachment step is an O(n^2) scan, coarse enough to poll
+        // the cancellation token every iteration.
+        cx.check_cancelled()?;
         // Cheapest feasible attachment. Deterministic tie-break: lowest
         // (weight, u, v).
         let mut best: Option<(f64, usize, usize)> = None;
@@ -283,6 +286,9 @@ fn run_sparse(cx: &ProblemContext<'_>) -> Result<Vec<Edge>, BmstError> {
     offer(s, &mut searches, &mut heap);
 
     for _ in 1..n {
+        // One attachment per iteration; poll cancellation at the same
+        // granularity as the dense scan.
+        cx.check_cancelled()?;
         // Pop until the minimum candidate is live and feasible; by the
         // dismissal argument above it is exactly the dense scan's pick.
         let attachment = loop {

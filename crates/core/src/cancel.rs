@@ -1,0 +1,244 @@
+//! Cooperative cancellation and deadlines for long-running constructions.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle (an `Arc` around two
+//! atomics plus an optional deadline) that request owners — the router's
+//! degradation ladder, `bmst serve` workers — thread into
+//! [`crate::ProblemContext`] so that construction inner loops can poll it.
+//! Polling a token that was built with [`CancelToken::never`] is a single
+//! `Option` check, so the default configuration pays nothing.
+//!
+//! Cancellation is strictly cooperative: a fired token surfaces as
+//! [`BmstError::DeadlineExceeded`], which the error taxonomy treats as
+//! terminal (`is_recoverable()` is `false`), so the relaxation ladder
+//! stops immediately instead of retrying against a dead deadline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::BmstError;
+
+/// Shared state behind a non-trivial token.
+#[derive(Debug)]
+struct Inner {
+    /// Set by [`CancelToken::cancel`] or latched by an expired deadline.
+    cancelled: AtomicBool,
+    /// When the token was armed; used to report `elapsed_ms`.
+    armed_at: Instant,
+    /// Wall-clock deadline, when the token carries a time budget.
+    deadline: Option<Instant>,
+    /// The budget that produced `deadline`, for error reporting.
+    budget_ms: u64,
+    /// Deterministic expiry: when `u64::MAX` this is inert; otherwise each
+    /// [`CancelToken::check`] consumes one unit and the token fires once
+    /// the count is exhausted. Test/fault-injection knob — wall clocks
+    /// make flaky tests, check counts do not.
+    checks_left: AtomicU64,
+}
+
+/// A cloneable cancellation handle with an optional deadline.
+///
+/// The default token ([`CancelToken::never`]) never fires and costs one
+/// branch per [`CancelToken::check`]. Tokens with a budget fire when the
+/// deadline passes; any token fires once [`CancelToken::cancel`] is
+/// called. Once fired, a token stays fired.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own and cannot be cancelled.
+    /// This is the [`Default`] and costs nothing to check.
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token with no deadline. Fires only when
+    /// [`CancelToken::cancel`] is called (reported with a budget of 0).
+    pub fn manual() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                armed_at: Instant::now(),
+                deadline: None,
+                budget_ms: 0,
+                checks_left: AtomicU64::new(u64::MAX),
+            })),
+        }
+    }
+
+    /// A token that fires once `budget` wall-clock time has elapsed, or
+    /// earlier if [`CancelToken::cancel`] is called.
+    pub fn with_budget(budget: Duration) -> Self {
+        let now = Instant::now();
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                armed_at: now,
+                deadline: Some(now + budget),
+                budget_ms: u64::try_from(budget.as_millis()).unwrap_or(u64::MAX),
+                checks_left: AtomicU64::new(u64::MAX),
+            })),
+        }
+    }
+
+    /// A token that passes exactly `n` calls to [`CancelToken::check`]
+    /// and fires on the `n+1`-th. Deterministic by construction — used by
+    /// the cancellation proptests and the fault-injection harness, where
+    /// a wall-clock deadline would make outcomes timing-dependent.
+    pub fn expire_after_checks(n: u64) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                armed_at: Instant::now(),
+                deadline: None,
+                budget_ms: 0,
+                checks_left: AtomicU64::new(n),
+            })),
+        }
+    }
+
+    /// Fires the token. Idempotent; every clone observes the cancellation
+    /// on its next [`CancelToken::check`]. A no-op on a never-token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has fired (without consuming a deterministic
+    /// check or latching deadline expiry).
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.cancelled.load(Ordering::Acquire),
+        }
+    }
+
+    /// Polls the token: `Ok(())` while it has not fired, otherwise the
+    /// [`BmstError::DeadlineExceeded`] the construction should surface.
+    ///
+    /// Constructions call this at outer-loop granularity (per candidate
+    /// edge in BKRUS, per attachment step in BPRIM) and the router calls
+    /// it at every relaxation-ladder rung.
+    pub fn check(&self) -> Result<(), BmstError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(self.expired_error(inner));
+        }
+        // Deterministic expiry consumes one unit per check; `u64::MAX`
+        // marks the knob inert (saturating so an inert token never wraps
+        // into a live countdown).
+        let previous = inner
+            .checks_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                if v == u64::MAX {
+                    None
+                } else {
+                    Some(v.saturating_sub(1))
+                }
+            });
+        if previous == Ok(0) {
+            inner.cancelled.store(true, Ordering::Release);
+            return Err(self.expired_error(inner));
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                inner.cancelled.store(true, Ordering::Release);
+                return Err(self.expired_error(inner));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the error a fired token reports.
+    fn expired_error(&self, inner: &Inner) -> BmstError {
+        BmstError::DeadlineExceeded {
+            elapsed_ms: u64::try_from(inner.armed_at.elapsed().as_millis()).unwrap_or(u64::MAX),
+            budget_ms: inner.budget_ms,
+        }
+    }
+}
+
+/// Clones observe the same state; equality is identity of that state.
+/// Two never-tokens are equal (both inert), matching the derived
+/// `PartialEq` the router's `RouterConfig` relies on.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = CancelToken::never();
+        for _ in 0..1000 {
+            assert!(t.check().is_ok());
+        }
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn manual_cancel_is_seen_by_clones() {
+        let t = CancelToken::manual();
+        let clone = t.clone();
+        assert!(clone.check().is_ok());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        match clone.check() {
+            Err(BmstError::DeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Once fired, always fired.
+        assert!(clone.check().is_err());
+    }
+
+    #[test]
+    fn deterministic_expiry_counts_checks() {
+        let t = CancelToken::expire_after_checks(3);
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(t.check().is_err());
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn zero_budget_deadline_fires_immediately() {
+        let t = CancelToken::with_budget(Duration::from_millis(0));
+        match t.check() {
+            Err(BmstError::DeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_fire() {
+        let t = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_shared_state_identity() {
+        assert_eq!(CancelToken::never(), CancelToken::never());
+        let a = CancelToken::manual();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, CancelToken::manual());
+        assert_ne!(a, CancelToken::never());
+    }
+}

@@ -14,6 +14,7 @@ use bmst_geom::{DistanceMatrix, NeighborIndex, Net};
 use bmst_graph::{complete_edges, sort_edges, Edge};
 use bmst_tree::ElmoreParams;
 
+use crate::cancel::CancelToken;
 use crate::supply::EdgeStream;
 use crate::{BmstError, EdgeSupply, PathConstraint};
 
@@ -110,6 +111,7 @@ pub struct ProblemContext<'a> {
     eps: f64,
     pd_blend: f64,
     supply: EdgeSupply,
+    cancel: CancelToken,
     matrix: OnceLock<DistanceMatrix>,
     sorted_edges: OnceLock<Vec<Edge>>,
     neighbor_index: OnceLock<NeighborIndex<'a>>,
@@ -162,6 +164,7 @@ impl<'a> ProblemContext<'a> {
             eps,
             pd_blend: DEFAULT_PD_BLEND,
             supply: EdgeSupply::Auto,
+            cancel: CancelToken::never(),
             matrix: OnceLock::new(),
             sorted_edges: OnceLock::new(),
             neighbor_index: OnceLock::new(),
@@ -186,6 +189,34 @@ impl<'a> ProblemContext<'a> {
     pub fn with_pd_blend(mut self, c: f64) -> Self {
         self.pd_blend = c;
         self
+    }
+
+    /// Attaches a cancellation token. Construction inner loops poll it via
+    /// [`ProblemContext::check_cancelled`]; the default never-token makes
+    /// that poll free. The token is cloned, so the caller keeps a handle
+    /// it can fire (e.g. on server shutdown).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The cancellation token attached to this context (the never-token by
+    /// default).
+    #[inline]
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Polls the attached cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// [`BmstError::DeadlineExceeded`] once the token has fired (deadline
+    /// passed, deterministic check budget exhausted, or explicit cancel).
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<(), BmstError> {
+        self.cancel.check()
     }
 
     /// Supplies Elmore delay parameters for the delay-domain builders.

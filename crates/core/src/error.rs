@@ -67,6 +67,19 @@ pub enum BmstError {
         /// The panic message or invariant-violation report.
         detail: String,
     },
+    /// The request's cancellation token fired before the construction
+    /// finished: either the deadline passed or the owner cancelled the
+    /// token explicitly (e.g. server shutdown). Terminal for the
+    /// degradation ladder — retrying at a looser rung cannot resurrect a
+    /// dead deadline.
+    DeadlineExceeded {
+        /// Milliseconds elapsed since the token was armed when the check
+        /// fired.
+        elapsed_ms: u64,
+        /// The configured budget in milliseconds (0 when the token was
+        /// cancelled explicitly rather than by deadline).
+        budget_ms: u64,
+    },
     /// A geometry error bubbled up from input validation.
     Geom(GeomError),
     /// A graph error bubbled up from a substrate algorithm.
@@ -90,6 +103,8 @@ impl BmstError {
     /// SPT rung). Degenerate input, invalid parameters, and internal
     /// invariant violations are not recoverable: retrying cannot change
     /// the outcome and the net must be reported failed.
+    /// [`BmstError::DeadlineExceeded`] is likewise terminal — the request's
+    /// time budget is already spent, so the ladder must stop immediately.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
@@ -160,6 +175,19 @@ impl fmt::Display for BmstError {
             }
             BmstError::Internal { detail } => {
                 write!(f, "internal invariant violation: {detail}")
+            }
+            BmstError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                if *budget_ms == 0 {
+                    write!(f, "cancelled after {elapsed_ms} ms")
+                } else {
+                    write!(
+                        f,
+                        "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+                    )
+                }
             }
             BmstError::Geom(e) => write!(f, "geometry error: {e}"),
             BmstError::Graph(e) => write!(f, "graph error: {e}"),
@@ -238,6 +266,21 @@ mod tests {
         }
         .to_string()
         .contains("exceeds"));
+        let deadline = BmstError::DeadlineExceeded {
+            elapsed_ms: 63,
+            budget_ms: 50,
+        }
+        .to_string();
+        assert!(
+            deadline.contains("63") && deadline.contains("50"),
+            "{deadline}"
+        );
+        assert!(BmstError::DeadlineExceeded {
+            elapsed_ms: 9,
+            budget_ms: 0
+        }
+        .to_string()
+        .contains("cancelled"));
     }
 
     #[test]
@@ -274,6 +317,10 @@ mod tests {
             BmstError::InvalidEpsilon { eps: -1.0 },
             BmstError::Geom(GeomError::EmptyNet),
             BmstError::DegenerateInput { detail: "x".into() },
+            BmstError::DeadlineExceeded {
+                elapsed_ms: 63,
+                budget_ms: 50,
+            },
         ] {
             assert!(!fatal.is_recoverable(), "{fatal}");
             assert!(!fatal.eps_relaxation_helps(), "{fatal}");

@@ -70,6 +70,7 @@ mod bkrus;
 mod bprim;
 mod brbc;
 mod builder;
+mod cancel;
 mod constraint;
 mod context;
 mod elmore_bkrus;
@@ -94,6 +95,7 @@ pub use builder::{
     builders, find_builder, registry, BoundKind, BuilderDescriptor, BuiltGeometry, CostClass,
     TreeBuilder,
 };
+pub use cancel::CancelToken;
 pub use constraint::PathConstraint;
 pub use context::{InputDiagnostic, ProblemContext};
 pub use elmore_bkrus::{bkrus_elmore, elmore_spt_radius};

@@ -20,6 +20,7 @@
 use bmst_geom::NeighborIndex;
 use bmst_graph::{sort_edges, Edge};
 
+use crate::cancel::CancelToken;
 use crate::ProblemContext;
 
 /// Which edge-candidate supply a [`ProblemContext`] hands to builders.
@@ -95,7 +96,10 @@ impl<'c> EdgeStream<'c> {
 
     pub(crate) fn sparse(cx: &'c ProblemContext<'_>) -> Self {
         EdgeStream {
-            imp: StreamImpl::Sparse(SparseEdgeStream::new(cx.neighbor_index())),
+            imp: StreamImpl::Sparse(SparseEdgeStream::new(
+                cx.neighbor_index(),
+                cx.cancel_token().clone(),
+            )),
         }
     }
 }
@@ -128,10 +132,16 @@ struct SparseEdgeStream<'c> {
     batch: Vec<Edge>,
     pos: usize,
     scratch: Vec<(f64, usize)>,
+    /// Window generation is the stream's only multi-millisecond
+    /// uncancellable stretch at scale, so refills poll the context's
+    /// token and end the stream early once it fires. Consumers observe a
+    /// truncated sequence and surface the fired token through their own
+    /// post-loop [`crate::ProblemContext::check_cancelled`] poll.
+    cancel: CancelToken,
 }
 
 impl<'c> SparseEdgeStream<'c> {
-    fn new(index: &'c NeighborIndex<'c>) -> Self {
+    fn new(index: &'c NeighborIndex<'c>, cancel: CancelToken) -> Self {
         let diameter = index.diameter_bound();
         // First window: the expected nearest-neighbor scale, floored away
         // from zero so doubling always terminates, capped at the diameter
@@ -149,11 +159,23 @@ impl<'c> SparseEdgeStream<'c> {
             batch: Vec::new(),
             pos: 0,
             scratch: Vec::new(),
+            cancel,
         }
     }
 
+    /// Marks the stream exhausted because the cancel token fired; any
+    /// partially generated window is dropped (the consumer is about to
+    /// abandon the construction anyway).
+    fn abort(&mut self) -> bool {
+        self.exhausted = true;
+        self.batch.clear();
+        self.pos = 0;
+        false
+    }
+
     /// Generates the next non-empty weight window, or returns `false`
-    /// when every window up to the diameter bound has been served.
+    /// when every window up to the diameter bound has been served (or the
+    /// cancel token fired mid-generation).
     // analyze: complexity(n log n)
     fn refill(&mut self) -> bool {
         while !self.exhausted {
@@ -161,6 +183,11 @@ impl<'c> SparseEdgeStream<'c> {
             self.batch.clear();
             self.pos = 0;
             for a in 0..self.index.len() {
+                // Poll at a stride: one window over a large net is itself
+                // a multi-millisecond stretch in debug builds.
+                if a & 0xff == 0 && self.cancel.check().is_err() {
+                    return self.abort();
+                }
                 self.scratch.clear();
                 self.index
                     .neighbors_in_annulus(a, self.lo, self.hi, &mut self.scratch);

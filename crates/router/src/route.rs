@@ -11,7 +11,9 @@
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bmst_core::{BmstError, BuilderDescriptor, EdgeSupply, ProblemContext, TreeBuilder};
+use bmst_core::{
+    BmstError, BuilderDescriptor, CancelToken, EdgeSupply, ProblemContext, TreeBuilder,
+};
 use bmst_obs::Field;
 
 use crate::{Criticality, NamedNet, Netlist, RelaxationStep, RouteFailure, RouteReport, RoutedNet};
@@ -192,7 +194,11 @@ impl RelaxationPolicy {
 ///
 /// The defaults encode the paper's trade-off curve: critical nets get a
 /// tight 10% slack, normal nets 50%, relaxed nets are pure MSTs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: the embedded [`CancelToken`] is a shared handle (cloning
+/// the config clones the handle, so every clone answers to the same
+/// deadline or shutdown signal).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
     /// `eps` for [`Criticality::Critical`] nets.
     pub eps_critical: f64,
@@ -213,6 +219,11 @@ pub struct RouterConfig {
     /// (dense matrix vs. lazy neighbor-index stream; trees are
     /// bit-identical either way).
     pub edge_supply: EdgeSupply,
+    /// Cancellation/deadline token polled at every relaxation-ladder rung
+    /// and inside the BKRUS/BPRIM construction loops. The default
+    /// never-token makes every poll free; request owners arm one with
+    /// [`CancelToken::with_budget`] and keep a clone to fire on shutdown.
+    pub cancel: CancelToken,
 }
 
 impl Default for RouterConfig {
@@ -225,6 +236,7 @@ impl Default for RouterConfig {
             relaxation: RelaxationPolicy::default(),
             parallel_min_terminals: 64,
             edge_supply: EdgeSupply::Auto,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -257,9 +269,12 @@ fn attempt(
     builder: &'static dyn TreeBuilder,
     eps: f64,
     supply: EdgeSupply,
+    cancel: &CancelToken,
     emit_diagnostics: bool,
 ) -> Result<bmst_tree::RoutingTree, BmstError> {
-    let cx = ProblemContext::new(&n.net, eps)?.with_edge_supply(supply);
+    let cx = ProblemContext::new(&n.net, eps)?
+        .with_edge_supply(supply)
+        .with_cancel(cancel.clone());
     if emit_diagnostics && bmst_obs::enabled() {
         for diag in cx.diagnostics() {
             bmst_obs::event(
@@ -288,11 +303,25 @@ fn route_named(
     let mut fallback_spt = false;
 
     let tree = loop {
+        // Rung boundary: a dead deadline ends the ladder here, recorded as
+        // the final step of the attempt trail so failure logs show which
+        // rung the budget expired at.
+        if let Err(err) = config.cancel.check() {
+            attempts.push(RelaxationStep {
+                eps,
+                error: err.to_string(),
+            });
+            if bmst_obs::enabled() {
+                bmst_obs::counter("router.deadline_exceeded", 1);
+            }
+            return Err((err, attempts));
+        }
         match attempt(
             n,
             config.algorithm.builder,
             eps,
             config.edge_supply,
+            &config.cancel,
             attempts.is_empty(),
         ) {
             Ok(tree) => break tree,
@@ -347,7 +376,14 @@ fn route_named(
                                 ],
                             );
                         }
-                        match attempt(n, spt_builder(), eps, config.edge_supply, false) {
+                        match attempt(
+                            n,
+                            spt_builder(),
+                            eps,
+                            config.edge_supply,
+                            &config.cancel,
+                            false,
+                        ) {
                             Ok(tree) => break tree,
                             Err(spt_err) => {
                                 attempts.push(RelaxationStep {
@@ -868,6 +904,62 @@ mod tests {
         assert_eq!(net.relaxations[0].eps, 0.1);
         assert!(net.eps > 0.1 && net.eps <= 0.2, "{}", net.eps);
         assert!(net.slack() >= -1e-9);
+    }
+
+    #[test]
+    fn deadline_mid_ladder_ends_trail_at_expired_rung() {
+        // Deterministic expiry: the first rung-boundary check passes, the
+        // second fires. The ladder must stop at rung two — recording the
+        // deadline as the trail's final step — instead of walking the
+        // remaining rungs against a dead deadline.
+        let nl = Netlist::new(vec![detour_net("bad")]);
+        let cfg = RouterConfig {
+            cancel: CancelToken::expire_after_checks(1),
+            ..mst_config(RelaxationPolicy::default())
+        };
+        let report = nl.route(&cfg);
+        assert!(report.nets.is_empty());
+        assert_eq!(report.failures.len(), 1);
+        let fail = &report.failures[0];
+        assert!(
+            matches!(fail.error, BmstError::DeadlineExceeded { .. }),
+            "{:?}",
+            fail.error
+        );
+        // Rung 1 ran and failed recoverably; rung 2 expired at its boundary.
+        assert_eq!(fail.attempts.len(), 2);
+        assert!(
+            fail.attempts[0].error.contains("no feasible tree"),
+            "{}",
+            fail.attempts[0].error
+        );
+        assert!(fail.attempts[1].eps > 0.1, "{}", fail.attempts[1].eps);
+        assert!(
+            fail.attempts[1].error.contains("cancelled"),
+            "{}",
+            fail.attempts[1].error
+        );
+    }
+
+    #[test]
+    fn cancelled_token_fails_nets_without_routing() {
+        let nl = Netlist::new(vec![easy_net("a", 0.0), easy_net("b", 20.0)]);
+        let cfg = RouterConfig {
+            cancel: CancelToken::manual(),
+            ..RouterConfig::default()
+        };
+        cfg.cancel.cancel();
+        let report = nl.route(&cfg);
+        assert!(report.nets.is_empty());
+        assert_eq!(report.failures.len(), 2);
+        for f in &report.failures {
+            assert!(
+                matches!(f.error, BmstError::DeadlineExceeded { .. }),
+                "{:?}",
+                f.error
+            );
+            assert_eq!(f.attempts.len(), 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Fingerprint-keyed bounded LRU cache of rendered `RouteReport`s.
+//!
+//! Routing is deterministic — same netlist, same knobs, same bytes out —
+//! so the cache stores the *rendered report JSON* keyed by a fingerprint
+//! of every input that affects it. A hit is bit-identical to a cold
+//! route, which `tests/cache_parity.rs` pins. Reports that contain a
+//! deadline failure are never stored: they reflect that request's time
+//! budget, not the problem.
+//!
+//! The LRU bound is a simple two-map scheme (key → entry, use-stamp →
+//! key) over `BTreeMap`s: deterministic iteration, O(log n) touch/evict,
+//! no dependencies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// 64-bit FNV-1a, the workspace's standard cheap fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the fingerprint.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a length-prefixed field, so `("ab","c")` and `("a","bc")`
+    /// fingerprint differently.
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The final key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    stamp: u64,
+    report: Arc<str>,
+}
+
+/// A bounded least-recently-used map from request fingerprint to rendered
+/// report JSON. Capacity 0 disables caching entirely.
+#[derive(Debug)]
+pub struct ReportCache {
+    capacity: usize,
+    clock: u64,
+    entries: BTreeMap<u64, Entry>,
+    by_stamp: BTreeMap<u64, u64>,
+}
+
+impl ReportCache {
+    /// An empty cache holding at most `capacity` reports.
+    pub fn new(capacity: usize) -> Self {
+        ReportCache {
+            capacity,
+            clock: 0,
+            entries: BTreeMap::new(),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    /// Current resident report count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<str>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&key)?;
+        self.by_stamp.remove(&entry.stamp);
+        entry.stamp = clock;
+        self.by_stamp.insert(clock, key);
+        Some(Arc::clone(&entry.report))
+    }
+
+    /// Stores a rendered report, evicting the least-recently-used entry
+    /// when full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: u64, report: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.by_stamp.remove(&old.stamp);
+        } else if self.entries.len() >= self.capacity {
+            // Evict the stalest stamp (the BTreeMap's first key).
+            if let Some((&stale_stamp, &stale_key)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&stale_stamp);
+                self.entries.remove(&stale_key);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                stamp: self.clock,
+                report,
+            },
+        );
+        self.by_stamp.insert(self.clock, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+    use super::*;
+
+    fn rep(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn fingerprint_separates_field_boundaries() {
+        let mut a = Fingerprint::new();
+        a.field(b"ab");
+        a.field(b"c");
+        let mut b = Fingerprint::new();
+        b.field(b"a");
+        b.field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ReportCache::new(2);
+        c.insert(1, rep("one"));
+        c.insert(2, rep("two"));
+        assert!(c.get(1).is_some()); // 1 is now fresher than 2
+        c.insert(3, rep("three")); // evicts 2
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(3).as_deref(), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = ReportCache::new(2);
+        c.insert(1, rep("v1"));
+        c.insert(1, rep("v2"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ReportCache::new(0);
+        c.insert(1, rep("x"));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

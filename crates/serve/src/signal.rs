@@ -1,0 +1,75 @@
+//! Zero-dependency SIGTERM/SIGINT handling.
+//!
+//! The workspace carries no `libc`/`signal-hook` dependency, so this
+//! module declares the single C symbol it needs (`signal(2)`, already
+//! linked through `std`) and installs an async-signal-safe handler that
+//! does exactly one thing: store into a static `AtomicBool`. The accept
+//! loop polls [`triggered`] and runs the ordinary graceful-shutdown path
+//! — identical to the path the soak test drives in-process, so the
+//! signal wiring adds no untested behavior.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched by the first delivered SIGTERM/SIGINT.
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been delivered since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Acquire)
+}
+
+/// Test/driver hook: latch the flag as if a signal had arrived.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    /// SIGINT on every Unix this workspace targets.
+    const SIGINT: i32 = 2;
+    /// SIGTERM on every Unix this workspace targets.
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: a relaxed-or-stronger atomic store and
+        // nothing else (no allocation, no locks, no formatting).
+        TRIGGERED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        /// `signal(2)`. The previous-handler return value is unused.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the libc function of that name; the handler
+        // is a valid `extern "C" fn(i32)` for the process lifetime and
+        // only performs an async-signal-safe atomic store.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handler (a no-op on non-Unix targets,
+/// where only [`trigger`] and the `shutdown` request end the server).
+pub fn install() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_latches() {
+        install();
+        trigger();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,91 @@
+//! Satellite pin: the report cache is bit-parity with cold routing.
+//!
+//! A capacity-1 server routes the same net three ways — cold, as a warm
+//! LRU hit, and rebuilt after an eviction — and the three `"report"`
+//! payloads must be byte-identical. The `cached` flag is the only thing
+//! allowed to differ.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use bmst_serve::{ServeConfig, Server};
+
+/// Sends one request line and reads its single response line.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(!response.is_empty(), "server closed before responding");
+    response.trim().to_owned()
+}
+
+/// Extracts the spliced `"report":{...}` payload from a route response
+/// (the response object always ends `...,"report":<payload>}`).
+fn report_payload(response: &str) -> &str {
+    let start = response
+        .find("\"report\":")
+        .unwrap_or_else(|| panic!("no report in {response}"));
+    &response[start + "\"report\":".len()..response.len() - 1]
+}
+
+#[test]
+fn lru_hits_are_bit_identical_to_cold_routing() {
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        cache_entries: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let run = thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let net_a = r#"{"id":1,"op":"route","netlist":"net a critical\n0 0\n10 0\n9 5\nend\n"}"#;
+    let net_b = r#"{"id":2,"op":"route","netlist":"net b normal\n0 0\n3 4\n8 1\nend\n"}"#;
+
+    // Cold: computed by the router, stored in the LRU.
+    let cold = roundtrip(&mut stream, &mut reader, net_a);
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    // Warm: served from the LRU.
+    let warm = roundtrip(&mut stream, &mut reader, net_a);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    // A different net evicts `a` from the capacity-1 cache...
+    let other = roundtrip(&mut stream, &mut reader, net_b);
+    assert!(other.contains("\"cached\":false"), "{other}");
+    // ...so `a` is rebuilt from scratch.
+    let rebuilt = roundtrip(&mut stream, &mut reader, net_a);
+    assert!(rebuilt.contains("\"cached\":false"), "{rebuilt}");
+
+    let reference = report_payload(&cold);
+    assert!(
+        !reference.is_empty() && reference.starts_with('{'),
+        "{cold}"
+    );
+    assert_eq!(reference, report_payload(&warm), "warm hit diverged");
+    assert_eq!(reference, report_payload(&rebuilt), "rebuild diverged");
+
+    let shutdown = roundtrip(&mut stream, &mut reader, r#"{"id":9,"op":"shutdown"}"#);
+    assert!(shutdown.contains("\"ok\":true"), "{shutdown}");
+    drop(stream);
+
+    let summary = run.join().unwrap();
+    assert_eq!(summary.accepted, 4);
+    assert_eq!(summary.completed, 4);
+    assert_eq!(summary.cache_hits, 1);
+    assert_eq!(summary.cache_misses, 3);
+    assert_eq!(summary.shed, 0);
+    let live = handle.summary();
+    assert_eq!(live, summary);
+}

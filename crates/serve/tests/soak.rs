@@ -1,0 +1,268 @@
+//! Fault-injection soak: ~200 requests from 4 concurrent clients against
+//! a 4-worker server with seeded builder panics, forced internal errors,
+//! delays shorter and longer than the request deadlines, malformed lines,
+//! a pipelined burst that overruns the admission queue, and a mid-run
+//! termination signal.
+//!
+//! What must hold: the process survives, `run()` returns a clean summary,
+//! every admitted request is answered exactly once
+//! (`completed == accepted`), response ids are unique and correlate to
+//! requests we actually sent, and each fault class shows up in the
+//! counters — panics as contained internals, long delays as deadline
+//! expiries, the burst as sheds.
+
+#![cfg(feature = "fault-inject")]
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bmst_serve::{signal, ServeConfig, Server};
+
+/// Requests per lockstep client.
+const PER_CLIENT: usize = 50;
+/// Lockstep client threads.
+const CLIENTS: usize = 4;
+/// Pipelined burst size (client 0 only) — far beyond workers + queue, so
+/// admission control must shed.
+const BURST: usize = 30;
+/// Responses to collect before firing the mid-run termination signal.
+const TRIGGER_AFTER: u64 = 100;
+
+/// What one client saw: every response line, in arrival order.
+struct ClientLog {
+    sent_ids: Vec<u64>,
+    responses: Vec<String>,
+    hit_eof: bool,
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> bool {
+    let mut payload = line.as_bytes().to_vec();
+    payload.push(b'\n');
+    stream
+        .write_all(&payload)
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+/// Reads one response line; `None` on EOF (server closed the connection
+/// during shutdown, which is a legal outcome for unadmitted requests).
+fn read_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim().to_owned()),
+        Err(e) => panic!("client read failed (server hung or died): {e}"),
+    }
+}
+
+/// A small rotation of netlists so the cache sees both hits and misses.
+fn netlist_json(i: usize) -> &'static str {
+    match i % 3 {
+        0 => r"net a critical\n0 0\n10 0\n9 5\nend\n",
+        1 => r"net b normal\n0 0\n3 4\n8 1\n2 7\nend\n",
+        _ => r"net c relaxed\n0 0\n5 5\n1 6\nend\n",
+    }
+}
+
+/// One lockstep client: unique ids, a 25 ms budget (so the injected 40 ms
+/// delays always blow the deadline), every 13th line malformed, every
+/// 11th a status probe, odd ids uncached (so seeded panics reach the
+/// router instead of being absorbed by cache hits).
+fn lockstep_client(addr: SocketAddr, client: usize, answered: &AtomicU64) -> ClientLog {
+    let (mut stream, mut reader) = connect(addr);
+    let mut log = ClientLog {
+        sent_ids: Vec::new(),
+        responses: Vec::new(),
+        hit_eof: false,
+    };
+    for i in 0..PER_CLIENT {
+        let id = (client as u64) * 1_000 + (i as u64);
+        let line = if i % 13 == 7 {
+            "this line is not json".to_owned()
+        } else if i % 11 == 5 {
+            format!(r#"{{"id":{id},"op":"status"}}"#)
+        } else {
+            format!(
+                r#"{{"id":{id},"op":"route","netlist":"{}","budget_ms":25,"cache":{}}}"#,
+                netlist_json(i),
+                id % 2 == 0,
+            )
+        };
+        if !send_line(&mut stream, &line) {
+            log.hit_eof = true;
+            break;
+        }
+        if i % 13 != 7 {
+            log.sent_ids.push(id);
+        }
+        match read_line(&mut reader) {
+            Some(resp) => {
+                log.responses.push(resp);
+                answered.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                log.hit_eof = true;
+                break;
+            }
+        }
+    }
+    log
+}
+
+/// The pipelined burst: `BURST` requests written back-to-back before any
+/// response is read, overrunning workers + queue so some must shed.
+fn burst_client(addr: SocketAddr, answered: &AtomicU64) -> ClientLog {
+    let (mut stream, mut reader) = connect(addr);
+    let mut log = ClientLog {
+        sent_ids: Vec::new(),
+        responses: Vec::new(),
+        hit_eof: false,
+    };
+    for i in 0..BURST {
+        let id = 9_000 + i as u64;
+        let line = format!(
+            r#"{{"id":{id},"op":"route","netlist":"{}","budget_ms":1000,"cache":false}}"#,
+            netlist_json(i),
+        );
+        assert!(send_line(&mut stream, &line), "burst write failed");
+        log.sent_ids.push(id);
+    }
+    for _ in 0..BURST {
+        match read_line(&mut reader) {
+            Some(resp) => {
+                log.responses.push(resp);
+                answered.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                log.hit_eof = true;
+                break;
+            }
+        }
+    }
+    log
+}
+
+/// Pulls the numeric `"id":<n>` out of a response line.
+fn response_id(resp: &str) -> Option<u64> {
+    let rest = resp.strip_prefix("{\"id\":")?;
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn soak_survives_faults_and_midrun_sigterm() {
+    let server = Server::bind(ServeConfig {
+        workers: 4,
+        queue_capacity: 4,
+        drain_ms: 5_000,
+        cache_entries: 16,
+        default_budget_ms: None,
+        // Seed pinned by `fault::tests`: all five fault classes occur
+        // within the first 200 draws.
+        fault_seed: Some(0xb1157),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let run = thread::spawn(move || server.run().unwrap());
+
+    let answered = Arc::new(AtomicU64::new(0));
+
+    // The burst runs first so shedding happens before the signal fires.
+    let burst_log = burst_client(addr, &answered);
+
+    let clients: Vec<thread::JoinHandle<ClientLog>> = (0..CLIENTS)
+        .map(|c| {
+            let answered = Arc::clone(&answered);
+            thread::spawn(move || lockstep_client(addr, c, &answered))
+        })
+        .collect();
+
+    // Mid-run termination: once enough requests have been answered, fire
+    // the same flag the real SIGTERM handler sets.
+    while answered.load(Ordering::Relaxed) < TRIGGER_AFTER {
+        thread::sleep(Duration::from_millis(2));
+        assert!(
+            !run.is_finished(),
+            "server exited before the signal was sent"
+        );
+    }
+    signal::trigger();
+
+    let mut logs = vec![burst_log];
+    for c in clients {
+        logs.push(c.join().unwrap());
+    }
+    let summary = run.join().unwrap();
+
+    // Exactly one response per accepted request, none lost in the drain.
+    assert_eq!(
+        summary.completed, summary.accepted,
+        "accepted requests must each get exactly one response: {summary:?}"
+    );
+
+    // No duplicate ids across every response any client received, and
+    // every correlated id is one we actually sent.
+    let mut seen = HashSet::new();
+    let sent: HashSet<u64> = logs
+        .iter()
+        .flat_map(|l| l.sent_ids.iter().copied())
+        .collect();
+    let mut ok_responses = 0u64;
+    let mut typed_errors = 0u64;
+    for resp in logs.iter().flat_map(|l| l.responses.iter()) {
+        assert!(
+            resp.starts_with("{\"id\":") && resp.ends_with('}'),
+            "unparseable response: {resp}"
+        );
+        if resp.contains("\"ok\":true") {
+            ok_responses += 1;
+        } else {
+            assert!(resp.contains("\"error\":{\"kind\":"), "{resp}");
+            typed_errors += 1;
+        }
+        if let Some(id) = response_id(resp) {
+            assert!(sent.contains(&id), "response for an id never sent: {resp}");
+            assert!(seen.insert(id), "duplicate response for id {id}");
+        }
+    }
+
+    // Every fault class left its fingerprint.
+    assert!(ok_responses > 0, "no request ever succeeded");
+    assert!(typed_errors > 0, "faults produced no typed errors");
+    assert!(
+        summary.internal_errors > 0,
+        "seeded panics/internals never surfaced: {summary:?}"
+    );
+    assert!(
+        summary.deadline_exceeded > 0,
+        "40 ms delays against 25 ms budgets never expired: {summary:?}"
+    );
+    assert!(
+        summary.shed > 0,
+        "the burst never overran admission: {summary:?}"
+    );
+    assert!(
+        summary.malformed > 0,
+        "malformed lines went uncounted: {summary:?}"
+    );
+    assert!(
+        summary.cache_hits > 0,
+        "the rotation never hit the cache: {summary:?}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Cancellation fuzz harness (fixed-seed, CI-bounded), mirroring
+//! `tests/adversarial_fuzz.rs`: every builder in the full registry is run
+//! against a `CancelToken` that fires after a random number of checks —
+//! from "immediately" to "never during this run".
+//!
+//! The contract under cancellation: **no panic, no `Internal`, no bad
+//! tree**. Each attempt either returns a tree that passes the structural
+//! auditor (the token simply never fired, or the builder does not poll),
+//! or a typed error — `DeadlineExceeded` when the token fired, any other
+//! recoverable rejection otherwise.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)] // tests may panic and compare exact floats
+
+use bmst_core::{audit_construction, BmstError, CancelToken, CostClass, ProblemContext};
+use bmst_geom::{Net, Point};
+use proptest::prelude::*;
+
+/// Small stretched-lattice nets with plenty of equal-length ties — the
+/// geometry that drives BKRUS/BPRIM through the most iterations (and
+/// therefore the most token checks) relative to net size.
+fn arb_net() -> impl Strategy<Value = Net> {
+    let lattice = proptest::collection::vec((0i32..8, 0i32..8), 2..=9);
+    lattice.prop_map(|coords| {
+        let pts: Vec<Point> = coords
+            .iter()
+            .map(|&(x, y)| Point::new(f64::from(x) * 3.0, f64::from(y)))
+            .collect();
+        Net::with_source_first(pts).expect("lattice coordinates are finite")
+    })
+}
+
+/// Token check budgets from "fires on the very first poll" to "outlives
+/// any small run".
+fn arb_check_budget() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), Just(1), Just(2), Just(5), Just(17), Just(1000)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The registry-wide contract under random-point cancellation.
+    #[test]
+    fn registry_survives_cancellation(
+        net in arb_net(),
+        eps in prop_oneof![Just(0.1), Just(0.5), Just(f64::INFINITY)],
+        checks in arb_check_budget(),
+    ) {
+        for &builder in bmst_steiner::full_registry() {
+            let d = builder.descriptor();
+            if d.cost_class == CostClass::Exact && net.len() > 7 {
+                continue; // exponential enumeration: keep the sweep bounded
+            }
+            let token = CancelToken::expire_after_checks(checks);
+            let cx = ProblemContext::new(&net, eps)
+                .expect("finite non-negative eps")
+                .with_cancel(token.clone());
+            match builder.try_build(&cx) {
+                Ok(tree) => {
+                    if let Err(v) = audit_construction(&net, &tree, None) {
+                        prop_assert!(false, "{}: audit violation {v}", d.name);
+                    }
+                }
+                Err(BmstError::Internal { detail }) => {
+                    prop_assert!(
+                        false,
+                        "{}: internal error under cancellation (checks={checks}): {detail}",
+                        d.name
+                    );
+                }
+                Err(BmstError::DeadlineExceeded { .. }) => {
+                    // The token fired mid-construction: exactly the typed
+                    // outcome cancellation promises. It must have fired.
+                    prop_assert!(token.is_cancelled(), "{}: deadline without a fired token", d.name);
+                }
+                Err(_) => {} // any other typed rejection is business as usual
+            }
+        }
+    }
+}
