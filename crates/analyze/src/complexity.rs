@@ -34,7 +34,7 @@ const DEPTH_CAP: u32 = 5;
 /// Identifier hints marking a loop as iterating an instance-sized
 /// collection. Tuned to this workspace's vocabulary (sinks, edges,
 /// nets, …); `len`/`n` catch the `for i in 0..xs.len()` index form.
-const INSTANCE_HINTS: &[&str] = &[
+pub(crate) const INSTANCE_HINTS: &[&str] = &[
     "sinks",
     "sink",
     "edges",
@@ -85,18 +85,21 @@ pub fn allowed_depth(spec: &str) -> Option<u32> {
 
 /// One `for`/`while` loop inside a fn body: its keyword position, body
 /// span (significant positions), and whether the header marks it
-/// instance-sized.
+/// instance-sized. Shared with the cancel-liveness pass, which extracts
+/// loops with a wider hint vocabulary.
 #[derive(Debug)]
-struct Loop {
-    kw: usize,
-    body: Range<usize>,
-    instance: bool,
+pub(crate) struct Loop {
+    pub(crate) kw: usize,
+    pub(crate) body: Range<usize>,
+    pub(crate) instance: bool,
 }
 
 /// Extracts the loops of a body range. Headers run from the loop keyword
 /// to the body `{` at bracket-neutral depth; `loop {}` has no header and
-/// never counts as instance-sized.
-fn loops_in(file: &SourceFile, body: &Range<usize>) -> Vec<Loop> {
+/// never counts as instance-sized. `hints` selects the identifier
+/// vocabulary that marks a header instance-sized — the complexity pass
+/// uses [`INSTANCE_HINTS`], the cancel-liveness pass extends it.
+pub(crate) fn loops_in(file: &SourceFile, body: &Range<usize>, hints: &[&str]) -> Vec<Loop> {
     let mut out = Vec::new();
     let mut i = body.start;
     while i < body.end {
@@ -117,7 +120,7 @@ fn loops_in(file: &SourceFile, body: &Range<usize>) -> Vec<Loop> {
                 crate::lexer::TokenKind::Punct('(' | '[') => depth += 1,
                 crate::lexer::TokenKind::Punct(')' | ']') => depth -= 1,
                 crate::lexer::TokenKind::Punct('{') if depth == 0 => break,
-                crate::lexer::TokenKind::Ident if INSTANCE_HINTS.contains(&h.ident_name()) => {
+                crate::lexer::TokenKind::Ident if hints.contains(&h.ident_name()) => {
                     instance = true;
                 }
                 _ => {}
@@ -148,7 +151,7 @@ fn loops_in(file: &SourceFile, body: &Range<usize>) -> Vec<Loop> {
 
 /// Instance-loop depth at a significant position: how many instance
 /// loops of this fn contain it.
-fn depth_at(loops: &[Loop], pos: usize) -> u32 {
+pub(crate) fn depth_at(loops: &[Loop], pos: usize) -> u32 {
     let n = loops
         .iter()
         .filter(|l| l.instance && l.body.contains(&pos))
@@ -354,7 +357,7 @@ pub fn effective_depths(index: &ItemIndex<'_>, graph: &CallGraph) -> Vec<u32> {
     let n = index.fns.len();
     let budgets = resolve_budgets(index);
     let fn_loops: Vec<Vec<Loop>> = (0..n)
-        .map(|id| loops_in(index.file(id), &index.item(id).body))
+        .map(|id| loops_in(index.file(id), &index.item(id).body, INSTANCE_HINTS))
         .collect();
     let local: Vec<u32> = fn_loops.iter().map(|l| local_depth(l)).collect();
     effective(index, graph, &budgets, &fn_loops, &local)
@@ -365,7 +368,7 @@ pub fn candidates(index: &ItemIndex<'_>, graph: &CallGraph) -> Vec<(usize, Candi
     let n = index.fns.len();
     let budgets = resolve_budgets(index);
     let fn_loops: Vec<Vec<Loop>> = (0..n)
-        .map(|id| loops_in(index.file(id), &index.item(id).body))
+        .map(|id| loops_in(index.file(id), &index.item(id).body, INSTANCE_HINTS))
         .collect();
     let local: Vec<u32> = fn_loops.iter().map(|l| local_depth(l)).collect();
     let eff = effective(index, graph, &budgets, &fn_loops, &local);

@@ -27,12 +27,17 @@
 //! On top of the per-file rules sits the **semantic engine** behind
 //! `cargo xtask analyze`: a workspace item index ([`items`]), an
 //! approximate call graph ([`callgraph`]), panic-reachability over it
-//! ([`reach`]), and complexity-budget enforcement ([`complexity`]).
+//! ([`reach`]), complexity-budget enforcement ([`complexity`]),
+//! cancellation-liveness ([`cancel`] — entry-reachable instance loops
+//! must poll the `CancelToken`), and blocking-discipline ([`blocking`]
+//! — no mutex guard held across a blocking call in the service crate).
 //! Semantic passes use the parallel `// analyze: allow(<pass>)` /
 //! `// analyze: complexity(<budget>)` marker family with the same
 //! staleness discipline.
 
+pub mod blocking;
 pub mod callgraph;
+pub mod cancel;
 pub mod complexity;
 pub mod items;
 pub mod lexer;
@@ -492,6 +497,12 @@ pub fn analyze_semantic_files(files: &[SourceFile]) -> SemanticReport {
     for (fi, c) in complexity::candidates(&index, &graph) {
         per_file[fi].push(c);
     }
+    for (fi, c) in cancel::candidates(&index, &graph) {
+        per_file[fi].push(c);
+    }
+    for (fi, c) in blocking::candidates(files) {
+        per_file[fi].push(c);
+    }
     let mut violations = Vec::new();
     for (fi, file) in files.iter().enumerate() {
         violations.extend(apply_sem_markers(file, std::mem::take(&mut per_file[fi])));
@@ -544,6 +555,19 @@ pub fn semantic_pass_table() -> Vec<RuleInfo> {
             description: "instance-loop nesting (call-graph aware) must stay within declared \
                           `// analyze: complexity(<budget>)` markers; unbudgeted depth-2 nests \
                           in hot crates fail",
+        },
+        RuleInfo {
+            name: "cancel-liveness",
+            scope: rules::CANCEL_CRATES,
+            description: "every instance loop reachable from a registry-facing builder or serve \
+                          worker must poll the CancelToken in its body or a callee, unless \
+                          budgeted `1`/`log n` or waived with a reason",
+        },
+        RuleInfo {
+            name: "blocking-discipline",
+            scope: rules::BLOCKING_CRATES,
+            description: "no mutex guard held across channel send/recv, stream writes, or \
+                          catch_unwind in the service crate (temporary-scope aware)",
         },
     ]
 }

@@ -162,8 +162,10 @@ fn local_panic_source(file: &SourceFile, id: usize, index: &ItemIndex<'_>) -> Op
 }
 
 /// Trait-contract method names that are registry-facing even without a
-/// `pub` keyword (trait impls inherit the trait's visibility).
-const REGISTRY_METHODS: &[&str] = &["build", "build_geometry", "try_build"];
+/// `pub` keyword (trait impls inherit the trait's visibility). Shared
+/// with the cancel-liveness pass, whose entry set starts from the same
+/// builder surface.
+pub(crate) const REGISTRY_METHODS: &[&str] = &["build", "build_geometry", "try_build"];
 
 /// Emits panic-reach candidates: one per registry-facing builder that
 /// can reach a panic, attached to its declaration line.

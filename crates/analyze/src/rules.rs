@@ -127,15 +127,28 @@ pub const KNOWN_RULES: &[&str] = &[
 /// Crates whose hot paths carry `// analyze: complexity(...)` budgets:
 /// the unbudgeted-quadratic check of the complexity pass runs here.
 /// Budget declarations themselves are legal (and checked) in every crate.
-pub const COMPLEXITY_CRATES: &[&str] = &["core", "steiner", "tree", "router"];
+pub const COMPLEXITY_CRATES: &[&str] = &["core", "steiner", "tree", "router", "serve"];
 
 /// Crates whose `pub` ProblemContext entry points are checked for panic
 /// reachability — the same surface the error-taxonomy rule covers.
-pub const PANIC_REACH_CRATES: &[&str] = &["core", "steiner", "router"];
+pub const PANIC_REACH_CRATES: &[&str] = &["core", "steiner", "router", "serve"];
+
+/// Crates whose entry-reachable instance loops must poll the
+/// `CancelToken` (the cancel-liveness pass).
+pub const CANCEL_CRATES: &[&str] = &["core", "steiner", "tree", "router", "serve"];
+
+/// Crates whose mutex guards must not be held across blocking calls
+/// (the blocking-discipline pass) — the thread-pooled service.
+pub const BLOCKING_CRATES: &[&str] = &["serve"];
 
 /// Every semantic-pass name an `// analyze: allow(...)` waiver may
 /// reference.
-pub const SEMANTIC_RULES: &[&str] = &["panic-reach", "complexity"];
+pub const SEMANTIC_RULES: &[&str] = &[
+    "panic-reach",
+    "complexity",
+    "cancel-liveness",
+    "blocking-discipline",
+];
 
 /// Whether semantic pass `rule` is enforced at all for `file` — the
 /// staleness scoping for `analyze:` waivers, mirroring
@@ -147,6 +160,8 @@ pub fn semantic_rule_in_scope(file: &SourceFile, rule: &str) -> bool {
         // Budget declarations (and hence budget-check waivers) are legal
         // in every crate the engine walks.
         "complexity" => ALL_CRATES.contains(&krate),
+        "cancel-liveness" => CANCEL_CRATES.contains(&krate),
+        "blocking-discipline" => BLOCKING_CRATES.contains(&krate),
         _ => false,
     }
 }

@@ -1,0 +1,9 @@
+//! blocking-discipline fixture: a deliberate blocking receive under the
+//! lock, waived with the reason the discipline demands.
+
+/// Workers share one receiver behind a mutex; taking the lock to block on
+/// the next job is the handoff protocol itself.
+pub fn handoff(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
+    // analyze: allow(blocking-discipline) — the locked receiver is the shared handoff point
+    lock_recover(rx).recv().ok()
+}

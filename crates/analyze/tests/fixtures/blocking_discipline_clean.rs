@@ -1,0 +1,24 @@
+//! blocking-discipline fixture: blocking calls happen only after the guard
+//! is released — by statement-end temporaries, explicit drop, or no lock.
+
+/// The chained clone confines the guard to its own statement; the send on
+/// the next line runs lock-free.
+pub fn snapshot(state: &Mutex<Stats>, out: &SyncSender<Stats>) {
+    let stats = lock_recover(state).clone();
+    let _ = out.send(stats);
+}
+
+/// Explicit drop releases the guard before the channel send.
+pub fn rotate(log: &Mutex<Vec<String>>, out: &SyncSender<String>) {
+    let mut guard = lock_recover(log);
+    let line = guard.pop();
+    drop(guard);
+    if let Some(line) = line {
+        let _ = out.send(line);
+    }
+}
+
+/// No guard in scope at all: blocking freely is fine.
+pub fn enqueue(q: &SyncSender<Job>, job: Job) {
+    let _ = q.send(job);
+}

@@ -1,0 +1,15 @@
+//! blocking-discipline fixture: mutex guards held across blocking calls —
+//! a stream write under a let-bound guard, and a chained locked receive.
+
+/// The guard lives to the end of the block, so the write blocks under it.
+pub fn publish(out: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut guard = lock_recover(out);
+    let _ = guard.write_all(line.as_bytes());
+}
+
+/// The temporary guard lives to the end of the statement: the receive
+/// blocks while the lock is held.
+pub fn take_job(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
+    let job = lock_recover(rx).recv();
+    job.ok()
+}

@@ -1,0 +1,11 @@
+//! cancel-liveness fixture: an unpolled instance loop carrying a reasoned
+//! waiver — the signature has no token access, so the pass is told why.
+
+// analyze: allow(cancel-liveness) — public signature carries no CancelToken; the wrapper polls per attachment
+pub fn try_build(cx: &ProblemContext<'_>) -> Result<Tree, BmstError> {
+    let mut acc = 0.0;
+    for v in cx.net().sinks() {
+        acc += f64::from(v);
+    }
+    Ok(Tree::with_cost(acc))
+}

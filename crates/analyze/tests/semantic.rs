@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use bmst_analyze::model::SourceFile;
-use bmst_analyze::{analyze_semantic_files, workspace_root, SemanticReport};
+use bmst_analyze::{analyze_semantic_files, load_workspace, workspace_root, SemanticReport};
 
 /// Loads a fixture and runs the semantic passes as if it were a file of
 /// `crate_name`.
@@ -161,4 +161,161 @@ fn live_callgraph_dot_is_well_formed() {
         dot.lines().filter(|l| l.contains(" -> ")).count() > 100,
         "expected a dense graph dump"
     );
+}
+
+#[test]
+fn cancel_liveness_corpus() {
+    expect_rules(
+        "cancel_liveness_violating.rs",
+        "core",
+        &["cancel-liveness", "cancel-liveness"],
+    );
+    expect_rules("cancel_liveness_clean.rs", "core", &[]);
+    expect_rules("cancel_liveness_allowed.rs", "core", &[]);
+}
+
+#[test]
+fn cancel_liveness_messages_carry_the_witness_chain() {
+    let report = analyze_fixture("cancel_liveness_violating.rs", "core");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("try_build → grow")),
+        "witness chain names the transitive route: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn cancel_liveness_scope_is_per_crate() {
+    // geom is outside CANCEL_CRATES: same source, no findings.
+    expect_rules("cancel_liveness_violating.rs", "geom", &[]);
+}
+
+#[test]
+fn blocking_discipline_corpus() {
+    expect_rules(
+        "blocking_discipline_violating.rs",
+        "serve",
+        &["blocking-discipline", "blocking-discipline"],
+    );
+    expect_rules("blocking_discipline_clean.rs", "serve", &[]);
+    expect_rules("blocking_discipline_allowed.rs", "serve", &[]);
+}
+
+#[test]
+fn blocking_discipline_names_the_lock_line() {
+    let report = analyze_fixture("blocking_discipline_violating.rs", "serve");
+    assert!(
+        report.violations.iter().any(|v| v
+            .message
+            .contains("`write_all` blocks while the mutex guard")),
+        "blocking call named: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`recv` blocks")),
+        "chained locked receive named: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn blocking_discipline_scope_is_per_crate() {
+    // Only serve carries the discipline: the same source as `core` is quiet.
+    expect_rules("blocking_discipline_violating.rs", "core", &[]);
+}
+
+// ---- mutation regression: deleting a poll must trip the pass ----
+
+/// Re-runs the cancel pass over the live workspace with one poll site
+/// deleted from an in-memory copy of a builder file. Every single poll in
+/// the BKRUS / BPRIM / EdgeStream inner loops is load-bearing: removing any
+/// one of them must surface a `cancel-liveness` violation in that file,
+/// with an entry→…→fn witness chain in the message.
+fn assert_poll_is_load_bearing(file_suffix: &str, mutate: impl Fn(&str) -> Option<String>) {
+    let root = workspace_root();
+    let mut io_errors = Vec::new();
+    let mut files = load_workspace(&root, &mut io_errors);
+    assert!(io_errors.is_empty(), "workspace unreadable: {io_errors:#?}");
+    let idx = files
+        .iter()
+        .position(|f| f.path.ends_with(file_suffix))
+        .unwrap_or_else(|| panic!("{file_suffix} not in the workspace"));
+    let text = std::fs::read_to_string(&files[idx].path).unwrap();
+    let mutated = mutate(&text)
+        .unwrap_or_else(|| panic!("{file_suffix}: mutation found no poll site to delete"));
+    files[idx] = SourceFile::new(
+        files[idx].path.clone(),
+        files[idx].crate_name.clone(),
+        &mutated,
+    );
+    let report = analyze_semantic_files(&files);
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "cancel-liveness" && v.path.ends_with(file_suffix))
+        .collect();
+    assert!(
+        !hits.is_empty(),
+        "deleting a poll from {file_suffix} went unnoticed:\n{:#?}",
+        report.violations
+    );
+    assert!(
+        hits.iter().any(|v| v.message.contains('→')),
+        "violation carries a witness chain: {hits:#?}"
+    );
+}
+
+/// Deletes the `nth` line containing `needle` (whole-line removal keeps the
+/// token stream brace-balanced).
+fn delete_nth_line(text: &str, needle: &str, nth: usize) -> Option<String> {
+    let mut seen = 0;
+    let mut out = Vec::new();
+    let mut deleted = false;
+    for line in text.lines() {
+        if line.contains(needle) {
+            if seen == nth {
+                deleted = true;
+                seen += 1;
+                continue;
+            }
+            seen += 1;
+        }
+        out.push(line);
+    }
+    deleted.then(|| out.join("\n"))
+}
+
+#[test]
+fn deleting_the_bkrus_scan_poll_is_caught() {
+    // The first poll is the strided one inside `for e in stream`; the
+    // second is the post-loop deadline-vs-infeasible disambiguation, which
+    // is not a loop-liveness site.
+    assert_poll_is_load_bearing("core/src/bkrus.rs", |t| {
+        delete_nth_line(t, "cx.check_cancelled()?;", 0)
+    });
+}
+
+#[test]
+fn deleting_either_bprim_poll_is_caught() {
+    for nth in 0..2 {
+        assert_poll_is_load_bearing("core/src/bprim.rs", |t| {
+            delete_nth_line(t, "cx.check_cancelled()?;", nth)
+        });
+    }
+}
+
+#[test]
+fn deleting_the_edge_stream_poll_is_caught() {
+    // The supply poll sits in an `if` header; substituting `false` deletes
+    // the check while keeping the braces balanced.
+    assert_poll_is_load_bearing("core/src/supply.rs", |t| {
+        t.contains("self.cancel.check().is_err()")
+            .then(|| t.replace("self.cancel.check().is_err()", "false"))
+    });
 }

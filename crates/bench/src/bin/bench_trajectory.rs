@@ -691,6 +691,48 @@ fn lint_gate(records: &mut Vec<BenchRecord>) {
         ]
         .into(),
     });
+
+    // The cancel-liveness and blocking-discipline passes ride on the same
+    // index + call graph; time each candidate sweep on its own so a
+    // regression in loop classification or guard-scope tracking is
+    // attributable.
+    let mut io_errors = Vec::new();
+    let files = bmst_analyze::load_workspace(&root, &mut io_errors);
+    let index = bmst_analyze::items::ItemIndex::build(&files);
+    let graph = bmst_analyze::callgraph::CallGraph::build(&index);
+    let (cancel_findings, cancel_wall_s) =
+        timed(|| bmst_analyze::cancel::candidates(&index, &graph).len());
+    let (blocking_findings, blocking_wall_s) =
+        timed(|| bmst_analyze::blocking::candidates(&files).len());
+    records.push(BenchRecord {
+        bench: "workspace".to_owned(),
+        algorithm: "analyze-liveness".to_owned(),
+        eps: 0.0,
+        cost: 0.0,
+        longest_path: 0.0,
+        perf_ratio: 1.0,
+        path_ratio: 1.0,
+        wall_s: cancel_wall_s + blocking_wall_s,
+        counters: [
+            (
+                "analyze.cancel.millis".to_owned(),
+                (cancel_wall_s * 1000.0) as u64,
+            ),
+            (
+                "analyze.cancel.candidates".to_owned(),
+                cancel_findings as u64,
+            ),
+            (
+                "analyze.blocking.millis".to_owned(),
+                (blocking_wall_s * 1000.0) as u64,
+            ),
+            (
+                "analyze.blocking.candidates".to_owned(),
+                blocking_findings as u64,
+            ),
+        ]
+        .into(),
+    });
 }
 
 fn main() {

@@ -81,6 +81,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
     let mut best_from = vec![usize::MAX; n];
     in_tree[s] = true;
     for v in 0..n {
+        cx.check_cancelled()?;
         if v != s {
             best[v] = d[(s, v)];
             best_from[v] = s;
@@ -89,6 +90,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
 
     let mut edges = Vec::with_capacity(n - 1);
     for _ in 1..n {
+        cx.check_cancelled()?;
         let mut pick = usize::MAX;
         let mut key = f64::INFINITY;
         for v in 0..n {

@@ -167,6 +167,11 @@ pub(crate) fn exchange(
         debug_assert!(better.cost() < incumbent.cost());
         incumbent = better;
         committed += 1;
+        // Poll between committed rounds: a deadline keeps the improved
+        // incumbent instead of abandoning the search mid-exchange.
+        if cx.check_cancelled().is_err() {
+            break;
+        }
     }
     if bmst_obs::enabled() {
         bmst_obs::counter("bkex.exchanges_committed", committed);
@@ -181,7 +186,7 @@ pub(crate) fn exchange(
 /// feasible tree strictly cheaper than the iteration's root, if one is
 /// reachable through negative-prefix exchange sequences from `tree`.
 #[allow(clippy::expect_used)] // cycle-walk invariants, justified inline
-                              // analyze: complexity(n^3)
+                              // analyze: complexity(n^3) analyze: allow(cancel-liveness) — depth-bounded by max_depth; exchange polls between committed rounds
 fn dfs_exchange(
     net: &Net,
     d: &bmst_geom::DistanceMatrix,

@@ -224,6 +224,7 @@ impl NearestSearch {
 
     /// The enumeration's next `(dist, id)` pair, expanding the window on
     /// demand; `None` once every other terminal has been yielded.
+    // analyze: allow(cancel-liveness) — refill is bounded by annulus doubling; the BPRIM attachment loop polls per iteration
     fn next(&mut self, origin: usize, index: &NeighborIndex<'_>) -> Option<(f64, usize)> {
         while self.cursor >= self.list.len() {
             if self.exhausted {

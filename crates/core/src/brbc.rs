@@ -111,6 +111,7 @@ pub(crate) fn run(cx: &ProblemContext<'_>) -> Result<RoutingTree, BmstError> {
                 }
                 // Children in reverse order so traversal follows tree order.
                 for &c in mst_tree.children(v).iter().rev() {
+                    cx.check_cancelled()?;
                     let len = mst_tree.parent_edge_weight(c);
                     stack.push(Step::Backtrack { len });
                     stack.push(Step::Visit {

@@ -182,6 +182,7 @@ fn check_window(cx: &ProblemContext<'_>, tree: RoutingTree) -> Result<RoutingTre
     let mut lower_violated = false;
     let mut worst_path = 0.0_f64;
     for v in net.sinks() {
+        cx.check_cancelled()?;
         let path = tree.dist_from_root(v);
         if constraint.admits(path) {
             connected += 1;

@@ -346,7 +346,7 @@ impl<'a> ProblemContext<'a> {
     /// coincidence scan) instead of the former all-pairs sweep, so the
     /// pass is output-sensitive: linear for clean geometry, and only
     /// degenerate all-coincident nets pay for their duplicates.
-    // analyze: complexity(n log n)
+    // analyze: complexity(n log n) analyze: allow(cancel-liveness) — memoised OnceLock scan with no error channel; runs once per context
     pub fn diagnostics(&self) -> &[InputDiagnostic] {
         self.diagnostics.get_or_init(|| {
             let mut found = Vec::new();

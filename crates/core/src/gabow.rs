@@ -94,6 +94,7 @@ pub fn preprocess_edges(net: &Net, constraint: PathConstraint) -> (Vec<Edge>, Ve
 
 /// [`preprocess_edges`] over a shared [`ProblemContext`] (reuses the cached
 /// distance matrix).
+// analyze: allow(cancel-liveness) — flat filter passes with no error channel; BKRUS polls per merge downstream
 pub(crate) fn preprocess_edges_cx(cx: &ProblemContext<'_>) -> (Vec<Edge>, Vec<Edge>) {
     let net = cx.net();
     let constraint = *cx.constraint();

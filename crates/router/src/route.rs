@@ -908,13 +908,14 @@ mod tests {
 
     #[test]
     fn deadline_mid_ladder_ends_trail_at_expired_rung() {
-        // Deterministic expiry: the first rung-boundary check passes, the
-        // second fires. The ladder must stop at rung two — recording the
-        // deadline as the trail's final step — instead of walking the
-        // remaining rungs against a dead deadline.
+        // Deterministic expiry: rung one's checks all pass — its boundary
+        // check plus one `check_window` poll per sink (two here) — and the
+        // next check, rung two's boundary, fires. The ladder must stop at
+        // rung two — recording the deadline as the trail's final step —
+        // instead of walking the remaining rungs against a dead deadline.
         let nl = Netlist::new(vec![detour_net("bad")]);
         let cfg = RouterConfig {
-            cancel: CancelToken::expire_after_checks(1),
+            cancel: CancelToken::expire_after_checks(3),
             ..mst_config(RelaxationPolicy::default())
         };
         let report = nl.route(&cfg);

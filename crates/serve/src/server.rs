@@ -249,9 +249,9 @@ impl ConnOut {
         let mut guard = lock_recover(&self.stream);
         // A dead peer is not a server error: the response is simply lost
         // with its connection.
-        let _ = guard.write_all(line.as_bytes());
+        let _ = guard.write_all(line.as_bytes()); // analyze: allow(blocking-discipline) — line atomicity: the response and its terminator are written whole under the lock so pipelined responses never interleave
         let _ = guard.write_all(b"\n");
-        let _ = guard.flush();
+        let _ = guard.flush(); // analyze: allow(blocking-discipline) — line atomicity: flush before release so the peer sees a complete line
     }
 }
 
@@ -422,6 +422,7 @@ impl Server {
 
 fn worker_loop(state: &Arc<State>, rx: &Mutex<Receiver<Job>>) {
     loop {
+        // analyze: allow(blocking-discipline) — the locked receiver is the shared handoff point; a worker takes the lock only to block on the next job
         let job = lock_recover(rx).recv();
         let Ok(job) = job else {
             return; // all senders dropped and the queue is drained

@@ -163,6 +163,7 @@ pub fn bkst(net: &Net, eps: f64) -> Result<SteinerTree, BmstError> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[allow(clippy::expect_used)] // Hanan-grid invariant, justified inline
+                              // analyze: allow(cancel-liveness) — public signature carries no CancelToken; work is Hanan-grid bounded
 pub fn bkst_with(net: &Net, constraint: PathConstraint) -> Result<SteinerTree, BmstError> {
     if net.metric() != Metric::L1 {
         return Err(BmstError::UnsupportedMetric {

@@ -331,7 +331,7 @@ impl RoutingTree {
     }
 
     /// Coverage flags, parent/children cross-links, and acyclicity.
-    // analyze: complexity(n^2)
+    // analyze: complexity(n^2) analyze: allow(cancel-liveness) — debug-assertions audit path; bmst-tree has no CancelToken dependency
     fn audit_structure(&self) -> Result<(), AuditViolation> {
         let n = self.universe();
         let root = self.root();

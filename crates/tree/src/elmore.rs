@@ -147,6 +147,7 @@ impl ElmoreDelays {
             .expect("tree root is always covered")
     }
 
+    // analyze: allow(cancel-liveness) — single tree traversal; bmst-tree has no CancelToken dependency
     fn compute(
         tree: &RoutingTree,
         from: usize,

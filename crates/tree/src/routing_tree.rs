@@ -53,6 +53,7 @@ impl RoutingTree {
     /// * [`TreeError::Cycle`] if the edge set contains a cycle;
     /// * [`TreeError::Disconnected`] if some edges cannot be reached from the
     ///   root.
+    // analyze: allow(cancel-liveness) — one pass over the edge list; bmst-tree has no CancelToken dependency
     pub fn from_edges(
         n: usize,
         root: usize,

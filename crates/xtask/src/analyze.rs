@@ -1,9 +1,10 @@
 //! Thin driver over the `bmst-analyze` semantic engine.
 //!
 //! The passes — item index, call graph, panic-reachability, complexity
-//! budgets — live in `crates/analyze`; this module only parses CLI
-//! arguments, runs the engine at the workspace root, and formats the
-//! report. See `DESIGN.md` §5f for the pass contracts and the
+//! budgets, cancellation-liveness, blocking-discipline — live in
+//! `crates/analyze`; this module only parses CLI arguments, runs the
+//! engine at the workspace root, and formats the report. See
+//! `DESIGN.md` §5f and §5j for the pass contracts and the
 //! `// analyze:` marker convention.
 
 use std::process::ExitCode;

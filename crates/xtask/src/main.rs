@@ -6,8 +6,9 @@
 //!   per-crate rule scoping, determinism/error-taxonomy/obs-schema/
 //!   concurrency invariants).
 //! * `analyze` — the workspace-level semantic passes described in
-//!   `DESIGN.md` §5f: item index, approximate call graph,
-//!   panic-reachability, and complexity-budget enforcement.
+//!   `DESIGN.md` §5f and §5j: item index, approximate call graph,
+//!   panic-reachability, complexity-budget enforcement,
+//!   cancellation-liveness, and serve blocking-discipline.
 //! * `check-events` — the obs-schema round-trip on its own: every
 //!   emission name must exist in `crates/obs/events.toml` and every
 //!   registry entry must still be emitted somewhere.
@@ -59,8 +60,8 @@ fn print_usage() {
          Commands:\n\
          \x20 lint                 run the token-aware static-analysis gate (bmst-analyze)\n\
          \x20 lint --list          describe every lint rule and its scope\n\
-         \x20 analyze              run the semantic passes (call graph, panic-reach,\n\
-         \x20                      complexity budgets)\n\
+         \x20 analyze              run the semantic passes (panic-reach, complexity,\n\
+         \x20                      cancel-liveness, blocking-discipline)\n\
          \x20 analyze --list       describe every semantic pass, scope, fixture count\n\
          \x20 analyze --graph dot  dump the approximate call graph (Graphviz)\n\
          \x20 check-events         diff live obs emissions against crates/obs/events.toml\n\
